@@ -1,0 +1,83 @@
+// Command powerroute regenerates the paper's tables and figures from the
+// synthetic world.
+//
+// Usage:
+//
+//	powerroute [-seed N] list
+//	powerroute [-seed N] <experiment-id> [<experiment-id>...]
+//	powerroute [-seed N] all
+//
+// Experiment IDs follow the paper's figure numbers (fig1 … fig20) plus the
+// ablations documented in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powerroute/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "world seed (regenerates all synthetic data)")
+	timing := flag.Bool("time", false, "print per-experiment wall time")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	if args[0] == "list" {
+		for _, d := range experiments.All() {
+			fmt.Printf("%-18s %s\n", d.ID, d.Title)
+		}
+		return
+	}
+
+	var ids []string
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = args
+	}
+	env, err := experiments.NewEnv(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, id := range ids {
+		def, ok := experiments.Get(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try 'powerroute list')", id))
+		}
+		start := time.Now()
+		res, err := def.Run(env)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Printf("=== %s: %s ===\n", res.ID, res.Title)
+		fmt.Println(res.Text)
+		if *timing {
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `powerroute — reproduce "Cutting the Electric Bill for Internet-Scale Systems"
+
+usage:
+  powerroute [-seed N] list                    list experiments
+  powerroute [-seed N] <id> [<id>...]          run specific experiments
+  powerroute [-seed N] all                     run everything
+  powerroute [-seed N] -time <id>              report wall time too
+`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerroute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,112 @@
+// Command tracegen exports the synthetic world as CSV traces: hourly
+// real-time and day-ahead prices per hub, the daily Northwest series, and
+// the 5-minute per-state CDN demand trace. The files use the tracefile
+// formats, so they round-trip back into the simulator and can be swapped
+// for real archives.
+//
+// Usage:
+//
+//	tracegen [-seed N] [-months M] [-days D] -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"powerroute/internal/market"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/tracefile"
+	"powerroute/internal/traffic"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "generation seed")
+	months := flag.Int("months", market.DefaultMonths, "price history length in months")
+	days := flag.Int("days", traffic.DefaultDays, "traffic trace length in days")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out DIR is required")
+		os.Exit(2)
+	}
+	if err := run(*seed, *months, *days, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, months, days int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	mkt, err := market.Generate(market.Config{Seed: seed, Months: months})
+	if err != nil {
+		return err
+	}
+	for _, h := range mkt.Hubs() {
+		rt, err := mkt.RT(h.ID)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(filepath.Join(dir, "rt_"+h.ID+".csv"), func(f *os.File) error {
+			return tracefile.WriteSeries(f, rt, "rt_price_usd_per_mwh")
+		}); err != nil {
+			return err
+		}
+		da, err := mkt.DA(h.ID)
+		if err != nil {
+			return err
+		}
+		if err := writeCSV(filepath.Join(dir, "da_"+h.ID+".csv"), func(f *os.File) error {
+			return tracefile.WriteSeries(f, da, "da_price_usd_per_mwh")
+		}); err != nil {
+			return err
+		}
+	}
+	if err := writeCSV(filepath.Join(dir, "da_MIDC_daily.csv"), func(f *os.File) error {
+		return tracefile.WriteSeries(f, mkt.NorthwestDaily(), "da_price_usd_per_mwh")
+	}); err != nil {
+		return err
+	}
+
+	tr, err := traffic.Generate(traffic.Config{Seed: seed + 1, Days: days})
+	if err != nil {
+		return err
+	}
+	demand := &tracefile.Demand{
+		Start: tr.Start,
+		Step:  timeseries.FiveMinute,
+	}
+	for _, sd := range tr.States {
+		demand.Columns = append(demand.Columns, sd.State.Code)
+	}
+	demand.Rows = make([][]float64, tr.Samples)
+	for i := 0; i < tr.Samples; i++ {
+		row := make([]float64, len(tr.States))
+		for j := range tr.States {
+			row[j] = tr.States[j].Rate[i]
+		}
+		demand.Rows[i] = row
+	}
+	if err := writeCSV(filepath.Join(dir, "demand_5min.csv"), func(f *os.File) error {
+		return tracefile.WriteDemand(f, demand)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("tracegen: wrote %d price files and demand_5min.csv to %s\n", 2*len(mkt.Hubs())+1, dir)
+	return nil
+}
+
+func writeCSV(path string, fill func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

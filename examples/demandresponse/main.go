@@ -1,0 +1,100 @@
+// demandresponse explores §7's "Selling Flexibility": instead of only
+// chasing cheap prices, a distributed system can sell its ability to shed
+// load — through triggered demand-response programs and negawatt bids in
+// the day-ahead auction.
+//
+//	go run ./examples/demandresponse
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"powerroute/internal/core"
+	"powerroute/internal/demand"
+	"powerroute/internal/energy"
+	"powerroute/internal/report"
+	"powerroute/internal/units"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.Options{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// How much can each cluster shed? The variable (routable) power at its
+	// typical utilization: suspend servers, route clients elsewhere.
+	_, base, err := sys.Baseline(core.LongRun39Months, energy.OptimisticFuture)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	program := demand.Program{
+		TriggerPrice:   250, // grid-stress proxy: $250/MWh real-time
+		MaxEventHours:  4,
+		CooldownHours:  12,
+		EnergyCredit:   100,  // $/MWh shed during events
+		CapacityCredit: 4000, // $/MW/month for standing by
+	}
+	fmt.Printf("Program: trigger %v, credit %v/MWh shed, $%.0f/MW-month standby\n\n",
+		program.TriggerPrice, program.EnergyCredit, float64(program.CapacityCredit))
+
+	t := report.NewTable("Triggered demand response over the 39-month history",
+		"Cluster", "Shed capacity", "Events", "Event hours", "Settlement")
+	var pool demand.Aggregator
+	var total units.Money
+	for i, cl := range sys.Fleet.Clusters {
+		shedMW := energy.OptimisticFuture.VariablePower(base.MeanUtilization[i], cl.Servers).Megawatts()
+		rt, err := sys.Market.RT(cl.HubID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := program.Events(rt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		settlement, err := program.Settle(events, shedMW, 39)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += settlement.Total
+		pool.Add(demand.Bloc{Name: cl.Code, KW: shedMW * 1000, Availability: 0.95})
+		t.Add(cl.Code, fmt.Sprintf("%.2f MW", shedMW),
+			fmt.Sprintf("%d", settlement.Events),
+			fmt.Sprintf("%d", settlement.EventHours),
+			settlement.Total.String())
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nTotal settlement: %v against a %v electricity bill.\n", total, base.TotalCost)
+	fmt.Printf("Pooled (EnerNOC-style), the fleet offers %.2f MW firm — \"only a few racks\nper location are needed to construct a multi-market demand response system\".\n\n",
+		pool.FirmMW())
+
+	// Negawatt bid ladder on the NYC day-ahead market: how offer price
+	// trades clearing frequency against revenue.
+	da, err := sys.Market.DA("NYC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	t2 := report.NewTable("Negawatt bid ladder, NYC day-ahead, 5 MW offered",
+		"Offer ($/MWh)", "Hours cleared", "Energy sold", "Revenue")
+	for _, offer := range []units.Price{100, 150, 200, 300} {
+		bid := demand.NegawattBid{OfferPrice: offer, MW: 5}
+		res, err := bid.Evaluate(da)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.Add(fmt.Sprintf("%.0f", float64(offer)),
+			fmt.Sprintf("%d", res.HoursCleared),
+			res.EnergySold.String(),
+			res.Revenue.String())
+	}
+	if _, err := t2.WriteTo(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLow offers clear constantly (but commit the system often); high offers")
+	fmt.Println("monetize only the spikes. Flexibility is valued even under fixed-price")
+	fmt.Println("supply contracts — no wholesale exposure required (§7).")
+}

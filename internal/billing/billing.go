@@ -1,0 +1,122 @@
+// Package billing implements 95/5 bandwidth billing (§4): "traffic is
+// divided into five minute intervals and the 95th percentile is used for
+// billing". The simulator uses it two ways:
+//
+//   - Meter records a policy's per-interval cluster rates and reports the
+//     billable 95th percentile.
+//   - Constraint enforces the paper's re-routing rule — "constrain our
+//     energy-price rerouting so that it does not increase the 95th
+//     percentile bandwidth for any location" — by capping a cluster at its
+//     baseline p95 while allowing the 5% of intervals that 95/5 billing
+//     ignores to burst above it.
+package billing
+
+import (
+	"errors"
+	"fmt"
+
+	"powerroute/internal/stats"
+)
+
+// Meter records per-interval rates for one cluster.
+type Meter struct {
+	samples []float64
+}
+
+// Record appends one interval's rate.
+func (m *Meter) Record(rate float64) { m.samples = append(m.samples, rate) }
+
+// N returns the number of recorded intervals.
+func (m *Meter) N() int { return len(m.samples) }
+
+// Percentile95 returns the billable rate: the 95th percentile of recorded
+// intervals. It returns an error when nothing has been recorded.
+func (m *Meter) Percentile95() (float64, error) {
+	return stats.Quantile(m.samples, 0.95)
+}
+
+// Peak returns the maximum recorded rate.
+func (m *Meter) Peak() float64 {
+	peak := 0.0
+	for _, s := range m.samples {
+		if s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// Constraint enforces a per-cluster 95/5 cap over a known number of
+// intervals: the cluster may exceed Cap during at most 5% of intervals
+// (its burst budget); once the budget is spent the cap is hard.
+type Constraint struct {
+	Cap          float64 // baseline billable rate (p95)
+	budget       int     // remaining over-cap intervals
+	totalBudget  int
+	burstsUsed   int
+	intervalsRun int
+}
+
+// NewConstraint builds a constraint for a run of totalIntervals intervals.
+func NewConstraint(cap float64, totalIntervals int) (*Constraint, error) {
+	if cap < 0 {
+		return nil, errors.New("billing: negative cap")
+	}
+	if totalIntervals <= 0 {
+		return nil, errors.New("billing: non-positive interval count")
+	}
+	// One fewer than 5% of intervals: with exactly 5% above the cap, an
+	// interpolated 95th percentile would land marginally above it.
+	budget := totalIntervals/20 - 1
+	if budget < 0 {
+		budget = 0
+	}
+	return &Constraint{Cap: cap, budget: budget, totalBudget: budget}, nil
+}
+
+// CanBurst reports whether an over-cap interval is still permitted.
+func (c *Constraint) CanBurst() bool { return c.budget > 0 }
+
+// Limit returns the enforceable rate limit for the next interval given a
+// physical capacity: capacity when a burst is available, min(cap, capacity)
+// otherwise.
+func (c *Constraint) Limit(capacity float64) float64 {
+	if c.CanBurst() {
+		return capacity
+	}
+	if c.Cap < capacity {
+		return c.Cap
+	}
+	return capacity
+}
+
+// Commit records the realized rate for one interval, consuming a burst if
+// the rate exceeded the cap. It returns an error if the rate exceeded the
+// cap with no budget left (a router bug).
+func (c *Constraint) Commit(rate float64) error {
+	c.intervalsRun++
+	if rate <= c.Cap+1e-9 {
+		return nil
+	}
+	if c.budget <= 0 {
+		return fmt.Errorf("billing: over-cap interval (%.1f > %.1f) with no burst budget", rate, c.Cap)
+	}
+	c.budget--
+	c.burstsUsed++
+	return nil
+}
+
+// BurstsUsed returns the number of over-cap intervals consumed.
+func (c *Constraint) BurstsUsed() int { return c.burstsUsed }
+
+// IntervalsRun returns the number of committed intervals.
+func (c *Constraint) IntervalsRun() int { return c.intervalsRun }
+
+// Verify checks the 95/5 invariant after a run: over-cap intervals must not
+// exceed the 5% budget, i.e. the realized p95 did not rise above the cap.
+func (c *Constraint) Verify() error {
+	if c.burstsUsed > c.totalBudget {
+		return fmt.Errorf("billing: %d bursts used, budget %d", c.burstsUsed, c.totalBudget)
+	}
+	return nil
+}

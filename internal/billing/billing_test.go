@@ -1,0 +1,191 @@
+package billing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterPercentile95(t *testing.T) {
+	var m Meter
+	for i := 1; i <= 100; i++ {
+		m.Record(float64(i))
+	}
+	p95, err := m.Percentile95()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p95 < 94 || p95 > 97 {
+		t.Errorf("p95 = %v, want ≈ 95", p95)
+	}
+	if m.N() != 100 {
+		t.Errorf("N = %d", m.N())
+	}
+	if m.Peak() != 100 {
+		t.Errorf("Peak = %v", m.Peak())
+	}
+}
+
+func TestMeterEmpty(t *testing.T) {
+	var m Meter
+	if _, err := m.Percentile95(); err == nil {
+		t.Error("empty meter p95 should fail")
+	}
+	if m.Peak() != 0 {
+		t.Error("empty meter peak should be 0")
+	}
+}
+
+// The 95/5 billing property: the billable rate ignores the top 5% of
+// intervals, so a short burst does not raise the bill (§4).
+func TestMeterIgnoresShortBursts(t *testing.T) {
+	var flat, bursty Meter
+	for i := 0; i < 1000; i++ {
+		flat.Record(100)
+		if i < 40 { // 4% of intervals burst 10×
+			bursty.Record(1000)
+		} else {
+			bursty.Record(100)
+		}
+	}
+	pf, _ := flat.Percentile95()
+	pb, _ := bursty.Percentile95()
+	if pf != 100 {
+		t.Errorf("flat p95 = %v", pf)
+	}
+	if pb != 100 {
+		t.Errorf("bursty p95 = %v, want 100 (4%% burst is free under 95/5)", pb)
+	}
+	// A 6% burst is not free.
+	var heavy Meter
+	for i := 0; i < 1000; i++ {
+		if i < 60 {
+			heavy.Record(1000)
+		} else {
+			heavy.Record(100)
+		}
+	}
+	ph, _ := heavy.Percentile95()
+	if ph <= 100 {
+		t.Errorf("heavy p95 = %v, want > 100 (6%% burst is billable)", ph)
+	}
+}
+
+func TestConstraintBasics(t *testing.T) {
+	c, err := NewConstraint(100, 100) // budget = 100/20 − 1 = 4 intervals
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.CanBurst() {
+		t.Error("fresh constraint should allow bursting")
+	}
+	if c.Limit(500) != 500 {
+		t.Errorf("Limit with budget = %v, want capacity 500", c.Limit(500))
+	}
+	// Four over-cap commits consume the budget.
+	for i := 0; i < 4; i++ {
+		if err := c.Commit(200); err != nil {
+			t.Fatalf("burst %d rejected: %v", i, err)
+		}
+	}
+	if c.CanBurst() {
+		t.Error("budget should be exhausted")
+	}
+	if c.Limit(500) != 100 {
+		t.Errorf("Limit without budget = %v, want cap 100", c.Limit(500))
+	}
+	if err := c.Commit(200); err == nil {
+		t.Error("over-cap commit without budget should fail")
+	}
+	if err := c.Commit(99); err != nil {
+		t.Errorf("under-cap commit rejected: %v", err)
+	}
+	if c.BurstsUsed() != 4 {
+		t.Errorf("BurstsUsed = %d", c.BurstsUsed())
+	}
+	if c.IntervalsRun() != 6 {
+		t.Errorf("IntervalsRun = %d", c.IntervalsRun())
+	}
+	if err := c.Verify(); err != nil {
+		t.Errorf("Verify failed: %v", err)
+	}
+}
+
+func TestConstraintCapBelowCapacity(t *testing.T) {
+	c, _ := NewConstraint(100, 100)
+	// When cap exceeds capacity, the physical limit wins.
+	if c.Limit(80) != 80 {
+		t.Errorf("Limit(80) = %v, want 80", c.Limit(80))
+	}
+	// Exhaust the budget, then check again.
+	for i := 0; i < 5; i++ {
+		_ = c.Commit(101)
+	}
+	if c.Limit(80) != 80 {
+		t.Errorf("post-budget Limit(80) = %v, want 80", c.Limit(80))
+	}
+}
+
+func TestConstraintErrors(t *testing.T) {
+	if _, err := NewConstraint(-1, 100); err == nil {
+		t.Error("negative cap should fail")
+	}
+	if _, err := NewConstraint(10, 0); err == nil {
+		t.Error("zero intervals should fail")
+	}
+}
+
+// Property: for any sequence of commits within the cap, the constraint
+// never errs and never consumes budget.
+func TestConstraintUnderCapProperty(t *testing.T) {
+	f := func(rates []float64) bool {
+		c, err := NewConstraint(100, len(rates)+20)
+		if err != nil {
+			return false
+		}
+		for _, r := range rates {
+			r = math.Abs(math.Mod(r, 100))
+			if err := c.Commit(r); err != nil {
+				return false
+			}
+		}
+		return c.BurstsUsed() == 0 && c.Verify() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the realized p95 stays at or below the cap whenever the
+// constraint accepted every interval — the paper's "does not increase the
+// 95th percentile bandwidth" invariant.
+func TestConstraint95InvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 400
+		c, err := NewConstraint(100, n)
+		if err != nil {
+			return false
+		}
+		var m Meter
+		x := uint64(seed)
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			r := float64(x%150) + 1 // 1..150
+			if r > c.Cap && !c.CanBurst() {
+				r = c.Cap // a correct router clamps when no budget remains
+			}
+			if err := c.Commit(r); err != nil {
+				return false
+			}
+			m.Record(r)
+		}
+		p95, err := m.Percentile95()
+		if err != nil {
+			return false
+		}
+		return p95 <= c.Cap+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

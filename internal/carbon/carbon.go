@@ -1,0 +1,113 @@
+// Package carbon implements the §8 "Environmental Cost" extension: a
+// time-varying carbon-intensity signal per market region, so the router can
+// minimize gCO₂ instead of dollars. "The environmental impact of a service
+// is time-varying ... the footprint varies depending upon what generating
+// assets are active" — seasonal (hydro), weekly (fuel mix), and hourly
+// (wind, demand-driven marginal units).
+package carbon
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/market"
+	"powerroute/internal/timeseries"
+)
+
+// Profile describes a region's generation mix for intensity synthesis.
+type Profile struct {
+	// BaseIntensity is the average grid intensity in gCO₂/kWh.
+	BaseIntensity float64
+	// DemandCoupling scales how much the marginal intensity rises with
+	// daily demand (dirtier peakers at the margin during peaks).
+	DemandCoupling float64
+	// WindShare is the share of intermittent wind whose arrival cuts the
+	// marginal intensity, mostly at night.
+	WindShare float64
+	// HydroSeasonal marks spring-hydro regions whose intensity dips with
+	// snowmelt.
+	HydroSeasonal bool
+}
+
+// RegionProfile returns the 2006-2009-era generation mix profile for an
+// RTO (§2.2 sketches the mixes: ~50% coal nationally, hydro in the
+// Northwest, gas-dominated Texas, nuclear/gas New England).
+func RegionProfile(r market.RTO) Profile {
+	switch r {
+	case market.MISO:
+		return Profile{BaseIntensity: 750, DemandCoupling: 0.10, WindShare: 0.08}
+	case market.PJM:
+		return Profile{BaseIntensity: 620, DemandCoupling: 0.12, WindShare: 0.03}
+	case market.ERCOT:
+		return Profile{BaseIntensity: 520, DemandCoupling: 0.15, WindShare: 0.12}
+	case market.NYISO:
+		return Profile{BaseIntensity: 400, DemandCoupling: 0.18, WindShare: 0.03}
+	case market.ISONE:
+		return Profile{BaseIntensity: 420, DemandCoupling: 0.15, WindShare: 0.04}
+	case market.CAISO:
+		return Profile{BaseIntensity: 350, DemandCoupling: 0.20, WindShare: 0.06, HydroSeasonal: true}
+	default:
+		return Profile{BaseIntensity: 550, DemandCoupling: 0.12, WindShare: 0.05}
+	}
+}
+
+// Intensity synthesizes an hourly carbon-intensity series (gCO₂/kWh) for a
+// hub, deterministically from the seed.
+func Intensity(seed int64, hub market.Hub, start time.Time, hours int) *timeseries.Series {
+	p := RegionProfile(hub.RTO)
+	rng := rand.New(rand.NewSource(seed ^ hashString(hub.ID) ^ 0x0c02_9999))
+	out := timeseries.New(start, timeseries.Hourly, hours)
+	wind := 0.0
+	const windPhi = 0.95 // wind regimes persist for days
+	for t := 0; t < hours; t++ {
+		at := start.Add(time.Duration(t) * time.Hour)
+		localHour := hub.Zone.LocalHour(at.Hour())
+		// Marginal units get dirtier toward the daily peak.
+		diurnal := 1 + p.DemandCoupling*market.DiurnalFactor(1, localHour) - p.DemandCoupling
+		// Wind: AR regime, strongest at night.
+		wind = windPhi*wind + math.Sqrt(1-windPhi*windPhi)*rng.NormFloat64()
+		nightBoost := 1.0
+		if localHour <= 6 {
+			nightBoost = 1.5
+		}
+		windCut := p.WindShare * nightBoost * (0.5 + 0.5*math.Tanh(wind))
+		season := 1.0
+		if p.HydroSeasonal {
+			season = 1 - 0.15*math.Exp(-sq(float64(at.YearDay())-105)/(2*38*38))
+		}
+		v := p.BaseIntensity * diurnal * (1 - windCut) * season
+		if v < 50 {
+			v = 50
+		}
+		out.Values[t] = v
+	}
+	return out
+}
+
+func sq(x float64) float64 { return x * x }
+
+func hashString(s string) int64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return int64(h)
+}
+
+// FleetSeries builds per-cluster intensity series aligned with a fleet (for
+// sim.Scenario.Carbon / DecisionSeries).
+func FleetSeries(seed int64, f *cluster.Fleet, start time.Time, hours int) ([]*timeseries.Series, error) {
+	out := make([]*timeseries.Series, len(f.Clusters))
+	for i, c := range f.Clusters {
+		hub, err := market.HubByID(c.HubID)
+		if err != nil {
+			return nil, fmt.Errorf("carbon: cluster %s: %w", c.Code, err)
+		}
+		out[i] = Intensity(seed, hub, start, hours)
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package carbon
+
+import (
+	"testing"
+	"time"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/market"
+	"powerroute/internal/stats"
+)
+
+var t0 = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRegionProfiles(t *testing.T) {
+	for _, r := range market.RTOs() {
+		p := RegionProfile(r)
+		if p.BaseIntensity < 100 || p.BaseIntensity > 1000 {
+			t.Errorf("%v: base intensity %v implausible", r, p.BaseIntensity)
+		}
+	}
+	// Coal-heavy Midwest is dirtier than hydro/nuclear-leavened
+	// California and New England (§2.2's generation mixes).
+	if RegionProfile(market.MISO).BaseIntensity <= RegionProfile(market.CAISO).BaseIntensity {
+		t.Error("MISO should be dirtier than CAISO")
+	}
+	if RegionProfile(market.PJM).BaseIntensity <= RegionProfile(market.ISONE).BaseIntensity {
+		t.Error("PJM should be dirtier than ISONE")
+	}
+	// Unknown RTO gets a sane default.
+	if RegionProfile(market.RTO(99)).BaseIntensity <= 0 {
+		t.Error("default profile broken")
+	}
+}
+
+func TestIntensitySeries(t *testing.T) {
+	hub, err := market.HubByID("CHI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Intensity(1, hub, t0, 24*365)
+	if s.Len() != 24*365 {
+		t.Fatalf("length %d", s.Len())
+	}
+	for i, v := range s.Values {
+		if v < 50 || v > 1500 {
+			t.Fatalf("hour %d: intensity %v out of range", i, v)
+		}
+	}
+	// Mean lands near the regional base.
+	base := RegionProfile(hub.RTO).BaseIntensity
+	m := stats.Mean(s.Values)
+	if m < 0.6*base || m > 1.2*base {
+		t.Errorf("mean intensity %v far from base %v", m, base)
+	}
+	// Time-varying, not constant (§8: hourly/weekly/seasonal variation).
+	if stats.StdDev(s.Values) < 10 {
+		t.Error("intensity barely varies")
+	}
+	// Deterministic.
+	s2 := Intensity(1, hub, t0, 24*365)
+	for i := range s.Values {
+		if s.Values[i] != s2.Values[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	if s3 := Intensity(2, hub, t0, 24*365); s3.Values[0] == s.Values[0] && s3.Values[100] == s.Values[100] {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestIntensityDiurnalShape(t *testing.T) {
+	hub, _ := market.HubByID("NYC")
+	s := Intensity(3, hub, t0, 24*365)
+	byHour := s.GroupByHourOfDay(int(hub.Zone))
+	// Peak-hour marginal units are dirtier than the overnight mix.
+	if stats.Mean(byHour[17]) <= stats.Mean(byHour[3]) {
+		t.Error("no diurnal intensity pattern")
+	}
+}
+
+func TestHydroSeasonalDip(t *testing.T) {
+	hub, _ := market.HubByID("NP15") // CAISO: hydro-seasonal
+	s := Intensity(4, hub, t0, 24*365)
+	keys, groups := s.GroupByMonth()
+	var april, annual []float64
+	for _, k := range keys {
+		annual = append(annual, groups[k]...)
+		if k.Month == time.April {
+			april = append(april, groups[k]...)
+		}
+	}
+	if stats.Mean(april) >= stats.Mean(annual) {
+		t.Error("no spring hydro dip in CAISO intensity")
+	}
+}
+
+func TestFleetSeries(t *testing.T) {
+	peaks := make([]float64, 51)
+	for i := range peaks {
+		peaks[i] = 10000
+	}
+	fleet, err := cluster.DeriveFleet(peaks, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, err := FleetSeries(7, fleet, t0, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(fleet.Clusters) {
+		t.Fatalf("series count %d", len(series))
+	}
+	for i, s := range series {
+		if s.Len() != 48 {
+			t.Errorf("cluster %d: length %d", i, s.Len())
+		}
+	}
+	// Bad fleet (unknown hub) fails.
+	bad := []cluster.Cluster{{Code: "X", HubID: "NOPE", Servers: 1, Capacity: 100}}
+	badFleet, err := cluster.NewFleet(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FleetSeries(7, badFleet, t0, 48); err == nil {
+		t.Error("unknown hub should fail")
+	}
+}

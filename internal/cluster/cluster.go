@@ -1,0 +1,242 @@
+// Package cluster models the CDN server deployment: the nine public
+// cluster groups of the paper's data set (§6.1: eighteen usable cities
+// grouped by electricity market hub into nine clusters, Fig 19's CA1 CA2 MA
+// NY IL VA NJ TX1 TX2), their capacities, and the client-affinity weights
+// that reproduce an Akamai-like baseline assignment of states to clusters.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"powerroute/internal/geo"
+	"powerroute/internal/market"
+	"powerroute/internal/units"
+)
+
+// HitsPerServer is the serving capacity of one server at full utilization.
+// The absolute value only sets the server-count scale; percentage results
+// depend on utilization ratios (§5.1).
+const HitsPerServer = 400.0
+
+// Cluster is one public cluster group located at an electricity market hub.
+type Cluster struct {
+	Code     string // the paper's cluster label (e.g. "NY")
+	HubID    string // market hub identifier (e.g. "NYC")
+	Location geo.Point
+	Zone     geo.TimeZone
+	Servers  int
+	Capacity units.HitRate // hits/s at full utilization
+}
+
+// Utilization returns load/capacity clamped to [0, 1].
+func (c Cluster) Utilization(load units.HitRate) float64 {
+	if c.Capacity <= 0 {
+		return 0
+	}
+	u := float64(load) / float64(c.Capacity)
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Fleet is a set of clusters plus the precomputed state-to-cluster distance
+// matrix used for routing and for the paper's client-server distance metric
+// (§6.1).
+type Fleet struct {
+	Clusters []Cluster
+	States   []geo.State
+
+	// DistanceKm[s][c] is the population-weighted distance from state s's
+	// clients to cluster c.
+	DistanceKm [][]float64
+}
+
+// NewFleet builds a fleet over the given clusters with distances to every
+// US state.
+func NewFleet(clusters []Cluster) (*Fleet, error) {
+	if len(clusters) == 0 {
+		return nil, errors.New("cluster: empty fleet")
+	}
+	seen := map[string]bool{}
+	for _, c := range clusters {
+		if c.Code == "" || seen[c.Code] {
+			return nil, fmt.Errorf("cluster: bad or duplicate code %q", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Capacity <= 0 || c.Servers <= 0 {
+			return nil, fmt.Errorf("cluster %s: capacity %v, servers %d", c.Code, c.Capacity, c.Servers)
+		}
+	}
+	f := &Fleet{Clusters: clusters, States: geo.States()}
+	f.DistanceKm = make([][]float64, len(f.States))
+	for s, st := range f.States {
+		row := make([]float64, len(clusters))
+		for c, cl := range clusters {
+			row[c] = geo.StateDistance(st, cl.Location).Km()
+		}
+		f.DistanceKm[s] = row
+	}
+	return f, nil
+}
+
+// StateCount returns the number of client states.
+func (f *Fleet) StateCount() int { return len(f.States) }
+
+// ClusterCount returns the number of clusters.
+func (f *Fleet) ClusterCount() int { return len(f.Clusters) }
+
+// Distance returns the population-weighted distance in km from state s's
+// clients to cluster c.
+func (f *Fleet) Distance(s, c int) float64 { return f.DistanceKm[s][c] }
+
+// Index returns the cluster index by code.
+func (f *Fleet) Index(code string) (int, error) {
+	for i, c := range f.Clusters {
+		if c.Code == code {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown cluster %q", code)
+}
+
+// TotalCapacity sums all cluster capacities.
+func (f *Fleet) TotalCapacity() units.HitRate {
+	var sum units.HitRate
+	for _, c := range f.Clusters {
+		sum += c.Capacity
+	}
+	return sum
+}
+
+// TotalServers sums all cluster server counts.
+func (f *Fleet) TotalServers() int {
+	sum := 0
+	for _, c := range f.Clusters {
+		sum += c.Servers
+	}
+	return sum
+}
+
+// NearestCluster returns the cluster index closest to state s.
+func (f *Fleet) NearestCluster(s int) int {
+	best, bestD := 0, math.Inf(1)
+	for c, d := range f.DistanceKm[s] {
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// CandidatesWithin returns the cluster indices within the distance
+// threshold of state s, sorted by distance. When none qualify it applies
+// the paper's fallback: "the routing scheme finds the closest cluster and
+// considers any other nearby clusters (< 50km)" — nearby to that closest
+// cluster (§6.1).
+func (f *Fleet) CandidatesWithin(s int, thresholdKm float64) []int {
+	var out []int
+	for c, d := range f.DistanceKm[s] {
+		if d <= thresholdKm {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		nearest := f.NearestCluster(s)
+		out = append(out, nearest)
+		for c, cl := range f.Clusters {
+			if c != nearest && geo.Distance(f.Clusters[nearest].Location, cl.Location).Km() < 50 {
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return f.DistanceKm[s][out[i]] < f.DistanceKm[s][out[j]]
+	})
+	return out
+}
+
+// AffinityWeights returns the baseline assignment weights of state s over
+// clusters: an Akamai-like split that prefers nearby clusters but keeps
+// secondary servers warm (network affinity and 95/5 optimization cause real
+// mappings to spread, §4 "there are many cases where clients are not mapped
+// to the nearest cluster geographically"). Weights decay exponentially with
+// distance over the top three nearest clusters and sum to 1.
+func (f *Fleet) AffinityWeights(s int) []float64 {
+	type cand struct {
+		idx int
+		d   float64
+	}
+	cands := make([]cand, 0, len(f.Clusters))
+	for c, d := range f.DistanceKm[s] {
+		cands = append(cands, cand{c, d})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	k := 3
+	if len(cands) < k {
+		k = len(cands)
+	}
+	weights := make([]float64, len(f.Clusters))
+	const decayKm = 250.0
+	sum := 0.0
+	for _, c := range cands[:k] {
+		w := math.Exp(-c.d / decayKm)
+		weights[c.idx] = w
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return weights
+}
+
+// DeriveFleet sizes the nine-cluster deployment from a demand profile: each
+// cluster's capacity is set so its peak baseline load runs at the target
+// utilization (the paper derives capacities from observed hit rates and
+// load levels, §6.1). peakByState gives each state's peak demand in hits/s.
+func DeriveFleet(peakByState []float64, targetUtilization float64) (*Fleet, error) {
+	if targetUtilization <= 0 || targetUtilization > 1 {
+		return nil, fmt.Errorf("cluster: target utilization %v outside (0,1]", targetUtilization)
+	}
+	hubs := market.ClusterHubs()
+	clusters := make([]Cluster, len(hubs))
+	for i, h := range hubs {
+		clusters[i] = Cluster{
+			Code: h.Cluster, HubID: h.ID, Location: h.Location, Zone: h.Zone,
+			Servers: 1, Capacity: 1, // placeholder; sized below
+		}
+	}
+	f, err := NewFleet(clusters)
+	if err != nil {
+		return nil, err
+	}
+	states := geo.States()
+	if len(peakByState) != len(states) {
+		return nil, fmt.Errorf("cluster: %d state peaks for %d states", len(peakByState), len(states))
+	}
+	// Peak load per cluster under the baseline affinity assignment. State
+	// peaks do not align perfectly in time, so this overestimates slightly —
+	// acceptable: it pads capacity headroom.
+	peaks := make([]float64, len(clusters))
+	for s := range states {
+		w := f.AffinityWeights(s)
+		for c, wc := range w {
+			peaks[c] += wc * peakByState[s]
+		}
+	}
+	for i := range f.Clusters {
+		capacity := peaks[i] / targetUtilization
+		if capacity < HitsPerServer {
+			capacity = HitsPerServer
+		}
+		f.Clusters[i].Capacity = units.HitRate(capacity)
+		f.Clusters[i].Servers = int(math.Ceil(capacity / HitsPerServer))
+	}
+	return f, nil
+}

@@ -1,0 +1,213 @@
+// Package demand models the §7 market-participation mechanisms that let a
+// distributed system sell its load flexibility instead of (or on top of)
+// passively chasing cheap prices:
+//
+//   - Negawatt bids: offering load reductions into the day-ahead auction;
+//     the bid clears whenever the day-ahead price reaches the offer.
+//   - Triggered demand response: enrolling capacity in an RTO program that
+//     calls events when the grid is stressed (proxied here by real-time
+//     prices crossing a trigger), paying an energy credit per MWh shed plus
+//     a monthly capacity payment.
+//   - Aggregation: pooling many small consumers into blocs large enough to
+//     participate ("even consumers using as little as 10kW — a few racks —
+//     can participate", §7).
+package demand
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerroute/internal/timeseries"
+	"powerroute/internal/units"
+)
+
+// Event is one triggered demand-response event.
+type Event struct {
+	Start time.Time
+	Hours int
+	// PeakPrice is the highest real-time price observed during the event
+	// (diagnostic: how stressed the grid was).
+	PeakPrice units.Price
+}
+
+// Program describes a triggered demand-response enrollment.
+type Program struct {
+	// TriggerPrice proxies grid stress: an event begins when the real-time
+	// price crosses it. Real programs trigger on reserve shortfalls; price
+	// spikes are the market's expression of the same conditions (§2.2).
+	TriggerPrice units.Price
+	// MaxEventHours caps a single event's length (programs bound the
+	// downtime they may demand).
+	MaxEventHours int
+	// CooldownHours is the minimum gap between events.
+	CooldownHours int
+	// EnergyCredit is paid per MWh actually shed during events.
+	EnergyCredit units.Price
+	// CapacityCredit is paid per enrolled MW per month, whether or not
+	// events occur.
+	CapacityCredit units.Money
+}
+
+// Validate checks program parameters.
+func (p Program) Validate() error {
+	if p.TriggerPrice <= 0 {
+		return errors.New("demand: trigger price must be positive")
+	}
+	if p.MaxEventHours <= 0 {
+		return errors.New("demand: max event hours must be positive")
+	}
+	if p.CooldownHours < 0 {
+		return errors.New("demand: negative cooldown")
+	}
+	if p.EnergyCredit < 0 || p.CapacityCredit < 0 {
+		return errors.New("demand: negative credits")
+	}
+	return nil
+}
+
+// Events scans an hourly real-time price series for triggered events.
+func (p Program) Events(prices *timeseries.Series) ([]Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if prices.Step != timeseries.Hourly {
+		return nil, fmt.Errorf("demand: need hourly prices, got step %v", prices.Step)
+	}
+	var events []Event
+	cooldown := 0
+	for t := 0; t < prices.Len(); {
+		if cooldown > 0 {
+			cooldown--
+			t++
+			continue
+		}
+		if units.Price(prices.Values[t]) < p.TriggerPrice {
+			t++
+			continue
+		}
+		ev := Event{Start: prices.TimeAt(t), PeakPrice: units.Price(prices.Values[t])}
+		for t < prices.Len() && units.Price(prices.Values[t]) >= p.TriggerPrice && ev.Hours < p.MaxEventHours {
+			if pr := units.Price(prices.Values[t]); pr > ev.PeakPrice {
+				ev.PeakPrice = pr
+			}
+			ev.Hours++
+			t++
+		}
+		events = append(events, ev)
+		cooldown = p.CooldownHours
+	}
+	return events, nil
+}
+
+// Settlement is the outcome of participating in a program.
+type Settlement struct {
+	Events      int
+	EventHours  int
+	EnergyShed  units.Energy
+	EnergyPay   units.Money
+	CapacityPay units.Money
+	Total       units.Money
+}
+
+// Settle computes compensation for an enrollment of shedMW megawatts over
+// the given events and number of whole months enrolled.
+func (p Program) Settle(events []Event, shedMW float64, months int) (Settlement, error) {
+	if err := p.Validate(); err != nil {
+		return Settlement{}, err
+	}
+	if shedMW < 0 {
+		return Settlement{}, errors.New("demand: negative shed capacity")
+	}
+	if months < 0 {
+		return Settlement{}, errors.New("demand: negative enrollment months")
+	}
+	var s Settlement
+	for _, ev := range events {
+		s.Events++
+		s.EventHours += ev.Hours
+		s.EnergyShed += units.Energy(shedMW * float64(ev.Hours) * 1e6) // MW·h → Wh
+	}
+	s.EnergyPay = s.EnergyShed.Cost(p.EnergyCredit)
+	s.CapacityPay = units.Money(float64(p.CapacityCredit) * shedMW * float64(months))
+	s.Total = s.EnergyPay + s.CapacityPay
+	return s, nil
+}
+
+// NegawattBid is a standing day-ahead offer to reduce load.
+type NegawattBid struct {
+	// OfferPrice is the $/MWh at or above which the reduction clears.
+	OfferPrice units.Price
+	// MW is the offered reduction.
+	MW float64
+}
+
+// NegawattResult summarizes a bid evaluated against a day-ahead series.
+type NegawattResult struct {
+	HoursCleared int
+	EnergySold   units.Energy
+	Revenue      units.Money
+}
+
+// Evaluate clears the bid against hourly day-ahead prices: each hour whose
+// price reaches the offer accepts the reduction at the clearing price
+// ("Some RTOs allow energy users to bid negawatts ... into the day-ahead
+// market auction", §7).
+func (b NegawattBid) Evaluate(da *timeseries.Series) (NegawattResult, error) {
+	if b.OfferPrice <= 0 || b.MW <= 0 {
+		return NegawattResult{}, errors.New("demand: bid needs positive price and MW")
+	}
+	if da.Step != timeseries.Hourly {
+		return NegawattResult{}, fmt.Errorf("demand: need hourly day-ahead prices, got %v", da.Step)
+	}
+	var res NegawattResult
+	for _, p := range da.Values {
+		if units.Price(p) >= b.OfferPrice {
+			res.HoursCleared++
+			res.EnergySold += units.Energy(b.MW * 1e6)
+			res.Revenue += units.Energy(b.MW * 1e6).Cost(units.Price(p))
+		}
+	}
+	return res, nil
+}
+
+// Bloc is one consumer in an aggregated demand-response pool.
+type Bloc struct {
+	Name string
+	// KW the bloc can shed on request.
+	KW float64
+	// Availability ∈ [0,1]: fraction of events the bloc can actually serve.
+	Availability float64
+}
+
+// Aggregator pools blocs EnerNOC-style: "a company that collects many
+// consumers, packages them, and sells their aggregate ability to make
+// on-demand reductions" (§7).
+type Aggregator struct {
+	Blocs []Bloc
+}
+
+// Add appends a bloc.
+func (a *Aggregator) Add(b Bloc) { a.Blocs = append(a.Blocs, b) }
+
+// FirmMW returns the dependable aggregate capacity: Σ kW·availability.
+func (a *Aggregator) FirmMW() float64 {
+	sum := 0.0
+	for _, b := range a.Blocs {
+		av := b.Availability
+		if av < 0 {
+			av = 0
+		}
+		if av > 1 {
+			av = 1
+		}
+		sum += b.KW * av
+	}
+	return sum / 1000
+}
+
+// MeetsMinimum reports whether the pool reaches a program's minimum
+// enrollment (programs admit blocs, not individuals).
+func (a *Aggregator) MeetsMinimum(minMW float64) bool {
+	return a.FirmMW() >= minMW
+}

@@ -1,0 +1,224 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerroute/internal/market"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/units"
+)
+
+var t0 = time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mkPrices(values ...float64) *timeseries.Series {
+	s := timeseries.New(t0, timeseries.Hourly, len(values))
+	copy(s.Values, values)
+	return s
+}
+
+func validProgram() Program {
+	return Program{
+		TriggerPrice:   200,
+		MaxEventHours:  4,
+		CooldownHours:  2,
+		EnergyCredit:   120,
+		CapacityCredit: 5000,
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	if err := validProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Program{
+		{TriggerPrice: 0, MaxEventHours: 1},
+		{TriggerPrice: 100, MaxEventHours: 0},
+		{TriggerPrice: 100, MaxEventHours: 1, CooldownHours: -1},
+		{TriggerPrice: 100, MaxEventHours: 1, EnergyCredit: -1},
+		{TriggerPrice: 100, MaxEventHours: 1, CapacityCredit: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestEventsDetection(t *testing.T) {
+	p := validProgram()
+	// Hours:        0    1    2    3    4    5    6    7    8
+	prices := mkPrices(50, 250, 300, 100, 50, 220, 50, 50, 500)
+	events, err := p.Events(prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3 (%+v)", len(events), events)
+	}
+	if events[0].Hours != 2 || events[0].PeakPrice != 300 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if !events[0].Start.Equal(t0.Add(time.Hour)) {
+		t.Errorf("event 0 start = %v", events[0].Start)
+	}
+	if events[1].Hours != 1 || events[1].PeakPrice != 220 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+}
+
+func TestEventsMaxLengthAndCooldown(t *testing.T) {
+	p := validProgram()
+	p.MaxEventHours = 2
+	p.CooldownHours = 3
+	// Six consecutive hours above trigger: one 2h event, then 3h cooldown
+	// (still above trigger, ignored), then another event starting hour 5.
+	prices := mkPrices(300, 300, 300, 300, 300, 300, 300, 50)
+	events, err := p.Events(prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Hours != 2 || events[1].Hours != 2 {
+		t.Errorf("event lengths: %+v", events)
+	}
+	if !events[1].Start.Equal(t0.Add(5 * time.Hour)) {
+		t.Errorf("second event start = %v", events[1].Start)
+	}
+}
+
+func TestEventsErrors(t *testing.T) {
+	p := validProgram()
+	daily := timeseries.New(t0, timeseries.Daily, 10)
+	if _, err := p.Events(daily); err == nil {
+		t.Error("non-hourly series should fail")
+	}
+	p.TriggerPrice = 0
+	if _, err := p.Events(mkPrices(1, 2)); err == nil {
+		t.Error("invalid program should fail")
+	}
+}
+
+func TestEventsOnRealPrices(t *testing.T) {
+	d := market.MustGenerate(market.Config{Seed: 5})
+	rt, _ := d.RT("NYC")
+	p := validProgram()
+	events, err := p.Events(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NYC sees spikes past $200 a meaningful number of times over 39
+	// months, but events must be rare (well under 2% of hours).
+	if len(events) == 0 {
+		t.Fatal("no events on NYC prices; spikes missing")
+	}
+	hours := 0
+	for _, ev := range events {
+		hours += ev.Hours
+		if ev.Hours < 1 || ev.Hours > p.MaxEventHours {
+			t.Fatalf("event length %d out of bounds", ev.Hours)
+		}
+		if ev.PeakPrice < p.TriggerPrice {
+			t.Fatalf("event peak %v below trigger", ev.PeakPrice)
+		}
+	}
+	if frac := float64(hours) / float64(rt.Len()); frac > 0.02 {
+		t.Errorf("events cover %.1f%% of hours, want < 2%%", 100*frac)
+	}
+}
+
+func TestSettle(t *testing.T) {
+	p := validProgram()
+	events := []Event{{Hours: 2}, {Hours: 3}}
+	s, err := p.Settle(events, 10, 12) // 10 MW for a year
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 2 || s.EventHours != 5 {
+		t.Errorf("settlement counts: %+v", s)
+	}
+	// 10 MW × 5 h = 50 MWh at $120 = $6000.
+	if math.Abs(s.EnergyPay.Dollars()-6000) > 1e-9 {
+		t.Errorf("energy pay = %v", s.EnergyPay)
+	}
+	// $5000/MW/month × 10 MW × 12 months = $600k.
+	if math.Abs(s.CapacityPay.Dollars()-600000) > 1e-9 {
+		t.Errorf("capacity pay = %v", s.CapacityPay)
+	}
+	if s.Total != s.EnergyPay+s.CapacityPay {
+		t.Error("total mismatch")
+	}
+	if _, err := p.Settle(events, -1, 12); err == nil {
+		t.Error("negative MW should fail")
+	}
+	if _, err := p.Settle(events, 1, -1); err == nil {
+		t.Error("negative months should fail")
+	}
+}
+
+func TestNegawattBid(t *testing.T) {
+	da := mkPrices(40, 80, 120, 60, 150)
+	bid := NegawattBid{OfferPrice: 100, MW: 5}
+	res, err := bid.Evaluate(da)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HoursCleared != 2 {
+		t.Errorf("cleared %d hours, want 2", res.HoursCleared)
+	}
+	// 5 MW × (120 + 150) $/MWh = $1350.
+	if math.Abs(res.Revenue.Dollars()-1350) > 1e-9 {
+		t.Errorf("revenue = %v", res.Revenue)
+	}
+	if res.EnergySold.MegawattHours() != 10 {
+		t.Errorf("energy sold = %v", res.EnergySold)
+	}
+	if _, err := (NegawattBid{OfferPrice: 0, MW: 5}).Evaluate(da); err == nil {
+		t.Error("zero offer should fail")
+	}
+	if _, err := (NegawattBid{OfferPrice: 10, MW: 0}).Evaluate(da); err == nil {
+		t.Error("zero MW should fail")
+	}
+	daily := timeseries.New(t0, timeseries.Daily, 3)
+	if _, err := bid.Evaluate(daily); err == nil {
+		t.Error("non-hourly DA should fail")
+	}
+}
+
+func TestNegawattMonotoneInOffer(t *testing.T) {
+	d := market.MustGenerate(market.Config{Seed: 6, Months: 6})
+	da, _ := d.DA("CHI")
+	prev := math.Inf(1)
+	for _, offer := range []units.Price{50, 100, 200} {
+		res, err := NegawattBid{OfferPrice: offer, MW: 1}.Evaluate(da)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.HoursCleared) > prev {
+			t.Errorf("higher offer cleared more hours")
+		}
+		prev = float64(res.HoursCleared)
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	var a Aggregator
+	a.Add(Bloc{Name: "hotel-laundry", KW: 400, Availability: 0.9})
+	a.Add(Bloc{Name: "cdn-rack-row", KW: 800, Availability: 1.0})
+	a.Add(Bloc{Name: "flaky", KW: 1000, Availability: 0.1})
+	// 400·0.9 + 800·1.0 + 1000·0.1 = 1260 kW = 1.26 MW.
+	if math.Abs(a.FirmMW()-1.26) > 1e-9 {
+		t.Errorf("FirmMW = %v", a.FirmMW())
+	}
+	if !a.MeetsMinimum(1.0) || a.MeetsMinimum(2.0) {
+		t.Error("MeetsMinimum wrong")
+	}
+	// Availability clamped.
+	b := Aggregator{Blocs: []Bloc{{KW: 100, Availability: 2}, {KW: 100, Availability: -1}}}
+	if math.Abs(b.FirmMW()-0.1) > 1e-9 {
+		t.Errorf("clamped FirmMW = %v", b.FirmMW())
+	}
+}

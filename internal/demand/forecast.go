@@ -1,0 +1,106 @@
+package demand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Forecaster answers §7's open question for day-ahead participation: "How
+// do operators construct bids for the day-ahead auctions if they don't know
+// next-day client demand for each region?"
+//
+// It maintains a per-slot (hour-of-week) exponentially weighted average of
+// observed demand — the structure behind the paper's own synthetic workload
+// ("demand is generally predictable") — plus an error tracker so a bidder
+// can discount its offers by forecast risk. Heavy unpredictable days
+// ("there will be heavy traffic days that are impossible to predict")
+// surface as large tracked errors rather than silent bid shortfalls.
+type Forecaster struct {
+	alpha  float64
+	mean   [168]float64
+	absErr [168]float64
+	warm   [168]int
+}
+
+// NewForecaster creates a forecaster with the given EWMA weight α ∈ (0, 1];
+// larger α adapts faster but remembers less.
+func NewForecaster(alpha float64) (*Forecaster, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("demand: alpha %v outside (0,1]", alpha)
+	}
+	return &Forecaster{alpha: alpha}, nil
+}
+
+// slot returns the hour-of-week index of an instant (UTC).
+func slot(at time.Time) int {
+	return int(at.UTC().Weekday())*24 + at.UTC().Hour()
+}
+
+// Observe records a demand sample for its hour-of-week slot.
+func (f *Forecaster) Observe(at time.Time, demand float64) error {
+	if demand < 0 || math.IsNaN(demand) || math.IsInf(demand, 0) {
+		return errors.New("demand: invalid observation")
+	}
+	s := slot(at)
+	if f.warm[s] == 0 {
+		f.mean[s] = demand
+	} else {
+		err := math.Abs(demand - f.mean[s])
+		f.absErr[s] = (1-f.alpha)*f.absErr[s] + f.alpha*err
+		f.mean[s] = (1-f.alpha)*f.mean[s] + f.alpha*demand
+	}
+	f.warm[s]++
+	return nil
+}
+
+// Forecast predicts demand at an instant. It returns an error until the
+// instant's hour-of-week slot has at least one observation.
+func (f *Forecaster) Forecast(at time.Time) (float64, error) {
+	s := slot(at)
+	if f.warm[s] == 0 {
+		return 0, fmt.Errorf("demand: no observations for hour-of-week %d", s)
+	}
+	return f.mean[s], nil
+}
+
+// Uncertainty returns the tracked mean absolute forecast error for the
+// instant's slot (0 until two observations have landed).
+func (f *Forecaster) Uncertainty(at time.Time) float64 {
+	return f.absErr[slot(at)]
+}
+
+// Ready reports whether every hour-of-week slot has observations (one full
+// week of data).
+func (f *Forecaster) Ready() bool {
+	for _, n := range f.warm {
+		if n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ConservativeBidMW converts a demand forecast into a day-ahead negawatt
+// offer: the sheddable megawatts implied by the forecast, discounted by k
+// standard-deviation-equivalents of forecast error so the operator does not
+// promise reductions a surprise traffic day would make it break. shedPerUnit
+// converts a unit of demand into sheddable MW (the caller derives it from
+// its energy model).
+func (f *Forecaster) ConservativeBidMW(at time.Time, shedPerUnit, k float64) (float64, error) {
+	if shedPerUnit < 0 || k < 0 {
+		return 0, errors.New("demand: negative bid parameters")
+	}
+	fc, err := f.Forecast(at)
+	if err != nil {
+		return 0, err
+	}
+	// 1.2533·MAE approximates σ for Gaussian-ish errors.
+	sigma := 1.2533 * f.Uncertainty(at)
+	bid := (fc - k*sigma) * shedPerUnit
+	if bid < 0 {
+		bid = 0
+	}
+	return bid, nil
+}

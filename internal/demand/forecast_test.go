@@ -1,0 +1,158 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"powerroute/internal/traffic"
+)
+
+func TestForecasterValidation(t *testing.T) {
+	if _, err := NewForecaster(0); err == nil {
+		t.Error("alpha 0 should fail")
+	}
+	if _, err := NewForecaster(1.5); err == nil {
+		t.Error("alpha > 1 should fail")
+	}
+	f, err := NewForecaster(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2008, 12, 19, 0, 0, 0, 0, time.UTC)
+	if err := f.Observe(now, -5); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if err := f.Observe(now, math.NaN()); err == nil {
+		t.Error("NaN should fail")
+	}
+	if err := f.Observe(now, math.Inf(1)); err == nil {
+		t.Error("Inf should fail")
+	}
+	if _, err := f.Forecast(now.Add(time.Hour)); err == nil {
+		t.Error("unseen slot should fail")
+	}
+}
+
+func TestForecasterLearnsPattern(t *testing.T) {
+	f, _ := NewForecaster(0.3)
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Feed four weeks of a deterministic hour-of-week pattern.
+	pattern := func(at time.Time) float64 {
+		return 1000 + 500*float64(slot(at)%24)
+	}
+	for h := 0; h < 4*168; h++ {
+		at := start.Add(time.Duration(h) * time.Hour)
+		if err := f.Observe(at, pattern(at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Ready() {
+		t.Fatal("forecaster not ready after four weeks")
+	}
+	// Predictions for the next week match the pattern exactly.
+	for h := 0; h < 168; h++ {
+		at := start.Add(time.Duration(4*168+h) * time.Hour)
+		got, err := f.Forecast(at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pattern(at)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("hour %d: forecast %v, want %v", h, got, want)
+		}
+		if f.Uncertainty(at) > 1e-6 {
+			t.Fatalf("hour %d: uncertainty %v for deterministic data", h, f.Uncertainty(at))
+		}
+	}
+}
+
+func TestForecasterOnSyntheticTraffic(t *testing.T) {
+	// Train on the first 17 days of a CDN trace, test on the last 7.
+	tr := traffic.MustGenerate(traffic.Config{Seed: 99})
+	ny, err := tr.StateIndex("NY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewForecaster(0.25)
+	trainSamples := 17 * traffic.SamplesPerDay
+	// Downsample 5-minute data to hourly observations.
+	for s := 0; s+traffic.SamplesPerHour <= trainSamples; s += traffic.SamplesPerHour {
+		sum := 0.0
+		for k := 0; k < traffic.SamplesPerHour; k++ {
+			sum += tr.States[ny].Rate[s+k]
+		}
+		if err := f.Observe(tr.TimeAt(s), sum/traffic.SamplesPerHour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !f.Ready() {
+		t.Fatal("17 days should warm all 168 slots")
+	}
+	// Mean absolute percentage error over the test week stays modest
+	// ("demand is generally predictable", §7).
+	var mape float64
+	n := 0
+	for s := trainSamples; s+traffic.SamplesPerHour <= tr.Samples; s += traffic.SamplesPerHour {
+		sum := 0.0
+		for k := 0; k < traffic.SamplesPerHour; k++ {
+			sum += tr.States[ny].Rate[s+k]
+		}
+		actual := sum / traffic.SamplesPerHour
+		fc, err := f.Forecast(tr.TimeAt(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if actual > 0 {
+			mape += math.Abs(fc-actual) / actual
+			n++
+		}
+	}
+	mape /= float64(n)
+	if mape > 0.25 {
+		t.Errorf("test-week MAPE = %.1f%%, want ≤ 25%%", 100*mape)
+	}
+}
+
+func TestConservativeBid(t *testing.T) {
+	f, _ := NewForecaster(0.3)
+	at := time.Date(2006, 1, 2, 15, 0, 0, 0, time.UTC)
+	// Noisy observations around 10000 on one slot (one week apart).
+	for w := 0; w < 20; w++ {
+		v := 10000.0
+		if w%2 == 0 {
+			v = 11000
+		}
+		if err := f.Observe(at.AddDate(0, 0, 7*w), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, err := f.ConservativeBidMW(at, 0.001, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discounted, err := f.ConservativeBidMW(at, 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full <= 0 || discounted <= 0 {
+		t.Fatalf("bids: full=%v discounted=%v", full, discounted)
+	}
+	if discounted >= full {
+		t.Error("risk discount did not reduce the bid")
+	}
+	// Extreme risk aversion floors at zero rather than going negative.
+	zero, err := f.ConservativeBidMW(at, 0.001, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero != 0 {
+		t.Errorf("extreme k bid = %v, want 0", zero)
+	}
+	if _, err := f.ConservativeBidMW(at, -1, 0); err == nil {
+		t.Error("negative shedPerUnit should fail")
+	}
+	if _, err := f.ConservativeBidMW(at.Add(time.Hour), 1, 0); err == nil {
+		t.Error("unseen slot should fail")
+	}
+}

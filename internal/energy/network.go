@@ -1,0 +1,80 @@
+package energy
+
+import (
+	"errors"
+
+	"powerroute/internal/units"
+)
+
+// This file reproduces §5.2, "Increase in Routing Energy": price-aware
+// routing sends clients to more distant clusters, and the longer network
+// paths represent additional work — but the paper's estimate shows it is
+// negligible next to the endpoint energy. "The energy used by a packet to
+// transit a router is many orders of magnitude below the energy expended at
+// the endpoints."
+
+// Per-packet router energies from the paper's Cisco GSR 12008 measurement
+// (540k mid-sized packets/s at 770 W): the average energy a packet's
+// transit accounts for, and the marginal (incremental) energy it adds given
+// routers idle at ~97% of peak power.
+const (
+	// RouterEnergyPerPacket is the amortized energy per medium-sized
+	// packet through a core router: ~2 mJ (§5.2).
+	RouterEnergyPerPacket = 2e-3 // joules
+	// MarginalRouterEnergyPerPacket is the incremental energy a packet
+	// adds: ~50 µJ (§5.2).
+	MarginalRouterEnergyPerPacket = 50e-6 // joules
+	// EndpointEnergyPerRequest is Google's published ~1 kJ per search
+	// (§5.2 cites it as the endpoint scale to compare against).
+	EndpointEnergyPerRequest = 1e3 // joules
+)
+
+// RoutingEnergy estimates the network-side energy added by detouring
+// requests through extra core-router hops.
+type RoutingEnergy struct {
+	// PacketsPerRequest is the packet count a request exchanges end to
+	// end (HTTP request/response with handshake; tens for small objects).
+	PacketsPerRequest float64
+	// ExtraHops is the number of additional core routers the detoured
+	// path traverses.
+	ExtraHops float64
+	// Marginal selects the incremental per-packet energy (routers are
+	// already powered; §5.2 footnote 11) instead of the amortized one.
+	Marginal bool
+}
+
+// PerRequest returns the added network energy for one request, in joules.
+func (r RoutingEnergy) PerRequest() (float64, error) {
+	if r.PacketsPerRequest < 0 || r.ExtraHops < 0 {
+		return 0, errors.New("energy: negative routing-energy parameters")
+	}
+	per := RouterEnergyPerPacket
+	if r.Marginal {
+		per = MarginalRouterEnergyPerPacket
+	}
+	return r.PacketsPerRequest * r.ExtraHops * per, nil
+}
+
+// FractionOfEndpoint returns the added network energy as a fraction of the
+// endpoint energy per request — the paper's yardstick for "insignificant".
+func (r RoutingEnergy) FractionOfEndpoint(endpointJoules float64) (float64, error) {
+	if endpointJoules <= 0 {
+		return 0, errors.New("energy: endpoint energy must be positive")
+	}
+	e, err := r.PerRequest()
+	if err != nil {
+		return 0, err
+	}
+	return e / endpointJoules, nil
+}
+
+// Total returns the added network energy for a request volume, as a typed
+// energy quantity (joules → watt-hours).
+func (r RoutingEnergy) Total(requests float64) (units.Energy, error) {
+	e, err := r.PerRequest()
+	if err != nil {
+		return 0, err
+	}
+	const joulesPerWh = 3600
+	return units.Energy(e * requests / joulesPerWh), nil
+}

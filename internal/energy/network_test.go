@@ -1,0 +1,75 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoutingEnergyPerRequest(t *testing.T) {
+	// 20 packets through 3 extra core routers, amortized: 20·3·2mJ = 120 mJ.
+	r := RoutingEnergy{PacketsPerRequest: 20, ExtraHops: 3}
+	e, err := r.PerRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-0.12) > 1e-12 {
+		t.Errorf("PerRequest = %v J, want 0.12", e)
+	}
+	// Marginal: 20·3·50µJ = 3 mJ.
+	r.Marginal = true
+	e, _ = r.PerRequest()
+	if math.Abs(e-0.003) > 1e-12 {
+		t.Errorf("marginal PerRequest = %v J, want 0.003", e)
+	}
+}
+
+// TestPaperNegligibilityClaim reproduces §5.2's argument: even amortized,
+// the added routing energy is a tiny fraction of the ~1 kJ endpoint cost.
+func TestPaperNegligibilityClaim(t *testing.T) {
+	r := RoutingEnergy{PacketsPerRequest: 50, ExtraHops: 5}
+	frac, err := r.FractionOfEndpoint(EndpointEnergyPerRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50·5·2mJ = 0.5 J over 1 kJ = 0.05%.
+	if frac > 0.001 {
+		t.Errorf("amortized fraction = %v, want < 0.1%% (paper: orders of magnitude below)", frac)
+	}
+	r.Marginal = true
+	frac, _ = r.FractionOfEndpoint(EndpointEnergyPerRequest)
+	if frac > 1e-4 {
+		t.Errorf("marginal fraction = %v, want < 0.01%%", frac)
+	}
+}
+
+func TestRoutingEnergyTotal(t *testing.T) {
+	// A billion detoured requests at 0.12 J each: 1.2e8 J ≈ 33.3 kWh —
+	// noise against the megawatt-hours the clusters consume.
+	r := RoutingEnergy{PacketsPerRequest: 20, ExtraHops: 3}
+	e, err := r.Total(1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.KilowattHours()-33.333) > 0.01 {
+		t.Errorf("Total = %v kWh, want ≈ 33.3", e.KilowattHours())
+	}
+}
+
+func TestRoutingEnergyErrors(t *testing.T) {
+	if _, err := (RoutingEnergy{PacketsPerRequest: -1}).PerRequest(); err == nil {
+		t.Error("negative packets should fail")
+	}
+	if _, err := (RoutingEnergy{ExtraHops: -1}).PerRequest(); err == nil {
+		t.Error("negative hops should fail")
+	}
+	r := RoutingEnergy{PacketsPerRequest: 1, ExtraHops: 1}
+	if _, err := r.FractionOfEndpoint(0); err == nil {
+		t.Error("zero endpoint energy should fail")
+	}
+	if _, err := (RoutingEnergy{PacketsPerRequest: -1}).Total(10); err == nil {
+		t.Error("Total with bad params should fail")
+	}
+	if _, err := (RoutingEnergy{PacketsPerRequest: -1}).FractionOfEndpoint(1); err == nil {
+		t.Error("FractionOfEndpoint with bad params should fail")
+	}
+}

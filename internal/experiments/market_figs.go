@@ -1,0 +1,546 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"powerroute/internal/energy"
+	"powerroute/internal/market"
+	"powerroute/internal/report"
+	"powerroute/internal/stats"
+	"powerroute/internal/timeseries"
+)
+
+// Fig01AnnualCosts reproduces Figure 1: back-of-the-envelope annual
+// electricity costs for large companies at $60/MWh.
+func Fig01AnnualCosts(*Env) (*Result, error) {
+	var b strings.Builder
+	t := report.NewTable("", "Company", "Servers", "Electricity (MWh/yr)", "Cost @ $60/MWh")
+	for _, f := range energy.Fig1Fleets() {
+		t.Add(f.Name,
+			fmt.Sprintf("%dK", f.Servers/1000),
+			fmt.Sprintf("%.2g", f.AnnualEnergy().MegawattHours()),
+			f.AnnualCost(60).String())
+	}
+	// The paper's context rows (2006 US totals) for scale.
+	t.Add("USA (2006, EPA report)", "10.9M", "6.1e+07", "$4.50B")
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	b.WriteString("\nAssumptions (§2.1): 250 W peak servers (140 W for Google), ~30% average\n" +
+		"utilization, PUE 2.0 (1.3 for Google), idle draw 70% of peak.\n")
+	return render("fig1", "Estimated annual electricity costs", &b), nil
+}
+
+// Fig02Hubs reproduces Figure 2: the RTOs and their regional hubs.
+func Fig02Hubs(*Env) (*Result, error) {
+	var b strings.Builder
+	t := report.NewTable("", "RTO", "Region", "Hub", "City", "Akamai cluster")
+	for _, r := range market.RTOs() {
+		for _, h := range market.Hubs() {
+			if h.RTO != r {
+				continue
+			}
+			clusterNote := "-"
+			if h.Cluster != "" {
+				clusterNote = h.Cluster
+			}
+			t.Add(r.String(), r.Region(), h.ID, h.City, clusterNote)
+		}
+	}
+	nw := market.Northwest()
+	t.Add("(none)", "Pacific Northwest", nw.ID, nw.City, "- (daily market only)")
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	return render("fig2", "RTO regions and hubs", &b), nil
+}
+
+// Fig03DailyPrices reproduces Figure 3: daily averages of day-ahead peak
+// prices at four locations, with the 2008 gas run-up and the Northwest's
+// April dips.
+func Fig03DailyPrices(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+
+	type row struct {
+		label string
+		hubID string
+	}
+	rows := []row{
+		{"Portland, OR (MID-C)", "MIDC"},
+		{"Richmond, VA (Dominion)", "DOM"},
+		{"Houston, TX (ERCOT-H)", "ERH"},
+		{"Palo Alto, CA (NP15)", "NP15"},
+	}
+	t := report.NewTable("Yearly mean of daily day-ahead peak prices ($/MWh)",
+		"Location", "2006", "2007", "2008", "Q1 2009", "2008/2007")
+	sparks := make(map[string]string, len(rows))
+	for _, r := range rows {
+		var daily *timeseries.Series
+		if r.hubID == "MIDC" {
+			daily = mkt.NorthwestDaily()
+		} else {
+			hub, err := market.HubByID(r.hubID)
+			if err != nil {
+				return nil, err
+			}
+			da, err := mkt.DA(r.hubID)
+			if err != nil {
+				return nil, err
+			}
+			daily, err = market.DailyPeakMeans(da, int(hub.Zone))
+			if err != nil {
+				return nil, err
+			}
+		}
+		year := func(y int) float64 {
+			s := daily.Slice(time.Date(y, 1, 1, 0, 0, 0, 0, time.UTC), time.Date(y+1, 1, 1, 0, 0, 0, 0, time.UTC))
+			return stats.Mean(s.Values)
+		}
+		q109 := stats.Mean(daily.Slice(time.Date(2009, 1, 1, 0, 0, 0, 0, time.UTC), time.Date(2009, 4, 1, 0, 0, 0, 0, time.UTC)).Values)
+		t.Addf(r.label, year(2006), year(2007), year(2008), q109, year(2008)/year(2007))
+		// Monthly sparkline across the 39 months.
+		keys, groups := daily.GroupByMonth()
+		var monthly []float64
+		for _, k := range keys {
+			monthly = append(monthly, stats.Mean(groups[k]))
+		}
+		sparks[r.label] = report.Sparkline(monthly)
+	}
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	b.WriteString("\nMonthly-mean price paths (one glyph per month, Jan 2006 - Mar 2009):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %s\n", r.label, sparks[r.label])
+	}
+	// The Northwest April dip, quantified.
+	nw := mkt.NorthwestDaily()
+	keys, groups := nw.GroupByMonth()
+	var april, all []float64
+	for _, k := range keys {
+		all = append(all, groups[k]...)
+		if k.Month == time.April {
+			april = append(april, groups[k]...)
+		}
+	}
+	fmt.Fprintf(&b, "\nNorthwest April mean %.1f vs annual mean %.1f (the paper's seasonal hydro dip).\n",
+		stats.Mean(april), stats.Mean(all))
+	return render("fig3", "Daily day-ahead peak prices", &b), nil
+}
+
+// Fig04MarketComparison reproduces Figure 4: price variation in the three
+// NYC markets over two ten-day February/March 2009 windows.
+func Fig04MarketComparison(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	rt, err := mkt.RT("NYC")
+	if err != nil {
+		return nil, err
+	}
+	da, err := mkt.DA("NYC")
+	if err != nil {
+		return nil, err
+	}
+	windows := []struct {
+		label string
+		from  time.Time
+		days  int
+	}{
+		{"2009-02-10 .. 2009-02-19", time.Date(2009, 2, 10, 0, 0, 0, 0, time.UTC), 10},
+		{"2009-03-03 .. 2009-03-12", time.Date(2009, 3, 3, 0, 0, 0, 0, time.UTC), 10},
+	}
+	t := report.NewTable("NYC market comparison (window mean / σ, $/MWh)",
+		"Window", "RT 5-min", "RT hourly", "Day-ahead")
+	for _, w := range windows {
+		to := w.from.AddDate(0, 0, w.days)
+		five, err := mkt.FiveMinute("NYC", w.from, w.days*24*12)
+		if err != nil {
+			return nil, err
+		}
+		rtw := rt.Slice(w.from, to)
+		daw := da.Slice(w.from, to)
+		cell := func(vs []float64) string {
+			return fmt.Sprintf("%.1f / %.1f", stats.Mean(vs), stats.StdDev(vs))
+		}
+		t.Add(w.label, cell(five.Values), cell(rtw.Values), cell(daw.Values))
+	}
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	b.WriteString("\nThe real-time market is more volatile than day-ahead; the underlying\n" +
+		"5-minute prices are more volatile still (§3.1).\n")
+	return render("fig4", "RT vs DA price variation (NYC)", &b), nil
+}
+
+// Fig05VolatilityWindows reproduces Figure 5: standard deviations of NYC
+// Q1 2009 prices averaged over windows of 5 minutes to 24 hours.
+func Fig05VolatilityWindows(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	rt, err := mkt.RT("NYC")
+	if err != nil {
+		return nil, err
+	}
+	da, err := mkt.DA("NYC")
+	if err != nil {
+		return nil, err
+	}
+	rtQ, err := market.QuarterSlice(rt, 2009, 1)
+	if err != nil {
+		return nil, err
+	}
+	daQ, err := market.QuarterSlice(da, 2009, 1)
+	if err != nil {
+		return nil, err
+	}
+	five, err := mkt.FiveMinute("NYC", rtQ.Start, rtQ.Len()*12)
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable("σ of Q1 2009 NYC prices by averaging window ($/MWh)",
+		"Window", "5 min", "1 hr", "3 hr", "12 hr", "24 hr")
+	rtRow := []string{"Real-time σ", fmt.Sprintf("%.1f", stats.StdDev(five.Values))}
+	daRow := []string{"Day-ahead σ", "N/A"}
+	for _, w := range []int{1, 3, 12, 24} {
+		rtRow = append(rtRow, fmt.Sprintf("%.1f", market.WindowStdDev(rtQ.Values, w)))
+		daRow = append(daRow, fmt.Sprintf("%.1f", market.WindowStdDev(daQ.Values, w)))
+	}
+	t.Add(rtRow...)
+	t.Add(daRow...)
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	b.WriteString("\nPaper's Fig 5: RT 28.5/24.8/21.9/18.1/15.6, DA -/20.0/19.4/17.1/16.0.\n")
+	return render("fig5", "Volatility by averaging window", &b), nil
+}
+
+// Fig06HubStats reproduces Figure 6: 1%-trimmed mean, σ, and kurtosis for
+// the six published hubs.
+func Fig06HubStats(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	rows := []struct {
+		location  string
+		hubID     string
+		paperMean float64
+		paperStd  float64
+		paperKurt float64
+	}{
+		{"Chicago, IL", "CHI", 40.6, 26.9, 4.6},
+		{"Indianapolis, IN", "CIN", 44.0, 28.3, 5.8},
+		{"Palo Alto, CA", "NP15", 54.0, 34.2, 11.9},
+		{"Richmond, VA", "DOM", 57.8, 39.2, 6.6},
+		{"Boston, MA", "BOS", 66.5, 25.8, 5.7},
+		{"New York, NY", "NYC", 77.9, 40.26, 7.9},
+	}
+	t := report.NewTable("Real-time hourly prices, Jan 2006 - Mar 2009 (1% trimmed)",
+		"Location", "RTO", "Mean", "StDev", "Kurt.", "Paper mean", "Paper σ", "Paper κ")
+	for _, r := range rows {
+		hub, err := market.HubByID(r.hubID)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := mkt.RT(r.hubID)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.TrimmedSummary(rt.Values, 0.01)
+		t.Add(r.location, hub.RTO.String(),
+			fmt.Sprintf("%.1f", s.Mean), fmt.Sprintf("%.1f", s.StdDev), fmt.Sprintf("%.1f", s.Kurtosis),
+			fmt.Sprintf("%.1f", r.paperMean), fmt.Sprintf("%.1f", r.paperStd), fmt.Sprintf("%.1f", r.paperKurt))
+	}
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	return render("fig6", "Hub price statistics", &b), nil
+}
+
+// Fig07HourlyDeltas reproduces Figure 7: histograms of hour-to-hour price
+// changes for Palo Alto and Chicago.
+func Fig07HourlyDeltas(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	for _, hubID := range []string{"NP15", "CHI"} {
+		rt, err := mkt.RT(hubID)
+		if err != nil {
+			return nil, err
+		}
+		delta := stats.Diff(rt.Values)
+		s := stats.Summarize(delta)
+		hub, _ := market.HubByID(hubID)
+		fmt.Fprintf(&b, "%s (%s): μ=%.1f σ=%.1f κ=%.1f; %s of samples within ±$20, %s within ±$40\n",
+			hub.City, hubID, s.Mean, s.StdDev, s.Kurtosis,
+			pct(stats.FractionWithin(delta, 20)), pct(stats.FractionWithin(delta, 40)))
+		h, err := stats.NewHistogram(delta, -50, 50, 20)
+		if err != nil {
+			return nil, err
+		}
+		labels := make([]string, len(h.Counts))
+		for i := range h.Counts {
+			labels[i] = fmt.Sprintf("%+.0f", h.BinCenter(i))
+		}
+		if err := report.Histogram(&b, "  hourly change $/MWh:", labels, h.Fractions()); err != nil {
+			return nil, err
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Paper: ±$20 covered 78% (Palo Alto) and 82% (Chicago); both zero-mean,\nGaussian-like with very long tails.\n")
+	return render("fig7", "Hour-to-hour price changes", &b), nil
+}
+
+// Fig08Correlation reproduces Figure 8: hub-pair price correlation against
+// distance, split by same/different RTO.
+func Fig08Correlation(env *Env) (*Result, error) {
+	var b strings.Builder
+	pairs, err := env.System.Market.AllPairCorrelations()
+	if err != nil {
+		return nil, err
+	}
+	buckets := []struct {
+		lo, hi float64
+	}{
+		{0, 100}, {100, 300}, {300, 600}, {600, 1000}, {1000, 2000}, {2000, 3000}, {3000, 5000},
+	}
+	t := report.NewTable("Pairwise hourly price correlation by distance (29 hubs, 406 pairs)",
+		"Distance (km)", "Same-RTO pairs", "mean r", "Diff-RTO pairs", "mean r")
+	for _, bk := range buckets {
+		var sSum, dSum float64
+		var sN, dN int
+		for _, p := range pairs {
+			if p.DistanceKm < bk.lo || p.DistanceKm >= bk.hi {
+				continue
+			}
+			if p.SameRTO {
+				sSum += p.Correlation
+				sN++
+			} else {
+				dSum += p.Correlation
+				dN++
+			}
+		}
+		sCell, dCell := "-", "-"
+		if sN > 0 {
+			sCell = fmt.Sprintf("%.2f", sSum/float64(sN))
+		}
+		if dN > 0 {
+			dCell = fmt.Sprintf("%.2f", dSum/float64(dN))
+		}
+		t.Add(fmt.Sprintf("%.0f-%.0f", bk.lo, bk.hi),
+			fmt.Sprintf("%d", sN), sCell, fmt.Sprintf("%d", dN), dCell)
+	}
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	var sameBelow, diffAbove int
+	var sameN, diffN int
+	for _, p := range pairs {
+		if p.SameRTO {
+			sameN++
+			if p.Correlation < 0.6 {
+				sameBelow++
+			}
+		} else {
+			diffN++
+			if p.Correlation >= 0.6 {
+				diffAbove++
+			}
+		}
+	}
+	fmt.Fprintf(&b, "\nSame-RTO pairs below the 0.6 line: %d of %d; different-RTO pairs above it: %d of %d.\n",
+		sameBelow, sameN, diffAbove, diffN)
+	caiso := 0.0
+	for _, p := range pairs {
+		if (p.HubA == "NP15" && p.HubB == "SP15") || (p.HubA == "SP15" && p.HubB == "NP15") {
+			caiso = p.Correlation
+		}
+	}
+	fmt.Fprintf(&b, "LA-Palo Alto coefficient: %.2f (paper: 0.94). No pairs negatively correlated.\n", caiso)
+	return render("fig8", "Correlation vs distance and RTO", &b), nil
+}
+
+// Fig09Differentials reproduces Figure 9: hourly differentials for
+// PaloAlto−Richmond and Austin−Richmond over the paper's August 2008 week.
+func Fig09Differentials(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	from := time.Date(2008, 8, 9, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 0, 14)
+	for _, pair := range [][2]string{{"NP15", "DOM"}, {"ERS", "DOM"}} {
+		diff, err := mkt.Differential(pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		window := diff.Slice(from, to)
+		s := stats.Summarize(window.Values)
+		full := stats.Summarize(diff.Values)
+		fmt.Fprintf(&b, "%s minus %s (2008-08-09 +14d): window μ=%.1f σ=%.1f range [%.0f, %.0f]\n",
+			pair[0], pair[1], s.Mean, s.StdDev, s.Min, s.Max)
+		daily, err := window.DailyMeans()
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "  daily means: %s\n", report.Sparkline(daily.Values))
+		fmt.Fprintf(&b, "  full 39-month extremes: [%.0f, %.0f] $/MWh (paper notes spikes to $1900)\n\n",
+			full.Min, full.Max)
+	}
+	b.WriteString("Price spikes and extended periods of asymmetry are visible; sometimes the\nasymmetry favours one location, sometimes the other (§3.3).\n")
+	return render("fig9", "Differentials over one week", &b), nil
+}
+
+// Fig10DiffHistograms reproduces Figure 10: differential distributions for
+// the five published pairs.
+func Fig10DiffHistograms(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	rows := []struct {
+		label      string
+		a, b       string
+		paperMu    float64
+		paperSigma float64
+		paperKurt  float64
+	}{
+		{"(a) PaloAlto - Virginia", "NP15", "DOM", 0.0, 55.7, 10},
+		{"(b) Austin - Virginia", "ERS", "DOM", 0.9, 87.7, 466},
+		{"(c) Boston - NYC", "BOS", "NYC", -17.2, 31.3, 20},
+		{"(d) Chicago - Virginia", "CHI", "DOM", -12.3, 52.5, 146},
+		{"(e) Chicago - Peoria", "CHI", "IL", -4.2, 32.0, 32},
+	}
+	t := report.NewTable("Differential distributions over 39 months of hourly prices ($/MWh)",
+		"Pair", "μ", "σ", "κ", "Paper μ", "Paper σ", "Paper κ", "A cheaper")
+	for _, r := range rows {
+		diff, err := mkt.Differential(r.a, r.b)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Summarize(diff.Values)
+		t.Add(r.label,
+			fmt.Sprintf("%.1f", s.Mean), fmt.Sprintf("%.1f", s.StdDev), fmt.Sprintf("%.0f", s.Kurtosis),
+			fmt.Sprintf("%.1f", r.paperMu), fmt.Sprintf("%.1f", r.paperSigma), fmt.Sprintf("%.0f", r.paperKurt),
+			pct(stats.FractionBelow(diff.Values, 0)))
+	}
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	// The Boston-NYC skew callout (§3.3).
+	diff, err := mkt.Differential("BOS", "NYC")
+	if err != nil {
+		return nil, err
+	}
+	nycCheaper := 1 - stats.FractionBelow(diff.Values, 0)
+	bigSave := 1 - stats.FractionBelow(diff.Values, 10)
+	fmt.Fprintf(&b, "\nBoston-NYC: NYC is less expensive %s of the time (paper: 36%%); the savings\nexceed $10/MWh %s of the time (paper: 18%%).\n",
+		pct(nycCheaper), pct(bigSave))
+	return render("fig10", "Differential distributions", &b), nil
+}
+
+// Fig11MonthlyDiff reproduces Figure 11: monthly median and IQR of the
+// PaloAlto−Virginia differential.
+func Fig11MonthlyDiff(env *Env) (*Result, error) {
+	var b strings.Builder
+	diff, err := env.System.Market.Differential("NP15", "DOM")
+	if err != nil {
+		return nil, err
+	}
+	keys, groups := diff.GroupByMonth()
+	t := report.NewTable("PaloAlto - Virginia differential by month ($/MWh)",
+		"Month", "Median", "Q25", "Q75", "IQR span")
+	var medians []float64
+	for _, k := range keys {
+		iqr, err := stats.ComputeIQR(groups[k])
+		if err != nil {
+			return nil, err
+		}
+		medians = append(medians, iqr.Median)
+		t.Add(k.String(),
+			fmt.Sprintf("%.1f", iqr.Median), fmt.Sprintf("%.1f", iqr.Q25),
+			fmt.Sprintf("%.1f", iqr.Q75), fmt.Sprintf("%.1f", iqr.Q75-iqr.Q25))
+	}
+	if _, err := t.WriteTo(&b); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&b, "\nMonthly medians: %s\n", report.Sparkline(medians))
+	b.WriteString("Sustained asymmetries last months before reversing; spreads double month to\nmonth (§3.3).\n")
+	return render("fig11", "Monthly differential evolution", &b), nil
+}
+
+// Fig12HourOfDay reproduces Figure 12: hour-of-day differential medians and
+// IQRs for the paper's three pairs.
+func Fig12HourOfDay(env *Env) (*Result, error) {
+	var b strings.Builder
+	mkt := env.System.Market
+	pairs := []struct {
+		label string
+		a, b  string
+	}{
+		{"PaloAlto minus Richmond", "NP15", "DOM"},
+		{"Boston minus NYC", "BOS", "NYC"},
+		{"Chicago minus Peoria", "CHI", "IL"},
+	}
+	for _, p := range pairs {
+		diff, err := mkt.Differential(p.a, p.b)
+		if err != nil {
+			return nil, err
+		}
+		byHour := diff.GroupByHourOfDay(-5) // EST, as in the paper's axis
+		var medians []float64
+		t := report.NewTable(p.label+" by hour of day (EST)", "Hour", "Median", "Q25", "Q75")
+		for h := 0; h < 24; h++ {
+			iqr, err := stats.ComputeIQR(byHour[h])
+			if err != nil {
+				return nil, err
+			}
+			medians = append(medians, iqr.Median)
+			t.Add(fmt.Sprintf("%02d", h),
+				fmt.Sprintf("%.1f", iqr.Median), fmt.Sprintf("%.1f", iqr.Q25), fmt.Sprintf("%.1f", iqr.Q75))
+		}
+		if _, err := t.WriteTo(&b); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "hourly medians: %s\n\n", report.Sparkline(medians))
+	}
+	b.WriteString("For PaloAlto-Richmond the sign flips with the hour (non-overlapping coastal\ndemand peaks, §3.3).\n")
+	return render("fig12", "Hour-of-day differentials", &b), nil
+}
+
+// Fig13Durations reproduces Figure 13: how much time is spent in sustained
+// differentials of each duration for PaloAlto−Virginia.
+func Fig13Durations(env *Env) (*Result, error) {
+	var b strings.Builder
+	diff, err := env.System.Market.Differential("NP15", "DOM")
+	if err != nil {
+		return nil, err
+	}
+	runs := market.SustainedDifferentials(diff.Values, 5)
+	fr := market.DurationFractions(runs, diff.Len(), 36)
+	labels := make([]string, 0, 36)
+	fracs := make([]float64, 0, 36)
+	for h := 1; h <= 36; h++ {
+		label := fmt.Sprintf("%2dh", h)
+		if h == 36 {
+			label = "36h+"
+		}
+		labels = append(labels, label)
+		fracs = append(fracs, fr[h])
+	}
+	if err := report.Histogram(&b, "Fraction of total time by differential duration (>$5/MWh):", labels, fracs); err != nil {
+		return nil, err
+	}
+	var short, medium, dayPlus float64
+	for h := 1; h <= 36; h++ {
+		switch {
+		case h < 3:
+			short += fr[h]
+		case h < 9:
+			medium += fr[h]
+		case h >= 24:
+			dayPlus += fr[h]
+		}
+	}
+	fmt.Fprintf(&b, "\nTime in <3h differentials: %s; 3-8h: %s; ≥24h: %s (paper: short differentials\nare most frequent, day-plus rare for this balanced pair).\n",
+		pct(short), pct(medium), pct(dayPlus))
+	return render("fig13", "Sustained differential durations", &b), nil
+}

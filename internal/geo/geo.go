@@ -1,0 +1,98 @@
+// Package geo provides the geographic substrate of the simulator: great
+// circle distance, coordinates for electricity market hubs and for the
+// population centroids of US states, and the population-weighted
+// client-to-server distance metric used by the paper (§6.1).
+//
+// The paper uses geographic distance as a coarse proxy for network
+// performance because the Akamai trace localizes clients only to states.
+// We embed public census figures (state populations and approximate
+// population centroids) so the same proxy can be computed offline.
+package geo
+
+import (
+	"fmt"
+	"math"
+
+	"powerroute/internal/units"
+)
+
+// EarthRadiusKm is the mean Earth radius used for great-circle distances.
+const EarthRadiusKm = 6371.0
+
+// Point is a geographic coordinate in decimal degrees.
+type Point struct {
+	Lat float64 // latitude, positive north
+	Lon float64 // longitude, positive east (US longitudes are negative)
+}
+
+// String formats the point as "lat,lon".
+func (p Point) String() string { return fmt.Sprintf("%.2f,%.2f", p.Lat, p.Lon) }
+
+// Valid reports whether the point is a plausible Earth coordinate.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180
+}
+
+// Distance returns the great-circle (haversine) distance between two points.
+func Distance(a, b Point) units.Distance {
+	const degToRad = math.Pi / 180
+	lat1 := a.Lat * degToRad
+	lat2 := b.Lat * degToRad
+	dLat := (b.Lat - a.Lat) * degToRad
+	dLon := (b.Lon - a.Lon) * degToRad
+
+	s1 := math.Sin(dLat / 2)
+	s2 := math.Sin(dLon / 2)
+	h := s1*s1 + math.Cos(lat1)*math.Cos(lat2)*s2*s2
+	if h > 1 {
+		h = 1
+	}
+	return units.Distance(2 * EarthRadiusKm * math.Asin(math.Sqrt(h)))
+}
+
+// TimeZone is a simplified US time zone identified by its standard-time
+// offset from UTC in hours. The simulator does not model daylight saving
+// time: diurnal load and price profiles are anchored to standard local time,
+// which is accurate to within one hour and irrelevant to the shape of the
+// results.
+type TimeZone int
+
+// Continental US time zones (standard offsets from UTC).
+const (
+	Eastern  TimeZone = -5
+	Central  TimeZone = -6
+	Mountain TimeZone = -7
+	Pacific  TimeZone = -8
+	Alaska   TimeZone = -9
+	Hawaii   TimeZone = -10
+)
+
+// LocalHour converts an hour-of-day in UTC to the zone's standard local
+// hour in [0, 24).
+func (tz TimeZone) LocalHour(utcHour int) int {
+	h := (utcHour + int(tz)) % 24
+	if h < 0 {
+		h += 24
+	}
+	return h
+}
+
+// String names the zone.
+func (tz TimeZone) String() string {
+	switch tz {
+	case Eastern:
+		return "ET"
+	case Central:
+		return "CT"
+	case Mountain:
+		return "MT"
+	case Pacific:
+		return "PT"
+	case Alaska:
+		return "AKT"
+	case Hawaii:
+		return "HT"
+	default:
+		return fmt.Sprintf("UTC%+d", int(tz))
+	}
+}

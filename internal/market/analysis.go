@@ -1,0 +1,186 @@
+package market
+
+import (
+	"fmt"
+	"time"
+
+	"powerroute/internal/geo"
+	"powerroute/internal/stats"
+	"powerroute/internal/timeseries"
+)
+
+// Differential returns the hourly price differential series a−b for two
+// hubs' real-time prices, the quantity behind Figs 9–13. A positive value
+// means hub a is more expensive that hour.
+func (d *Dataset) Differential(hubA, hubB string) (*timeseries.Series, error) {
+	a, err := d.RT(hubA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.RT(hubB)
+	if err != nil {
+		return nil, err
+	}
+	return timeseries.Sub(a, b)
+}
+
+// PairCorrelation is one point of Fig 8's scatter: a hub pair, the distance
+// between them, their price correlation, and whether they share an RTO.
+type PairCorrelation struct {
+	HubA, HubB  string
+	RTOA, RTOB  RTO
+	SameRTO     bool
+	DistanceKm  float64
+	Correlation float64
+	MutualInfo  float64 // bits; footnote 8's cleaner separator
+}
+
+// AllPairCorrelations computes correlation and mutual information for all
+// hub pairs (29 hubs → 406 pairs, matching Fig 8's caption).
+func (d *Dataset) AllPairCorrelations() ([]PairCorrelation, error) {
+	hs := d.Hubs()
+	var out []PairCorrelation
+	for i := 0; i < len(hs); i++ {
+		for j := i + 1; j < len(hs); j++ {
+			a, err := d.RT(hs[i].ID)
+			if err != nil {
+				return nil, err
+			}
+			b, err := d.RT(hs[j].ID)
+			if err != nil {
+				return nil, err
+			}
+			corr, err := stats.Correlation(a.Values, b.Values)
+			if err != nil {
+				return nil, err
+			}
+			mi, err := stats.MutualInformation(a.Values, b.Values, 24)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PairCorrelation{
+				HubA: hs[i].ID, HubB: hs[j].ID,
+				RTOA: hs[i].RTO, RTOB: hs[j].RTO,
+				SameRTO:     hs[i].RTO == hs[j].RTO,
+				DistanceKm:  hubDistanceKm(hs[i], hs[j]),
+				Correlation: corr,
+				MutualInfo:  mi,
+			})
+		}
+	}
+	return out, nil
+}
+
+func hubDistanceKm(a, b Hub) float64 {
+	return geo.Distance(a.Location, b.Location).Km()
+}
+
+// SustainedDifferentials segments a differential series into runs where one
+// location is favoured by more than threshold $/MWh, returning each run's
+// length in hours. The paper defines duration as "the number of hours one
+// location is favoured over another by more than $5/MWh. As soon as the
+// differential falls below this threshold, or reverses to favour the other
+// location, we mark the end of the differential" (§3.3, Fig 13).
+func SustainedDifferentials(diff []float64, threshold float64) []int {
+	var runs []int
+	cur := 0  // length of the current run
+	sign := 0 // +1: first location favoured; -1: second; 0: neither
+	flush := func() {
+		if cur > 0 {
+			runs = append(runs, cur)
+		}
+		cur, sign = 0, 0
+	}
+	for _, v := range diff {
+		switch {
+		case v > threshold: // second location cheaper: favours it
+			if sign == -1 {
+				flush()
+			}
+			sign = 1
+			cur++
+		case v < -threshold:
+			if sign == 1 {
+				flush()
+			}
+			sign = -1
+			cur++
+		default:
+			flush()
+		}
+	}
+	flush()
+	return runs
+}
+
+// DurationFractions converts run lengths into Fig 13's "fraction of total
+// time" histogram: bucket i (1-indexed by hours) holds the fraction of all
+// hours spent in runs of exactly that length, up to maxHours (longer runs
+// accumulate in the final bucket).
+func DurationFractions(runs []int, totalHours, maxHours int) []float64 {
+	if maxHours <= 0 || totalHours <= 0 {
+		return nil
+	}
+	out := make([]float64, maxHours+1) // index = duration in hours; [0] unused
+	for _, r := range runs {
+		b := r
+		if b > maxHours {
+			b = maxHours
+		}
+		out[b] += float64(r)
+	}
+	for i := range out {
+		out[i] /= float64(totalHours)
+	}
+	return out
+}
+
+// DailyPeakMeans returns, per UTC day, the mean of the series over local
+// peak hours (7:00–22:59 local standard time). Fig 3 plots "daily averages
+// of day-ahead peak prices".
+func DailyPeakMeans(s *timeseries.Series, zone int) (*timeseries.Series, error) {
+	if s.Step != timeseries.Hourly {
+		return nil, fmt.Errorf("market: DailyPeakMeans requires hourly series, got %v", s.Step)
+	}
+	days := s.Len() / 24
+	out := timeseries.New(s.Start, timeseries.Daily, days)
+	for d := 0; d < days; d++ {
+		sum, n := 0.0, 0
+		for h := 0; h < 24; h++ {
+			at := s.TimeAt(d*24 + h)
+			lh := (at.Hour() + zone) % 24
+			if lh < 0 {
+				lh += 24
+			}
+			if lh >= 7 && lh <= 22 {
+				sum += s.Values[d*24+h]
+				n++
+			}
+		}
+		if n > 0 {
+			out.Values[d] = sum / float64(n)
+		}
+	}
+	return out, nil
+}
+
+// WindowStdDev computes Fig 5's row: the standard deviation of the series
+// after averaging over non-overlapping windows of the given length.
+func WindowStdDev(values []float64, window int) float64 {
+	return stats.StdDev(stats.WindowMeans(values, window))
+}
+
+// QuarterSlice returns the sub-series covering one calendar quarter
+// (1–4) of the given year, used by Fig 5 (Q1 2009 statistics).
+func QuarterSlice(s *timeseries.Series, year, quarter int) (*timeseries.Series, error) {
+	if quarter < 1 || quarter > 4 {
+		return nil, fmt.Errorf("market: invalid quarter %d", quarter)
+	}
+	from := time.Date(year, time.Month(3*(quarter-1)+1), 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 3, 0)
+	sub := s.Slice(from, to)
+	if sub.Len() == 0 {
+		return nil, fmt.Errorf("market: quarter %dQ%d outside series", year, quarter)
+	}
+	return sub, nil
+}

@@ -1,0 +1,58 @@
+package market
+
+import (
+	"errors"
+	"math"
+)
+
+// cholesky returns the lower-triangular factor L of a symmetric positive
+// definite matrix m (row-major, n×n) such that L·Lᵀ = m. It is used to draw
+// correlated innovations for the six RTO regional price factors.
+func cholesky(m []float64, n int) ([]float64, error) {
+	if len(m) != n*n {
+		return nil, errors.New("market: cholesky dimension mismatch")
+	}
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, errors.New("market: matrix not positive definite")
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// mulLower computes y = L·z for a lower-triangular L (row-major n×n),
+// writing into y.
+func mulLower(l []float64, z, y []float64, n int) {
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for k := 0; k <= i; k++ {
+			sum += l[i*n+k] * z[k]
+		}
+		y[i] = sum
+	}
+}
+
+// rtoCorrelationMatrix builds the innovation correlation matrix for the
+// regional factors from pairwise factorCorrelation values.
+func rtoCorrelationMatrix() []float64 {
+	n := int(numRTOs)
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i*n+j] = factorCorrelation(RTO(i), RTO(j))
+		}
+	}
+	return m
+}

@@ -1,0 +1,212 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+
+	"powerroute/internal/geo"
+)
+
+// SeasonProfile selects a hub's annual price seasonality, reflecting its
+// region's generation mix and demand pattern (§2.2: "Different regions may
+// have very different power generation profiles").
+type SeasonProfile int
+
+const (
+	// SummerPeak: cooling-driven demand peaks in July–August (Texas,
+	// California, mid-Atlantic).
+	SummerPeak SeasonProfile = iota
+	// DualPeak: both winter heating and summer cooling peaks (New England,
+	// New York).
+	DualPeak
+	// Hydro: spring snowmelt floods the market with cheap hydro power; the
+	// paper observes the Northwest "consistently experiences dips near
+	// April" (Fig 3).
+	Hydro
+)
+
+// String names the profile.
+func (s SeasonProfile) String() string {
+	switch s {
+	case SummerPeak:
+		return "summer-peak"
+	case DualPeak:
+		return "dual-peak"
+	case Hydro:
+		return "hydro"
+	default:
+		return fmt.Sprintf("SeasonProfile(%d)", int(s))
+	}
+}
+
+// Hub is one wholesale market location: a pricing node/zone with an hourly
+// real-time and day-ahead market (§2.2), plus the calibration parameters of
+// its synthetic price process.
+type Hub struct {
+	ID       string       // short identifier, e.g. "NYC"
+	Name     string       // market name, e.g. "NYISO Zone J (New York City)"
+	City     string       // reference city (Fig 2 maps hubs to cities)
+	RTO      RTO          // parent market
+	Location geo.Point    // hub coordinates (reference city)
+	Zone     geo.TimeZone // local standard time zone
+	Cluster  string       // Akamai cluster code served at this hub ("" if none)
+
+	// DailyOnly marks locations without an hourly wholesale market. The
+	// paper's footnote 6: the Northwest "lacks an hourly wholesale market,
+	// forcing us to omit the region from the remainder of our analysis".
+	// Such hubs appear only in the Fig 3 daily-price view.
+	DailyOnly bool
+
+	// Calibration targets and process parameters (see model.go).
+	MeanTarget float64 // long-run mean, $/MWh (Fig 6 for the six published hubs)
+	StdTarget  float64 // long-run standard deviation, $/MWh
+	RTOLoading float64 // λ ∈ (0,1]: share of stochastic variance from the regional factor
+	GasGamma   float64 // sensitivity of price level to the natural gas factor
+	Season     SeasonProfile
+	DiurnalAmp float64 // multiplier on the common diurnal amplitude
+	SpikeRate  float64 // per-hour probability of a price spike
+	SpikeScale float64 // mean spike magnitude, $/MWh
+	NegRate    float64 // per-hour probability of a negative-price dip at night
+	TailWeight float64 // innovation tail-mixing probability (0 ⇒ default 0.06)
+}
+
+// tailWeight returns the hub's innovation tail-mixing probability with the
+// registry default applied.
+func (h Hub) tailWeight() float64 {
+	if h.TailWeight == 0 {
+		return 0.10
+	}
+	return h.TailWeight
+}
+
+// hubs is the registry of the paper's 29 hourly-market locations (§3 uses
+// "price data for 30 locations": 29 hubs with hourly markets plus the
+// daily-only Pacific Northwest). The six hubs in Fig 6 carry its published
+// mean/σ targets; the rest carry plausible values interpolated from their
+// region. Spike parameters are tuned so kurtosis falls in the published
+// range (4.6–11.9 for prices, far higher for differentials).
+var hubs = []Hub{
+	// ISONE — New England (dual peak, gas-heavy generation).
+	{ID: "BOS", Name: "ISONE MA-Boston", City: "Boston, MA", RTO: ISONE, Location: geo.Point{Lat: 42.36, Lon: -71.06}, Zone: geo.Eastern, Cluster: "MA",
+		MeanTarget: 66.5, StdTarget: 25.8, RTOLoading: 0.90, GasGamma: 0.85, Season: DualPeak, DiurnalAmp: 0.85, SpikeRate: 0.0075, SpikeScale: 43, NegRate: 0.0006},
+	{ID: "ME", Name: "ISONE Maine", City: "Portland, ME", RTO: ISONE, Location: geo.Point{Lat: 43.66, Lon: -70.26}, Zone: geo.Eastern,
+		MeanTarget: 62.0, StdTarget: 24.5, RTOLoading: 0.88, GasGamma: 0.80, Season: DualPeak, DiurnalAmp: 0.80, SpikeRate: 0.0065, SpikeScale: 40, NegRate: 0.0008},
+	{ID: "CT", Name: "ISONE Connecticut", City: "Hartford, CT", RTO: ISONE, Location: geo.Point{Lat: 41.76, Lon: -72.69}, Zone: geo.Eastern,
+		MeanTarget: 68.0, StdTarget: 27.0, RTOLoading: 0.89, GasGamma: 0.85, Season: DualPeak, DiurnalAmp: 0.88, SpikeRate: 0.0080, SpikeScale: 45, NegRate: 0.0005},
+	{ID: "NH", Name: "ISONE New Hampshire", City: "Concord, NH", RTO: ISONE, Location: geo.Point{Lat: 43.21, Lon: -71.54}, Zone: geo.Eastern,
+		MeanTarget: 64.0, StdTarget: 25.0, RTOLoading: 0.88, GasGamma: 0.82, Season: DualPeak, DiurnalAmp: 0.82, SpikeRate: 0.0068, SpikeScale: 41, NegRate: 0.0007},
+	{ID: "VT", Name: "ISONE Vermont", City: "Burlington, VT", RTO: ISONE, Location: geo.Point{Lat: 44.48, Lon: -73.21}, Zone: geo.Eastern,
+		MeanTarget: 63.0, StdTarget: 24.0, RTOLoading: 0.87, GasGamma: 0.80, Season: DualPeak, DiurnalAmp: 0.80, SpikeRate: 0.0065, SpikeScale: 40, NegRate: 0.0008},
+
+	// NYISO — New York (NYC congestion premium, highest peaks in the set:
+	// "the highest peak prices tend to be in NYC", §6.3).
+	{ID: "NYC", Name: "NYISO Zone J (New York City)", City: "New York, NY", RTO: NYISO, Location: geo.Point{Lat: 40.71, Lon: -74.01}, Zone: geo.Eastern, Cluster: "NY",
+		MeanTarget: 77.9, StdTarget: 40.3, RTOLoading: 0.82, GasGamma: 0.95, Season: DualPeak, DiurnalAmp: 1.15, SpikeRate: 0.0150, SpikeScale: 68, NegRate: 0.0003, TailWeight: 0.08},
+	{ID: "CAPITL", Name: "NYISO Capital (Albany)", City: "Albany, NY", RTO: NYISO, Location: geo.Point{Lat: 42.65, Lon: -73.75}, Zone: geo.Eastern,
+		MeanTarget: 65.0, StdTarget: 30.0, RTOLoading: 0.85, GasGamma: 0.85, Season: DualPeak, DiurnalAmp: 0.95, SpikeRate: 0.0095, SpikeScale: 50, NegRate: 0.0006},
+	{ID: "WEST", Name: "NYISO West (Buffalo)", City: "Buffalo, NY", RTO: NYISO, Location: geo.Point{Lat: 42.89, Lon: -78.88}, Zone: geo.Eastern,
+		MeanTarget: 55.0, StdTarget: 27.0, RTOLoading: 0.80, GasGamma: 0.70, Season: DualPeak, DiurnalAmp: 0.90, SpikeRate: 0.0075, SpikeScale: 43, NegRate: 0.0012},
+	{ID: "LONGIL", Name: "NYISO Long Island", City: "Hempstead, NY", RTO: NYISO, Location: geo.Point{Lat: 40.79, Lon: -73.13}, Zone: geo.Eastern,
+		MeanTarget: 85.0, StdTarget: 45.0, RTOLoading: 0.78, GasGamma: 1.00, Season: DualPeak, DiurnalAmp: 1.20, SpikeRate: 0.0175, SpikeScale: 72, NegRate: 0.0002, TailWeight: 0.1},
+
+	// PJM — Eastern interconnection (coal-heavy west, congested east).
+	{ID: "CHI", Name: "PJM ComEd (Chicago)", City: "Chicago, IL", RTO: PJM, Location: geo.Point{Lat: 41.88, Lon: -87.63}, Zone: geo.Central, Cluster: "IL",
+		MeanTarget: 40.6, StdTarget: 26.9, RTOLoading: 0.84, GasGamma: 0.45, Season: SummerPeak, DiurnalAmp: 1.00, SpikeRate: 0.0070, SpikeScale: 38, NegRate: 0.0020},
+	{ID: "DOM", Name: "PJM Dominion (Virginia)", City: "Richmond, VA", RTO: PJM, Location: geo.Point{Lat: 37.54, Lon: -77.44}, Zone: geo.Eastern, Cluster: "VA",
+		MeanTarget: 57.8, StdTarget: 39.2, RTOLoading: 0.80, GasGamma: 0.75, Season: SummerPeak, DiurnalAmp: 1.10, SpikeRate: 0.0125, SpikeScale: 61, NegRate: 0.0008, TailWeight: 0.09},
+	{ID: "NJ", Name: "PJM PSEG (New Jersey)", City: "Newark, NJ", RTO: PJM, Location: geo.Point{Lat: 40.74, Lon: -74.17}, Zone: geo.Eastern, Cluster: "NJ",
+		MeanTarget: 65.0, StdTarget: 35.0, RTOLoading: 0.83, GasGamma: 0.90, Season: DualPeak, DiurnalAmp: 1.05, SpikeRate: 0.0112, SpikeScale: 54, NegRate: 0.0004},
+	{ID: "BGE", Name: "PJM BGE (Baltimore)", City: "Baltimore, MD", RTO: PJM, Location: geo.Point{Lat: 39.29, Lon: -76.61}, Zone: geo.Eastern,
+		MeanTarget: 62.0, StdTarget: 34.0, RTOLoading: 0.84, GasGamma: 0.85, Season: SummerPeak, DiurnalAmp: 1.05, SpikeRate: 0.0105, SpikeScale: 52, NegRate: 0.0005},
+	{ID: "PECO", Name: "PJM PECO (Philadelphia)", City: "Philadelphia, PA", RTO: PJM, Location: geo.Point{Lat: 39.95, Lon: -75.17}, Zone: geo.Eastern,
+		MeanTarget: 60.0, StdTarget: 33.0, RTOLoading: 0.86, GasGamma: 0.85, Season: SummerPeak, DiurnalAmp: 1.02, SpikeRate: 0.0100, SpikeScale: 50, NegRate: 0.0005},
+	{ID: "DUQ", Name: "PJM Duquesne (Pittsburgh)", City: "Pittsburgh, PA", RTO: PJM, Location: geo.Point{Lat: 40.44, Lon: -79.99}, Zone: geo.Eastern,
+		MeanTarget: 52.0, StdTarget: 30.0, RTOLoading: 0.83, GasGamma: 0.55, Season: SummerPeak, DiurnalAmp: 0.98, SpikeRate: 0.0080, SpikeScale: 43, NegRate: 0.0015},
+	{ID: "AEP", Name: "PJM AEP (Columbus)", City: "Columbus, OH", RTO: PJM, Location: geo.Point{Lat: 39.96, Lon: -83.00}, Zone: geo.Eastern,
+		MeanTarget: 48.0, StdTarget: 28.0, RTOLoading: 0.82, GasGamma: 0.50, Season: SummerPeak, DiurnalAmp: 0.95, SpikeRate: 0.0075, SpikeScale: 40, NegRate: 0.0018},
+
+	// MISO — Midwest (coal base load, lowest means, occasional negative
+	// prices at night).
+	{ID: "IL", Name: "MISO Illinois (Peoria)", City: "Peoria, IL", RTO: MISO, Location: geo.Point{Lat: 40.69, Lon: -89.59}, Zone: geo.Central,
+		MeanTarget: 38.0, StdTarget: 26.0, RTOLoading: 0.82, GasGamma: 0.40, Season: SummerPeak, DiurnalAmp: 1.00, SpikeRate: 0.0065, SpikeScale: 37, NegRate: 0.0030},
+	{ID: "MN", Name: "MISO Minnesota", City: "Minneapolis, MN", RTO: MISO, Location: geo.Point{Lat: 44.98, Lon: -93.27}, Zone: geo.Central,
+		MeanTarget: 42.0, StdTarget: 27.0, RTOLoading: 0.80, GasGamma: 0.42, Season: SummerPeak, DiurnalAmp: 0.95, SpikeRate: 0.0070, SpikeScale: 38, NegRate: 0.0028},
+	{ID: "CIN", Name: "MISO Cinergy (Indiana)", City: "Indianapolis, IN", RTO: MISO, Location: geo.Point{Lat: 39.77, Lon: -86.16}, Zone: geo.Eastern,
+		MeanTarget: 44.0, StdTarget: 28.3, RTOLoading: 0.83, GasGamma: 0.45, Season: SummerPeak, DiurnalAmp: 1.00, SpikeRate: 0.0075, SpikeScale: 40, NegRate: 0.0024},
+	{ID: "MI", Name: "MISO Michigan", City: "Detroit, MI", RTO: MISO, Location: geo.Point{Lat: 42.33, Lon: -83.05}, Zone: geo.Eastern,
+		MeanTarget: 50.0, StdTarget: 29.0, RTOLoading: 0.81, GasGamma: 0.55, Season: SummerPeak, DiurnalAmp: 1.00, SpikeRate: 0.0080, SpikeScale: 43, NegRate: 0.0015},
+	{ID: "WI", Name: "MISO Wisconsin", City: "Milwaukee, WI", RTO: MISO, Location: geo.Point{Lat: 43.04, Lon: -87.91}, Zone: geo.Central,
+		MeanTarget: 45.0, StdTarget: 27.0, RTOLoading: 0.81, GasGamma: 0.48, Season: SummerPeak, DiurnalAmp: 0.96, SpikeRate: 0.0070, SpikeScale: 39, NegRate: 0.0022},
+	{ID: "AMIL", Name: "MISO Ameren (St. Louis)", City: "St. Louis, MO", RTO: MISO, Location: geo.Point{Lat: 38.63, Lon: -90.20}, Zone: geo.Central,
+		MeanTarget: 41.0, StdTarget: 26.0, RTOLoading: 0.82, GasGamma: 0.42, Season: SummerPeak, DiurnalAmp: 0.98, SpikeRate: 0.0065, SpikeScale: 38, NegRate: 0.0026},
+
+	// CAISO — California. The paper measures a 0.94 correlation between LA
+	// and Palo Alto (§3.2), so CAISO hubs carry very high loadings.
+	{ID: "NP15", Name: "CAISO NP15 (Palo Alto)", City: "Palo Alto, CA", RTO: CAISO, Location: geo.Point{Lat: 37.44, Lon: -122.14}, Zone: geo.Pacific, Cluster: "CA1",
+		MeanTarget: 54.0, StdTarget: 34.2, RTOLoading: 0.985, GasGamma: 0.90, Season: SummerPeak, DiurnalAmp: 1.00, SpikeRate: 0.0137, SpikeScale: 63, NegRate: 0.0010, TailWeight: 0.13},
+	{ID: "SP15", Name: "CAISO SP15 (Los Angeles)", City: "Los Angeles, CA", RTO: CAISO, Location: geo.Point{Lat: 34.05, Lon: -118.24}, Zone: geo.Pacific, Cluster: "CA2",
+		MeanTarget: 56.0, StdTarget: 35.0, RTOLoading: 0.985, GasGamma: 0.92, Season: SummerPeak, DiurnalAmp: 1.05, SpikeRate: 0.0137, SpikeScale: 63, NegRate: 0.0008, TailWeight: 0.13},
+	{ID: "ZP26", Name: "CAISO ZP26 (Central Valley)", City: "Fresno, CA", RTO: CAISO, Location: geo.Point{Lat: 36.75, Lon: -119.77}, Zone: geo.Pacific,
+		MeanTarget: 55.0, StdTarget: 34.0, RTOLoading: 0.975, GasGamma: 0.90, Season: SummerPeak, DiurnalAmp: 1.02, SpikeRate: 0.0130, SpikeScale: 61, NegRate: 0.0009, TailWeight: 0.13},
+
+	// ERCOT — Texas ("86% of the energy was generated using natural gas and
+	// coal", §2.2: strong gas sensitivity).
+	{ID: "ERN", Name: "ERCOT North (Dallas)", City: "Dallas, TX", RTO: ERCOT, Location: geo.Point{Lat: 32.78, Lon: -96.80}, Zone: geo.Central, Cluster: "TX1",
+		MeanTarget: 48.0, StdTarget: 32.0, RTOLoading: 0.85, GasGamma: 1.05, Season: SummerPeak, DiurnalAmp: 1.10, SpikeRate: 0.0120, SpikeScale: 58, NegRate: 0.0015},
+	{ID: "ERS", Name: "ERCOT South (Austin)", City: "Austin, TX", RTO: ERCOT, Location: geo.Point{Lat: 30.27, Lon: -97.74}, Zone: geo.Central, Cluster: "TX2",
+		MeanTarget: 49.0, StdTarget: 33.0, RTOLoading: 0.84, GasGamma: 1.05, Season: SummerPeak, DiurnalAmp: 1.10, SpikeRate: 0.0125, SpikeScale: 61, NegRate: 0.0014},
+	{ID: "ERH", Name: "ERCOT Houston", City: "Houston, TX", RTO: ERCOT, Location: geo.Point{Lat: 29.76, Lon: -95.37}, Zone: geo.Central,
+		MeanTarget: 52.0, StdTarget: 34.0, RTOLoading: 0.86, GasGamma: 1.10, Season: SummerPeak, DiurnalAmp: 1.12, SpikeRate: 0.0130, SpikeScale: 63, NegRate: 0.0010},
+	{ID: "ERW", Name: "ERCOT West (Midland)", City: "Midland, TX", RTO: ERCOT, Location: geo.Point{Lat: 31.99, Lon: -102.08}, Zone: geo.Central,
+		MeanTarget: 45.0, StdTarget: 31.0, RTOLoading: 0.80, GasGamma: 1.00, Season: SummerPeak, DiurnalAmp: 1.05, SpikeRate: 0.0112, SpikeScale: 56, NegRate: 0.0040},
+}
+
+// northwest is the daily-only Pacific Northwest location shown in Fig 3
+// (Portland's MID-C hub). It has no hourly market, so it participates only
+// in daily day-ahead price views and is excluded from routing analysis,
+// exactly as in the paper (footnote 6).
+var northwest = Hub{
+	ID: "MIDC", Name: "Mid-Columbia (Pacific Northwest)", City: "Portland, OR",
+	RTO: -1, Location: geo.Point{Lat: 45.52, Lon: -122.68}, Zone: geo.Pacific,
+	DailyOnly:  true,
+	MeanTarget: 45.0, StdTarget: 20.0, RTOLoading: 0.90, GasGamma: 0.10,
+	Season: Hydro, DiurnalAmp: 0.70, SpikeRate: 0.0037, SpikeScale: 32, NegRate: 0.0030,
+}
+
+// Hubs returns the 29 hourly-market hubs, sorted by ID. The slice is a
+// copy.
+func Hubs() []Hub {
+	out := make([]Hub, len(hubs))
+	copy(out, hubs)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Northwest returns the daily-only Pacific Northwest location (Fig 3).
+func Northwest() Hub { return northwest }
+
+// HubByID looks a hub up by its identifier (the Northwest hub included).
+func HubByID(id string) (Hub, error) {
+	for i := range hubs {
+		if hubs[i].ID == id {
+			return hubs[i], nil
+		}
+	}
+	if id == northwest.ID {
+		return northwest, nil
+	}
+	return Hub{}, fmt.Errorf("market: unknown hub %q", id)
+}
+
+// ClusterHubs returns the nine hubs that host Akamai public clusters in the
+// paper's data set (§6.1: eighteen usable cities grouped by market hub as
+// nine clusters: CA1 CA2 MA NY IL VA NJ TX1 TX2, Fig 19).
+func ClusterHubs() []Hub {
+	var out []Hub
+	for _, h := range Hubs() {
+		if h.Cluster != "" {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package market
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"powerroute/internal/geo"
+)
+
+func TestHubRegistry(t *testing.T) {
+	hs := Hubs()
+	if len(hs) != 29 {
+		t.Fatalf("Hubs() = %d entries, want 29 (paper §3/§6.1)", len(hs))
+	}
+	seen := map[string]bool{}
+	perRTO := map[RTO]int{}
+	for _, h := range hs {
+		if h.ID == "" || seen[h.ID] {
+			t.Errorf("bad or duplicate hub ID %q", h.ID)
+		}
+		seen[h.ID] = true
+		if h.RTO < 0 || h.RTO >= numRTOs {
+			t.Errorf("hub %s: RTO out of range: %v", h.ID, h.RTO)
+		}
+		perRTO[h.RTO]++
+		if !h.Location.Valid() {
+			t.Errorf("hub %s: invalid location", h.ID)
+		}
+		if h.MeanTarget <= 0 || h.StdTarget <= 0 {
+			t.Errorf("hub %s: non-positive calibration targets", h.ID)
+		}
+		if h.RTOLoading <= 0 || h.RTOLoading > 1 {
+			t.Errorf("hub %s: loading %v outside (0,1]", h.ID, h.RTOLoading)
+		}
+		if h.DailyOnly {
+			t.Errorf("hub %s: hourly registry must not contain daily-only hubs", h.ID)
+		}
+		if h.SpikeRate < 0 || h.SpikeScale < 0 || h.NegRate < 0 {
+			t.Errorf("hub %s: negative spike parameters", h.ID)
+		}
+	}
+	// Every RTO is represented (Fig 2 covers all six).
+	for _, r := range RTOs() {
+		if perRTO[r] == 0 {
+			t.Errorf("RTO %v has no hubs", r)
+		}
+	}
+	// Sorted by ID.
+	if !sort.SliceIsSorted(hs, func(i, j int) bool { return hs[i].ID < hs[j].ID }) {
+		t.Error("Hubs() not sorted by ID")
+	}
+}
+
+func TestClusterHubs(t *testing.T) {
+	cs := ClusterHubs()
+	if len(cs) != 9 {
+		t.Fatalf("ClusterHubs() = %d, want 9 (Fig 19: CA1 CA2 MA NY IL VA NJ TX1 TX2)", len(cs))
+	}
+	want := map[string]bool{
+		"CA1": true, "CA2": true, "MA": true, "NY": true, "IL": true,
+		"VA": true, "NJ": true, "TX1": true, "TX2": true,
+	}
+	for _, h := range cs {
+		if !want[h.Cluster] {
+			t.Errorf("unexpected cluster code %q at hub %s", h.Cluster, h.ID)
+		}
+		delete(want, h.Cluster)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing clusters: %v", want)
+	}
+}
+
+func TestHubByID(t *testing.T) {
+	h, err := HubByID("NYC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.RTO != NYISO || h.Cluster != "NY" {
+		t.Errorf("NYC = %+v", h)
+	}
+	nw, err := HubByID("MIDC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nw.DailyOnly {
+		t.Error("MIDC should be daily-only")
+	}
+	if _, err := HubByID("NOPE"); err == nil {
+		t.Error("unknown hub should fail")
+	}
+}
+
+func TestHubsReturnsCopy(t *testing.T) {
+	a := Hubs()
+	a[0].MeanTarget = -1
+	b := Hubs()
+	if b[0].MeanTarget == -1 {
+		t.Error("Hubs() exposes internal storage")
+	}
+}
+
+func TestNorthwest(t *testing.T) {
+	nw := Northwest()
+	if !nw.DailyOnly || nw.Season != Hydro {
+		t.Errorf("Northwest = %+v", nw)
+	}
+	// The Northwest is hydro-dominated: nearly insensitive to gas prices
+	// ("does not affect the hydroelectric dominated Northwest", Fig 3).
+	if nw.GasGamma > 0.3 {
+		t.Errorf("Northwest gas sensitivity %v too high", nw.GasGamma)
+	}
+}
+
+func TestRTOMetadata(t *testing.T) {
+	for _, r := range RTOs() {
+		if r.String() == "" || r.Region() == "unknown" {
+			t.Errorf("RTO %d lacks metadata", int(r))
+		}
+		if !r.Centroid().Valid() {
+			t.Errorf("RTO %v centroid invalid", r)
+		}
+	}
+	if RTO(99).String() != "RTO(99)" || RTO(99).Region() != "unknown" {
+		t.Error("out-of-range RTO formatting wrong")
+	}
+	if (RTO(99).Centroid() != geo.Point{}) {
+		t.Error("out-of-range RTO centroid should be zero")
+	}
+	if ISONE.String() != "ISONE" || ERCOT.Region() != "Texas" {
+		t.Error("RTO names wrong")
+	}
+}
+
+func TestSeasonProfileString(t *testing.T) {
+	if SummerPeak.String() != "summer-peak" || Hydro.String() != "hydro" || DualPeak.String() != "dual-peak" {
+		t.Error("season profile names wrong")
+	}
+	if SeasonProfile(42).String() != "SeasonProfile(42)" {
+		t.Error("unknown season profile formatting wrong")
+	}
+}
+
+func TestFactorCorrelationStructure(t *testing.T) {
+	for _, a := range RTOs() {
+		if factorCorrelation(a, a) != 1 {
+			t.Errorf("self-correlation of %v != 1", a)
+		}
+		for _, b := range RTOs() {
+			ab := factorCorrelation(a, b)
+			if ab != factorCorrelation(b, a) {
+				t.Errorf("asymmetric correlation %v-%v", a, b)
+			}
+			if a != b && (ab <= 0 || ab >= 0.6) {
+				t.Errorf("cross-RTO factor correlation %v-%v = %v, want (0, 0.6)", a, b, ab)
+			}
+		}
+	}
+	// Coupling decays with distance: the neighboring eastern markets are
+	// more coupled than California is to anyone.
+	if factorCorrelation(ISONE, NYISO) <= factorCorrelation(CAISO, ISONE) {
+		t.Error("ISONE-NYISO should couple more than CAISO-ISONE")
+	}
+	if factorCorrelation(PJM, MISO) <= factorCorrelation(CAISO, PJM) {
+		t.Error("PJM-MISO should couple more than CAISO-PJM")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	m := rtoCorrelationMatrix()
+	n := int(numRTOs)
+	l, err := cholesky(m, n)
+	if err != nil {
+		t.Fatalf("RTO correlation matrix not factorizable: %v", err)
+	}
+	// Reconstruct L·Lᵀ and compare.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += l[i*n+k] * l[j*n+k]
+			}
+			if math.Abs(sum-m[i*n+j]) > 1e-9 {
+				t.Errorf("LLᵀ[%d][%d] = %v, want %v", i, j, sum, m[i*n+j])
+			}
+		}
+	}
+	// Upper triangle of L must be zero.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l[i*n+j] != 0 {
+				t.Errorf("L[%d][%d] = %v, want 0", i, j, l[i*n+j])
+			}
+		}
+	}
+}
+
+func TestCholeskyErrors(t *testing.T) {
+	if _, err := cholesky([]float64{1, 2, 3}, 2); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	// Not positive definite: correlation 1.5 is impossible.
+	bad := []float64{1, 1.5, 1.5, 1}
+	if _, err := cholesky(bad, 2); err == nil {
+		t.Error("non-SPD matrix should fail")
+	}
+}
+
+func TestMulLower(t *testing.T) {
+	// L = [[2,0],[1,3]], z = [1,2] → y = [2, 7].
+	l := []float64{2, 0, 1, 3}
+	y := make([]float64, 2)
+	mulLower(l, []float64{1, 2}, y, 2)
+	if y[0] != 2 || y[1] != 7 {
+		t.Errorf("mulLower = %v, want [2 7]", y)
+	}
+}
+
+func TestParticipatesDeterministicAndShare(t *testing.T) {
+	// Deterministic.
+	for i := int64(0); i < 100; i++ {
+		if participates("NYC", i) != participates("NYC", i) {
+			t.Fatal("participates not deterministic")
+		}
+	}
+	// Frequency close to the configured share.
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if participates("CHI", int64(i)) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-spikeShare) > 0.02 {
+		t.Errorf("participation rate = %v, want ≈ %v", got, spikeShare)
+	}
+	// Different hubs decide independently for the same event.
+	agree := 0
+	for i := 0; i < n; i++ {
+		if participates("CHI", int64(i)) == participates("NYC", int64(i)) {
+			agree++
+		}
+	}
+	// If independent with p=0.85: agreement ≈ 0.85²+0.15² ≈ 0.745.
+	f := float64(agree) / float64(n)
+	if f > 0.80 || f < 0.68 {
+		t.Errorf("cross-hub agreement %v suggests correlated decisions", f)
+	}
+}
+
+func TestTailWeightDefault(t *testing.T) {
+	h := Hub{}
+	if h.tailWeight() != 0.10 {
+		t.Errorf("default tail weight = %v", h.tailWeight())
+	}
+	h.TailWeight = 0.2
+	if h.tailWeight() != 0.2 {
+		t.Error("explicit tail weight ignored")
+	}
+}

@@ -1,0 +1,376 @@
+// Package routing implements the request-routing policies the paper
+// simulates (§6.1):
+//
+//   - Baseline: an Akamai-like proximity assignment with stable per-state
+//     affinity weights, the cost reference all savings are measured against.
+//   - PriceOptimizer: the paper's distance-constrained electricity price
+//     optimizer — map each client to the cheapest cluster within a radial
+//     distance threshold, ignore differentials below a price threshold
+//     ($5/MWh), and walk to the next-best cluster when capacity or the 95/5
+//     boundary is near.
+//   - AllToOne: the static "move all servers to the cheapest market"
+//     comparison of §6.3 (Fig 18).
+//
+// Policies allocate per-state demand onto clusters through a two-tier room
+// model: preferred room (under the 95/5 soft cap) and burst room (between
+// the cap and physical capacity, usable only while the billing burst budget
+// lasts). The simulation engine owns the tier bookkeeping; policies just
+// honor it.
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"powerroute/internal/cluster"
+)
+
+// DefaultPriceThreshold is the dead-band under which price differentials
+// are ignored (§6.1: "we use $5/MWh").
+const DefaultPriceThreshold = 5.0
+
+// Context carries one decision step's inputs.
+type Context struct {
+	At time.Time
+	// Demand is the per-state demand in hits/s.
+	Demand []float64
+	// DecisionPrices is the per-cluster price the router believes ($/MWh).
+	// With a reaction delay these are stale relative to the billing prices
+	// (§6.4).
+	DecisionPrices []float64
+	// Room is each cluster's remaining preferred allocation (under the
+	// 95/5 cap and capacity). Mutated by Allocate.
+	Room []float64
+	// BurstRoom is each cluster's additional room above the 95/5 cap up to
+	// physical capacity; zero when bursting is not allowed this interval.
+	// Mutated by Allocate.
+	BurstRoom []float64
+}
+
+// Policy maps demand onto clusters.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate fills assign[state][cluster] (pre-zeroed, dimensions
+	// states×clusters) with hit rates, consuming Room/BurstRoom.
+	Allocate(ctx *Context, assign [][]float64) error
+}
+
+// validate sanity-checks dimensions shared by all policies.
+func validate(f *cluster.Fleet, ctx *Context, assign [][]float64) error {
+	ns, nc := len(f.States), len(f.Clusters)
+	if len(ctx.Demand) != ns {
+		return fmt.Errorf("routing: %d demands for %d states", len(ctx.Demand), ns)
+	}
+	if len(ctx.DecisionPrices) != nc {
+		return fmt.Errorf("routing: %d prices for %d clusters", len(ctx.DecisionPrices), nc)
+	}
+	if len(ctx.Room) != nc || len(ctx.BurstRoom) != nc {
+		return fmt.Errorf("routing: room vectors sized %d/%d, want %d", len(ctx.Room), len(ctx.BurstRoom), nc)
+	}
+	if len(assign) != ns {
+		return fmt.Errorf("routing: assign has %d rows, want %d", len(assign), ns)
+	}
+	return nil
+}
+
+// fill assigns demand to clusters in the given preference order, consuming
+// preferred room first and burst room second. It returns the demand it
+// could not place.
+func fill(order []int, demand float64, ctx *Context, row []float64) float64 {
+	remaining := demand
+	for _, c := range order {
+		if remaining <= 0 {
+			return 0
+		}
+		take := ctx.Room[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			row[c] += take
+			ctx.Room[c] -= take
+			remaining -= take
+		}
+	}
+	for _, c := range order {
+		if remaining <= 0 {
+			return 0
+		}
+		take := ctx.BurstRoom[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			row[c] += take
+			ctx.BurstRoom[c] -= take
+			remaining -= take
+		}
+	}
+	return remaining
+}
+
+// Baseline is the Akamai-like reference policy: stable affinity weights per
+// state (§6.1 "we used statistics of how Akamai routed clients to model an
+// Akamai-like router"), with overflow spilling to the nearest cluster with
+// room.
+type Baseline struct {
+	fleet   *cluster.Fleet
+	weights [][]float64
+	nearest [][]int // distance-ordered cluster indices per state
+}
+
+// NewBaseline precomputes the affinity weights for a fleet.
+func NewBaseline(f *cluster.Fleet) *Baseline {
+	b := &Baseline{
+		fleet:   f,
+		weights: make([][]float64, len(f.States)),
+		nearest: make([][]int, len(f.States)),
+	}
+	for s := range f.States {
+		b.weights[s] = f.AffinityWeights(s)
+		b.nearest[s] = distanceOrder(f, s)
+	}
+	return b
+}
+
+// Name implements Policy.
+func (b *Baseline) Name() string { return "akamai-baseline" }
+
+// Allocate implements Policy.
+func (b *Baseline) Allocate(ctx *Context, assign [][]float64) error {
+	if err := validate(b.fleet, ctx, assign); err != nil {
+		return err
+	}
+	for s, demand := range ctx.Demand {
+		if demand <= 0 {
+			continue
+		}
+		row := assign[s]
+		spill := 0.0
+		for c, w := range b.weights[s] {
+			if w == 0 {
+				continue
+			}
+			want := w * demand
+			take := ctx.Room[c]
+			if take > want {
+				take = want
+			}
+			if take > 0 {
+				row[c] += take
+				ctx.Room[c] -= take
+			}
+			spill += want - take
+		}
+		if spill > 0 {
+			if left := fill(b.nearest[s], spill, ctx, row); left > 0 {
+				// Fleet saturated: overload the nearest cluster; the engine
+				// clamps utilization and reports the excess.
+				row[b.nearest[s][0]] += left
+			}
+		}
+	}
+	return nil
+}
+
+// Weights exposes the per-state affinity weights (diagnostics and the
+// synthetic Akamai-like router of §6.3).
+func (b *Baseline) Weights(state int) []float64 {
+	return b.weights[state]
+}
+
+// PriceOptimizer is the paper's distance-constrained electricity price
+// optimizer (§6.1).
+type PriceOptimizer struct {
+	fleet          *cluster.Fleet
+	thresholdKm    float64
+	priceThreshold float64
+	candidates     [][]int // per state, distance-sorted (with <50km fallback)
+	nearest        [][]int // per state, all clusters by distance (spill order)
+
+	// Decision prices only change hourly while 5-minute runs allocate 12
+	// times per hour, so preference orders are cached until the price
+	// vector changes. Policies are not goroutine-safe; the engine runs one
+	// policy per scenario.
+	lastPrices []float64
+	orders     [][]int
+}
+
+// NewPriceOptimizer builds the optimizer for a fleet. thresholdKm is the
+// maximum client-to-cluster distance considered (0 degenerates to
+// closest-cluster routing; larger than coast-to-coast degenerates to pure
+// price routing, §6.1). priceThreshold is the differential dead-band in
+// $/MWh; pass DefaultPriceThreshold for the paper's $5.
+func NewPriceOptimizer(f *cluster.Fleet, thresholdKm, priceThreshold float64) (*PriceOptimizer, error) {
+	if thresholdKm < 0 {
+		return nil, errors.New("routing: negative distance threshold")
+	}
+	if priceThreshold < 0 {
+		return nil, errors.New("routing: negative price threshold")
+	}
+	p := &PriceOptimizer{
+		fleet:          f,
+		thresholdKm:    thresholdKm,
+		priceThreshold: priceThreshold,
+		candidates:     make([][]int, len(f.States)),
+		nearest:        make([][]int, len(f.States)),
+	}
+	for s := range f.States {
+		p.candidates[s] = f.CandidatesWithin(s, thresholdKm)
+		p.nearest[s] = distanceOrder(f, s)
+	}
+	return p, nil
+}
+
+// Name implements Policy.
+func (p *PriceOptimizer) Name() string {
+	return fmt.Sprintf("price-optimizer(%.0fkm,$%.0f)", p.thresholdKm, p.priceThreshold)
+}
+
+// ThresholdKm returns the distance threshold.
+func (p *PriceOptimizer) ThresholdKm() float64 { return p.thresholdKm }
+
+// Allocate implements Policy. For each state it prefers the cheapest
+// in-range cluster; differentials below the price threshold are ignored in
+// favor of proximity, and full clusters hand off to the next candidate.
+func (p *PriceOptimizer) Allocate(ctx *Context, assign [][]float64) error {
+	if err := validate(p.fleet, ctx, assign); err != nil {
+		return err
+	}
+	p.refreshOrders(ctx.DecisionPrices)
+	for s, demand := range ctx.Demand {
+		if demand <= 0 {
+			continue
+		}
+		order := p.orders[s]
+		left := fill(order, demand, ctx, assign[s])
+		if left > 0 {
+			// All in-range clusters are full: the distance constraint
+			// yields to feasibility and the excess walks outward to the
+			// nearest cluster with room ("the optimizer iteratively finds
+			// another good cluster", §6.1).
+			left = fill(p.nearest[s], left, ctx, assign[s])
+		}
+		if left > 0 {
+			assign[s][p.nearest[s][0]] += left // fleet saturated; engine reports overload
+		}
+	}
+	return nil
+}
+
+// refreshOrders recomputes every state's preference order if the price
+// vector changed since the last call.
+func (p *PriceOptimizer) refreshOrders(prices []float64) {
+	if p.orders != nil && equalPrices(p.lastPrices, prices) {
+		return
+	}
+	if p.orders == nil {
+		p.orders = make([][]int, len(p.candidates))
+		for s := range p.orders {
+			p.orders[s] = make([]int, 0, len(p.candidates[s]))
+		}
+		p.lastPrices = make([]float64, len(prices))
+	}
+	for s := range p.candidates {
+		p.orders[s] = p.preferenceOrder(s, prices, p.orders[s][:0])
+	}
+	copy(p.lastPrices, prices)
+}
+
+func equalPrices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// preferenceOrder ranks state s's candidates: clusters priced within the
+// dead-band of the in-range minimum come first (nearest first among them),
+// the rest follow by ascending price then distance.
+func (p *PriceOptimizer) preferenceOrder(s int, prices []float64, order []int) []int {
+	cands := p.candidates[s]
+	pmin := prices[cands[0]]
+	for _, c := range cands[1:] {
+		if prices[c] < pmin {
+			pmin = prices[c]
+		}
+	}
+	cutoff := pmin + p.priceThreshold
+	// Cheap tier in candidate (distance) order.
+	for _, c := range cands {
+		if prices[c] <= cutoff {
+			order = append(order, c)
+		}
+	}
+	head := len(order)
+	for _, c := range cands {
+		if prices[c] > cutoff {
+			order = append(order, c)
+		}
+	}
+	rest := order[head:]
+	dist := p.fleet.DistanceKm[s]
+	sort.SliceStable(rest, func(i, j int) bool {
+		if prices[rest[i]] != prices[rest[j]] {
+			return prices[rest[i]] < prices[rest[j]]
+		}
+		return dist[rest[i]] < dist[rest[j]]
+	})
+	return order
+}
+
+// AllToOne sends every request to a single cluster index: the static
+// solution of §6.3 ("place all servers in cheapest market").
+type AllToOne struct {
+	fleet  *cluster.Fleet
+	target int
+}
+
+// NewAllToOne builds the static policy for the given cluster index.
+func NewAllToOne(f *cluster.Fleet, target int) (*AllToOne, error) {
+	if target < 0 || target >= len(f.Clusters) {
+		return nil, fmt.Errorf("routing: target %d out of range", target)
+	}
+	return &AllToOne{fleet: f, target: target}, nil
+}
+
+// Name implements Policy.
+func (a *AllToOne) Name() string {
+	return "static-" + a.fleet.Clusters[a.target].Code
+}
+
+// Allocate implements Policy.
+func (a *AllToOne) Allocate(ctx *Context, assign [][]float64) error {
+	if err := validate(a.fleet, ctx, assign); err != nil {
+		return err
+	}
+	order := []int{a.target}
+	for s, demand := range ctx.Demand {
+		if demand <= 0 {
+			continue
+		}
+		if left := fill(order, demand, ctx, assign[s]); left > 0 {
+			assign[s][a.target] += left // static site saturated; engine reports overload
+		}
+	}
+	return nil
+}
+
+// distanceOrder returns cluster indices sorted by distance from state s.
+func distanceOrder(f *cluster.Fleet, s int) []int {
+	order := make([]int, len(f.Clusters))
+	for i := range order {
+		order[i] = i
+	}
+	dist := f.DistanceKm[s]
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+	return order
+}

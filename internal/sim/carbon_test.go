@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"powerroute/internal/carbon"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+)
+
+// TestCarbonMetering exercises the §8 extension hooks: emissions metering
+// and routing on an overridden decision signal.
+func TestCarbonMetering(t *testing.T) {
+	fx := fixtures()
+	intensity, err := carbon.FleetSeries(1, fx.Fleet, fx.Market.Start, fx.Market.Hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Fleet:         fx.Fleet,
+		Policy:        routing.NewBaseline(fx.Fleet),
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.LR,
+		Start:         fx.Market.Start,
+		Steps:         14 * 24,
+		Step:          time.Hour,
+		ReactionDelay: time.Hour,
+		Carbon:        intensity,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCarbonKg <= 0 {
+		t.Fatal("no emissions metered")
+	}
+	var sum float64
+	for _, kg := range res.ClusterCarbonKg {
+		if kg < 0 {
+			t.Fatal("negative cluster emissions")
+		}
+		sum += kg
+	}
+	if diff := sum - res.TotalCarbonKg; diff > 1e-6*res.TotalCarbonKg || diff < -1e-6*res.TotalCarbonKg {
+		t.Errorf("cluster emissions sum %v != total %v", sum, res.TotalCarbonKg)
+	}
+	// Sanity scale: total energy × plausible intensity band.
+	kWh := res.TotalEnergy.KilowattHours()
+	if res.TotalCarbonKg < kWh*0.05 || res.TotalCarbonKg > kWh*1.0 {
+		t.Errorf("emissions %v kg for %v kWh implausible", res.TotalCarbonKg, kWh)
+	}
+}
+
+// TestDecisionSeriesOverride: routing on carbon intensity must yield lower
+// emissions than routing on dollars, and the validation must catch
+// mis-sized series.
+func TestDecisionSeriesOverride(t *testing.T) {
+	fx := fixtures()
+	intensity, err := carbon.FleetSeries(1, fx.Fleet, fx.Market.Start, fx.Market.Hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Scenario{
+		Fleet:         fx.Fleet,
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.LR,
+		Start:         fx.Market.Start,
+		Steps:         60 * 24,
+		Step:          time.Hour,
+		ReactionDelay: time.Hour,
+		Carbon:        intensity,
+	}
+	priceOpt, _ := routing.NewPriceOptimizer(fx.Fleet, 2500, 5)
+	priceRun := base
+	priceRun.Policy = priceOpt
+	priceRes, err := Run(priceRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carbonOpt, _ := routing.NewPriceOptimizer(fx.Fleet, 2500, 10)
+	carbonRun := base
+	carbonRun.Policy = carbonOpt
+	carbonRun.DecisionSeries = intensity
+	carbonRes, err := Run(carbonRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carbonRes.TotalCarbonKg >= priceRes.TotalCarbonKg {
+		t.Errorf("carbon-aware emissions %v not below price-aware %v",
+			carbonRes.TotalCarbonKg, priceRes.TotalCarbonKg)
+	}
+	if carbonRes.TotalCost <= priceRes.TotalCost {
+		t.Errorf("carbon-aware cost %v unexpectedly below price-aware %v",
+			carbonRes.TotalCost, priceRes.TotalCost)
+	}
+	// Mis-sized hook slices are rejected.
+	bad := base
+	bad.Policy = priceOpt
+	bad.DecisionSeries = intensity[:2]
+	if _, err := Run(bad); err == nil {
+		t.Error("short decision series accepted")
+	}
+	bad = base
+	bad.Policy = priceOpt
+	bad.Carbon = intensity[:2]
+	if _, err := Run(bad); err == nil {
+		t.Error("short carbon series accepted")
+	}
+}

@@ -1,0 +1,427 @@
+// Package sim is the discrete-time simulation engine of §6: it steps
+// through a workload, lets a routing policy allocate traffic to clusters at
+// each step (seeing prices delayed by the configured reaction time), models
+// each cluster's power draw with the §5.1 energy model, and prices the
+// energy with the market's hourly real-time prices.
+//
+// Costs are metered per cluster (Fig 19), client-server distance is metered
+// as a hit-weighted distribution (Fig 17), and per-cluster 95/5 constraints
+// derived from a baseline run can be enforced (Fig 15, 16, 18).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerroute/internal/billing"
+	"powerroute/internal/cluster"
+	"powerroute/internal/energy"
+	"powerroute/internal/market"
+	"powerroute/internal/routing"
+	"powerroute/internal/stats"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/traffic"
+	"powerroute/internal/units"
+)
+
+// DemandSource yields per-state demand at an instant. traffic.LongRun
+// satisfies it directly; TraceDemand adapts a 5-minute trace.
+type DemandSource interface {
+	Rates(at time.Time, dst []float64) []float64
+}
+
+// DefaultReactionDelay is the paper's conservative assumption: "there was a
+// one hour delay between the market setting new prices and the system
+// propagating new routes" (§6.1).
+const DefaultReactionDelay = time.Hour
+
+// Scenario describes one simulation run.
+type Scenario struct {
+	Fleet  *cluster.Fleet
+	Policy routing.Policy
+	Energy energy.Model
+	Market *market.Dataset
+	Demand DemandSource
+
+	Start time.Time
+	Steps int
+	Step  time.Duration
+
+	// ReactionDelay lags the prices the router sees behind the prices the
+	// bill is computed with (§6.4). Zero means immediate reaction; the
+	// paper's default is one hour.
+	ReactionDelay time.Duration
+
+	// SoftCaps, when non-nil, enforces per-cluster 95/5 constraints: the
+	// cluster's rate may exceed SoftCaps[c] in at most 5% of intervals.
+	// Derive the caps from a baseline run (DeriveCaps).
+	SoftCaps []float64
+
+	// DecisionSeries, when non-nil, overrides the per-cluster signal the
+	// router optimizes (still subject to ReactionDelay). The bill is
+	// always computed from real-time dollar prices; this hook lets a
+	// carbon-aware router minimize gCO₂ while the ledger stays in dollars
+	// (§8 "Environmental Cost").
+	DecisionSeries []*timeseries.Series
+
+	// Carbon, when non-nil, meters per-cluster emissions using these
+	// hourly intensity series (gCO₂/kWh).
+	Carbon []*timeseries.Series
+}
+
+func (sc *Scenario) validate() error {
+	if sc.Fleet == nil || sc.Policy == nil || sc.Market == nil || sc.Demand == nil {
+		return errors.New("sim: scenario missing fleet, policy, market, or demand")
+	}
+	if err := sc.Energy.Validate(); err != nil {
+		return err
+	}
+	if sc.Steps <= 0 {
+		return errors.New("sim: non-positive step count")
+	}
+	if sc.Step <= 0 {
+		return errors.New("sim: non-positive step duration")
+	}
+	if sc.ReactionDelay < 0 {
+		return errors.New("sim: negative reaction delay")
+	}
+	if sc.SoftCaps != nil && len(sc.SoftCaps) != len(sc.Fleet.Clusters) {
+		return fmt.Errorf("sim: %d soft caps for %d clusters", len(sc.SoftCaps), len(sc.Fleet.Clusters))
+	}
+	if sc.DecisionSeries != nil && len(sc.DecisionSeries) != len(sc.Fleet.Clusters) {
+		return fmt.Errorf("sim: %d decision series for %d clusters", len(sc.DecisionSeries), len(sc.Fleet.Clusters))
+	}
+	if sc.Carbon != nil && len(sc.Carbon) != len(sc.Fleet.Clusters) {
+		return fmt.Errorf("sim: %d carbon series for %d clusters", len(sc.Carbon), len(sc.Fleet.Clusters))
+	}
+	return nil
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Policy string
+	Steps  int
+
+	TotalCost   units.Money
+	TotalEnergy units.Energy
+
+	ClusterCost   []units.Money
+	ClusterEnergy []units.Energy
+	// BillableP95 is each cluster's 95th-percentile rate over the run: its
+	// 95/5 bandwidth bill (§4).
+	BillableP95 []float64
+	// PeakRate is each cluster's maximum rate over the run.
+	PeakRate []float64
+	// MeanUtilization is each cluster's time-averaged utilization.
+	MeanUtilization []float64
+
+	// MeanDistanceKm and P99DistanceKm describe the hit-weighted
+	// client-server distance distribution (Fig 17).
+	MeanDistanceKm float64
+	P99DistanceKm  float64
+
+	// OverloadHitSeconds accumulates demand assigned beyond physical
+	// capacity (clamped in the power model). Should be ≈ 0 in healthy runs.
+	OverloadHitSeconds float64
+
+	// BurstsUsed is the number of over-cap intervals per cluster when 95/5
+	// constraints were enforced.
+	BurstsUsed []int
+
+	// TotalCarbonKg and ClusterCarbonKg report emissions when the scenario
+	// supplied carbon intensity series (§8 extension).
+	TotalCarbonKg   float64
+	ClusterCarbonKg []float64
+}
+
+// SavingsVersus returns 1 − cost/base, the percentage-style savings of this
+// run against a reference.
+func (r *Result) SavingsVersus(base *Result) float64 {
+	if base.TotalCost == 0 {
+		return 0
+	}
+	return 1 - float64(r.TotalCost)/float64(base.TotalCost)
+}
+
+// NormalizedCost returns cost/base (Fig 16/18's y-axis).
+func (r *Result) NormalizedCost(base *Result) float64 {
+	if base.TotalCost == 0 {
+		return 0
+	}
+	return float64(r.TotalCost) / float64(base.TotalCost)
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	nc := len(sc.Fleet.Clusters)
+	ns := len(sc.Fleet.States)
+	stepHours := sc.Step.Hours()
+
+	// Resolve per-cluster hourly price series once.
+	prices := make([]*timeseries.Series, nc)
+	for c, cl := range sc.Fleet.Clusters {
+		s, err := sc.Market.RT(cl.HubID)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cluster %s: %w", cl.Code, err)
+		}
+		prices[c] = s
+	}
+
+	// 95/5 constraint state.
+	var constraints []*billing.Constraint
+	if sc.SoftCaps != nil {
+		constraints = make([]*billing.Constraint, nc)
+		for c := range constraints {
+			con, err := billing.NewConstraint(sc.SoftCaps[c], sc.Steps)
+			if err != nil {
+				return nil, err
+			}
+			constraints[c] = con
+		}
+	}
+
+	res := &Result{
+		Policy:          sc.Policy.Name(),
+		Steps:           sc.Steps,
+		ClusterCost:     make([]units.Money, nc),
+		ClusterEnergy:   make([]units.Energy, nc),
+		BillableP95:     make([]float64, nc),
+		PeakRate:        make([]float64, nc),
+		MeanUtilization: make([]float64, nc),
+	}
+
+	if sc.Carbon != nil {
+		res.ClusterCarbonKg = make([]float64, nc)
+	}
+	meters := make([]billing.Meter, nc)
+	distHist := stats.NewWeightedHistogram(0, 5500, 1100) // 5 km resolution
+	assign := make([][]float64, ns)
+	for s := range assign {
+		assign[s] = make([]float64, nc)
+	}
+	ctx := &routing.Context{
+		Demand:         make([]float64, ns),
+		DecisionPrices: make([]float64, nc),
+		Room:           make([]float64, nc),
+		BurstRoom:      make([]float64, nc),
+	}
+	loads := make([]float64, nc)
+
+	marketStart := prices[0].Start
+	for step := 0; step < sc.Steps; step++ {
+		at := sc.Start.Add(time.Duration(step) * sc.Step)
+		ctx.At = at
+
+		// Demand.
+		ctx.Demand = sc.Demand.Rates(at, ctx.Demand)
+		if len(ctx.Demand) != ns {
+			return nil, fmt.Errorf("sim: demand source returned %d states, want %d", len(ctx.Demand), ns)
+		}
+
+		// Decision signal: delayed, clamped to the start of market data.
+		decisionAt := at.Add(-sc.ReactionDelay)
+		if decisionAt.Before(marketStart) {
+			decisionAt = marketStart
+		}
+		signal := prices
+		if sc.DecisionSeries != nil {
+			signal = sc.DecisionSeries
+		}
+		for c := range signal {
+			v, err := signal[c].At(decisionAt)
+			if err != nil {
+				return nil, fmt.Errorf("sim: decision signal at %v: %w", decisionAt, err)
+			}
+			ctx.DecisionPrices[c] = v
+		}
+
+		// Room tiers. Burst room above the 95/5 caps is unlocked only when
+		// this interval is infeasible under the caps alone — reserving each
+		// cluster's 5% burst budget for the true peak intervals rather than
+		// letting the router spend it chasing cheap prices.
+		if constraints != nil {
+			var totalDemand, totalRoom float64
+			for _, dem := range ctx.Demand {
+				totalDemand += dem
+			}
+			for c, cl := range sc.Fleet.Clusters {
+				capacity := float64(cl.Capacity)
+				cap95 := constraints[c].Cap
+				if cap95 > capacity {
+					cap95 = capacity
+				}
+				ctx.Room[c] = cap95
+				ctx.BurstRoom[c] = 0
+				totalRoom += cap95
+			}
+			if totalDemand > totalRoom*0.999 {
+				for c, cl := range sc.Fleet.Clusters {
+					if constraints[c].CanBurst() {
+						ctx.BurstRoom[c] = float64(cl.Capacity) - ctx.Room[c]
+					}
+				}
+			}
+		} else {
+			for c, cl := range sc.Fleet.Clusters {
+				ctx.Room[c] = float64(cl.Capacity)
+				ctx.BurstRoom[c] = 0
+			}
+		}
+
+		// Allocate.
+		for s := range assign {
+			row := assign[s]
+			for c := range row {
+				row[c] = 0
+			}
+		}
+		if err := sc.Policy.Allocate(ctx, assign); err != nil {
+			return nil, err
+		}
+
+		// Meter.
+		for c := range loads {
+			loads[c] = 0
+		}
+		for s := range assign {
+			row := assign[s]
+			dist := sc.Fleet.DistanceKm[s]
+			for c, rate := range row {
+				if rate <= 0 {
+					continue
+				}
+				loads[c] += rate
+				distHist.Add(dist[c], rate*stepHours)
+			}
+		}
+		for c, cl := range sc.Fleet.Clusters {
+			load := loads[c]
+			meters[c].Record(load)
+			if load > res.PeakRate[c] {
+				res.PeakRate[c] = load
+			}
+			// Epsilon absorbs float residue from the allocator's room
+			// arithmetic; genuine overloads are orders of magnitude larger.
+			if over := load - float64(cl.Capacity); over > 1e-6+1e-9*float64(cl.Capacity) {
+				res.OverloadHitSeconds += over * sc.Step.Seconds()
+			}
+			if constraints != nil {
+				if err := constraints[c].Commit(load); err != nil {
+					return nil, fmt.Errorf("sim: cluster %s at %v: %w", cl.Code, at, err)
+				}
+			}
+			u := cl.Utilization(units.HitRate(load))
+			res.MeanUtilization[c] += u
+			e := sc.Energy.Energy(u, cl.Servers, stepHours)
+			billPrice, err := prices[c].At(at)
+			if err != nil {
+				return nil, fmt.Errorf("sim: billing price at %v: %w", at, err)
+			}
+			cost := e.Cost(units.Price(billPrice))
+			res.ClusterEnergy[c] += e
+			res.ClusterCost[c] += cost
+			res.TotalEnergy += e
+			res.TotalCost += cost
+			if sc.Carbon != nil {
+				intensity, err := sc.Carbon[c].At(at)
+				if err != nil {
+					return nil, fmt.Errorf("sim: carbon intensity at %v: %w", at, err)
+				}
+				kg := e.KilowattHours() * intensity / 1000
+				res.ClusterCarbonKg[c] += kg
+				res.TotalCarbonKg += kg
+			}
+		}
+	}
+
+	for c := range meters {
+		p95, err := meters[c].Percentile95()
+		if err != nil {
+			return nil, err
+		}
+		res.BillableP95[c] = p95
+		res.MeanUtilization[c] /= float64(sc.Steps)
+		if constraints != nil {
+			if res.BurstsUsed == nil {
+				res.BurstsUsed = make([]int, nc)
+			}
+			res.BurstsUsed[c] = constraints[c].BurstsUsed()
+			if err := constraints[c].Verify(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.MeanDistanceKm = distHist.Mean()
+	res.P99DistanceKm = distHist.Quantile(0.99)
+	return res, nil
+}
+
+// DeriveCaps runs the scenario under the Akamai-like baseline policy with
+// no constraints and returns the observed per-cluster 95th percentiles
+// (the caps a constrained run must not exceed, §4) along with the baseline
+// result itself.
+func DeriveCaps(sc Scenario) ([]float64, *Result, error) {
+	sc.Policy = routing.NewBaseline(sc.Fleet)
+	sc.SoftCaps = nil
+	res, err := Run(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	caps := make([]float64, len(res.BillableP95))
+	copy(caps, res.BillableP95)
+	return caps, res, nil
+}
+
+// TraceDemand adapts a 5-minute traffic trace to the DemandSource
+// interface. Instants are snapped to the covering 5-minute sample; times
+// outside the trace return an all-zero demand vector.
+type TraceDemand struct {
+	start   time.Time
+	samples int
+	rates   [][]float64 // [state][sample]
+}
+
+// NewTraceDemand builds the adapter from per-state rate slices.
+func NewTraceDemand(start time.Time, samples int, perState [][]float64) (*TraceDemand, error) {
+	if len(perState) == 0 {
+		return nil, errors.New("sim: empty trace demand")
+	}
+	for i := range perState {
+		if len(perState[i]) != samples {
+			return nil, fmt.Errorf("sim: state %d has %d samples, want %d", i, len(perState[i]), samples)
+		}
+	}
+	return &TraceDemand{start: start.UTC(), samples: samples, rates: perState}, nil
+}
+
+// Rates implements DemandSource.
+func (td *TraceDemand) Rates(at time.Time, dst []float64) []float64 {
+	if len(dst) != len(td.rates) {
+		dst = make([]float64, len(td.rates))
+	}
+	idx := int(at.Sub(td.start) / timeseries.FiveMinute)
+	if idx < 0 || idx >= td.samples {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i := range td.rates {
+		dst[i] = td.rates[i][idx]
+	}
+	return dst
+}
+
+// FromTrace builds a TraceDemand view over a traffic trace (the underlying
+// rate slices are shared, not copied).
+func FromTrace(tr *traffic.Trace) (*TraceDemand, error) {
+	perState := make([][]float64, len(tr.States))
+	for i := range tr.States {
+		perState[i] = tr.States[i].Rate
+	}
+	return NewTraceDemand(tr.Start, tr.Samples, perState)
+}

@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/energy"
+	"powerroute/internal/market"
+	"powerroute/internal/routing"
+	"powerroute/internal/traffic"
+	"powerroute/internal/units"
+)
+
+// Shared fixtures: one market, one trace, one fleet for the whole package.
+var fixtures = sync.OnceValue(func() (fx struct {
+	Market *market.Dataset
+	Trace  *traffic.Trace
+	Fleet  *cluster.Fleet
+	Demand *TraceDemand
+	LR     *traffic.LongRun
+}) {
+	fx.Market = market.MustGenerate(market.Config{Seed: 42})
+	fx.Trace = traffic.MustGenerate(traffic.Config{Seed: 11})
+	peaks := make([]float64, len(fx.Trace.States))
+	for i, sd := range fx.Trace.States {
+		for _, v := range sd.Rate {
+			if v > peaks[i] {
+				peaks[i] = v
+			}
+		}
+	}
+	fleet, err := cluster.DeriveFleet(peaks, 0.7)
+	if err != nil {
+		panic(err)
+	}
+	fx.Fleet = fleet
+	demand, err := FromTrace(fx.Trace)
+	if err != nil {
+		panic(err)
+	}
+	fx.Demand = demand
+	fx.LR = fx.Trace.LongRun()
+	return fx
+})
+
+// shortScenario is a 4-day, 5-minute-step scenario for fast unit tests.
+func shortScenario() Scenario {
+	fx := fixtures()
+	return Scenario{
+		Fleet:         fx.Fleet,
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.Demand,
+		Start:         fx.Trace.Start,
+		Steps:         4 * traffic.SamplesPerDay,
+		Step:          5 * time.Minute,
+		ReactionDelay: DefaultReactionDelay,
+	}
+}
+
+func TestValidateScenario(t *testing.T) {
+	good := shortScenario()
+	good.Policy = routing.NewBaseline(good.Fleet)
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Fleet = nil },
+		func(s *Scenario) { s.Policy = nil },
+		func(s *Scenario) { s.Market = nil },
+		func(s *Scenario) { s.Demand = nil },
+		func(s *Scenario) { s.Steps = 0 },
+		func(s *Scenario) { s.Step = 0 },
+		func(s *Scenario) { s.ReactionDelay = -time.Hour },
+		func(s *Scenario) { s.Energy = energy.Model{} },
+		func(s *Scenario) { s.SoftCaps = []float64{1, 2} },
+	}
+	for i, mutate := range cases {
+		sc := good
+		mutate(&sc)
+		if _, err := Run(sc); err == nil {
+			t.Errorf("case %d: invalid scenario accepted", i)
+		}
+	}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestBaselineRunAccounting(t *testing.T) {
+	sc := shortScenario()
+	caps, res, err := DeriveCaps(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 || res.TotalEnergy <= 0 {
+		t.Fatalf("degenerate result: cost=%v energy=%v", res.TotalCost, res.TotalEnergy)
+	}
+	// Cluster sums equal totals.
+	var cSum units.Money
+	var eSum units.Energy
+	for c := range res.ClusterCost {
+		cSum += res.ClusterCost[c]
+		eSum += res.ClusterEnergy[c]
+	}
+	if math.Abs(float64(cSum-res.TotalCost)) > 1e-6*math.Abs(float64(res.TotalCost)) {
+		t.Errorf("cluster costs sum %v != total %v", cSum, res.TotalCost)
+	}
+	if math.Abs(float64(eSum-res.TotalEnergy)) > 1e-6*float64(res.TotalEnergy) {
+		t.Errorf("cluster energies sum %v != total %v", eSum, res.TotalEnergy)
+	}
+	// Caps are positive and at or below peaks.
+	for c := range caps {
+		if caps[c] <= 0 {
+			t.Errorf("cap[%d] = %v", c, caps[c])
+		}
+		if caps[c] > res.PeakRate[c]+1e-9 {
+			t.Errorf("cap[%d] = %v above peak %v", c, caps[c], res.PeakRate[c])
+		}
+	}
+	// Utilizations in range; no overload for the baseline.
+	for c, u := range res.MeanUtilization {
+		if u < 0 || u > 1 {
+			t.Errorf("cluster %d: mean utilization %v", c, u)
+		}
+	}
+	if res.OverloadHitSeconds != 0 {
+		t.Errorf("baseline overload = %v", res.OverloadHitSeconds)
+	}
+	if res.MeanDistanceKm <= 0 || res.P99DistanceKm < res.MeanDistanceKm {
+		t.Errorf("distance stats: mean=%v p99=%v", res.MeanDistanceKm, res.P99DistanceKm)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	sc := shortScenario()
+	sc.Policy = routing.NewBaseline(sc.Fleet)
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2 := shortScenario()
+	sc2.Policy = routing.NewBaseline(sc2.Fleet)
+	r2, err := Run(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalCost != r2.TotalCost || r1.MeanDistanceKm != r2.MeanDistanceKm {
+		t.Error("identical scenarios produced different results")
+	}
+}
+
+// TestOptimizerSavesMoney is the paper's core claim in miniature: with
+// elastic clusters the price optimizer beats the proximity baseline.
+func TestOptimizerSavesMoney(t *testing.T) {
+	sc := shortScenario()
+	_, base, err := DeriveCaps(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := routing.NewPriceOptimizer(sc.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Policy = opt
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	savings := res.SavingsVersus(base)
+	if savings < 0.05 {
+		t.Errorf("savings = %.1f%%, want ≥ 5%% for (0%% idle, 1.1 PUE) at 1500 km", 100*savings)
+	}
+	if res.OverloadHitSeconds != 0 {
+		t.Errorf("optimizer overloaded clusters: %v hit-seconds", res.OverloadHitSeconds)
+	}
+	// Energy may rise slightly (longer paths are not modeled; identical
+	// fleet) but cannot explode.
+	if float64(res.TotalEnergy) > 1.05*float64(base.TotalEnergy) {
+		t.Errorf("energy rose from %v to %v", base.TotalEnergy, res.TotalEnergy)
+	}
+}
+
+// TestElasticityGatesSavings: inelastic clusters cannot route power demand
+// away (§1 "Energy Elasticity", Fig 15).
+func TestElasticityGatesSavings(t *testing.T) {
+	models := []energy.Model{
+		energy.FullyProportional,
+		energy.CuttingEdge,
+		energy.NoPowerManagement,
+	}
+	var prev float64 = math.Inf(1)
+	for _, em := range models {
+		sc := shortScenario()
+		sc.Energy = em
+		_, base, err := DeriveCaps(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := routing.NewPriceOptimizer(sc.Fleet, 1500, 5)
+		sc.Policy = opt
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.SavingsVersus(base)
+		if s > prev+0.005 {
+			t.Errorf("%v: savings %.1f%% above more-elastic model's %.1f%%", em, 100*s, 100*prev)
+		}
+		prev = s
+	}
+	if prev > 0.02 {
+		t.Errorf("no-power-management savings = %.1f%%, want ≈ 0 (inelastic)", 100*prev)
+	}
+}
+
+// Test95ConstraintReducesButKeepsSavings (Fig 15: "obeying existing 95/5
+// bandwidth constraints reduces, but does not eliminate savings").
+func Test95ConstraintReducesButKeepsSavings(t *testing.T) {
+	sc := shortScenario()
+	caps, base, err := DeriveCaps(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := routing.NewPriceOptimizer(sc.Fleet, 1500, 5)
+
+	relaxed := sc
+	relaxed.Policy = opt
+	rRes, err := Run(relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow := sc
+	follow.Policy = opt
+	follow.SoftCaps = caps
+	fRes, err := Run(follow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, fs := rRes.SavingsVersus(base), fRes.SavingsVersus(base)
+	if fs <= 0 {
+		t.Errorf("follow-95/5 savings = %.2f%%, want > 0", 100*fs)
+	}
+	if fs >= rs {
+		t.Errorf("follow-95/5 savings %.1f%% not below relaxed %.1f%%", 100*fs, 100*rs)
+	}
+	// The billable p95 never rises above the baseline cap.
+	for c := range fRes.BillableP95 {
+		if fRes.BillableP95[c] > caps[c]+1e-6 {
+			t.Errorf("cluster %d: billable p95 %.0f above cap %.0f", c, fRes.BillableP95[c], caps[c])
+		}
+	}
+	if fRes.BurstsUsed == nil {
+		t.Error("follow run should report burst usage")
+	}
+}
+
+// TestDistanceThresholdMonotonicity (Fig 16/17): larger thresholds cannot
+// increase cost, and client-server distance grows.
+func TestDistanceThresholdMonotonicity(t *testing.T) {
+	sc := shortScenario()
+	_, base, err := DeriveCaps(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevCost := math.Inf(1)
+	prevDist := 0.0
+	for _, km := range []float64{0, 1000, 2500} {
+		opt, _ := routing.NewPriceOptimizer(sc.Fleet, km, 5)
+		run := sc
+		run.Policy = opt
+		res, err := Run(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := res.NormalizedCost(base)
+		if cost > prevCost+0.005 {
+			t.Errorf("threshold %v km: cost %.3f rose above %.3f", km, cost, prevCost)
+		}
+		if res.MeanDistanceKm < prevDist-25 {
+			t.Errorf("threshold %v km: mean distance %.0f fell below %.0f", km, res.MeanDistanceKm, prevDist)
+		}
+		prevCost, prevDist = cost, res.MeanDistanceKm
+	}
+}
+
+// TestReactionDelayCostsMoney (Fig 20): reacting to stale prices erodes
+// savings.
+func TestReactionDelayCostsMoney(t *testing.T) {
+	sc := shortScenario()
+	sc.Steps = 8 * traffic.SamplesPerDay
+	opt, _ := routing.NewPriceOptimizer(sc.Fleet, 1500, 5)
+	run := func(delay time.Duration) units.Money {
+		s := sc
+		s.Policy = opt
+		s.ReactionDelay = delay
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalCost
+	}
+	immediate := run(0)
+	hour := run(time.Hour)
+	stale := run(12 * time.Hour)
+	if hour < immediate {
+		t.Errorf("1h delay cheaper than immediate: %v < %v", hour, immediate)
+	}
+	if stale < hour {
+		t.Errorf("12h delay cheaper than 1h: %v < %v", stale, hour)
+	}
+}
+
+func TestLongRunDemandSource(t *testing.T) {
+	fx := fixtures()
+	sc := Scenario{
+		Fleet:         fx.Fleet,
+		Policy:        routing.NewBaseline(fx.Fleet),
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.LR,
+		Start:         fx.Market.Start,
+		Steps:         30 * 24, // one month hourly
+		Step:          time.Hour,
+		ReactionDelay: time.Hour,
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost <= 0 {
+		t.Error("long-run cost should be positive")
+	}
+}
+
+func TestTraceDemandAdapter(t *testing.T) {
+	fx := fixtures()
+	td := fx.Demand
+	// In-range instants return demand.
+	rates := td.Rates(fx.Trace.Start.Add(time.Hour), nil)
+	if len(rates) != 51 {
+		t.Fatalf("rates len %d", len(rates))
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	if sum <= 0 {
+		t.Error("in-range demand should be positive")
+	}
+	// Out-of-range instants return zeros.
+	rates = td.Rates(fx.Trace.Start.Add(-time.Hour), rates)
+	for _, r := range rates {
+		if r != 0 {
+			t.Fatal("pre-trace demand should be zero")
+		}
+	}
+	rates = td.Rates(fx.Trace.Start.AddDate(1, 0, 0), rates)
+	for _, r := range rates {
+		if r != 0 {
+			t.Fatal("post-trace demand should be zero")
+		}
+	}
+}
+
+func TestNewTraceDemandErrors(t *testing.T) {
+	if _, err := NewTraceDemand(time.Now(), 10, nil); err == nil {
+		t.Error("empty demand should fail")
+	}
+	bad := [][]float64{make([]float64, 5)}
+	if _, err := NewTraceDemand(time.Now(), 10, bad); err == nil {
+		t.Error("sample mismatch should fail")
+	}
+}
+
+func TestRunOutsideMarketFails(t *testing.T) {
+	sc := shortScenario()
+	sc.Policy = routing.NewBaseline(sc.Fleet)
+	sc.Start = time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := Run(sc); err == nil {
+		t.Error("simulation outside market data should fail")
+	}
+}
+
+func TestSavingsHelpers(t *testing.T) {
+	a := &Result{TotalCost: 80}
+	b := &Result{TotalCost: 100}
+	if s := a.SavingsVersus(b); math.Abs(s-0.2) > 1e-12 {
+		t.Errorf("SavingsVersus = %v", s)
+	}
+	if n := a.NormalizedCost(b); math.Abs(n-0.8) > 1e-12 {
+		t.Errorf("NormalizedCost = %v", n)
+	}
+	zero := &Result{}
+	if a.SavingsVersus(zero) != 0 || a.NormalizedCost(zero) != 0 {
+		t.Error("zero-cost base should return 0")
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Histogram is a fixed-width binned empirical distribution, used to render
+// the paper's price change and differential histograms (Fig 7, 10, 13).
+type Histogram struct {
+	Min, Max float64 // bounds of the binned range
+	Width    float64 // bin width
+	Counts   []int   // per-bin counts
+	Under    int     // samples below Min
+	Over     int     // samples above Max
+	Total    int     // all samples offered, including under/overflow
+}
+
+// NewHistogram builds a histogram of xs with the given number of equal-width
+// bins over [min, max]. Samples outside the range are tallied in Under/Over
+// rather than dropped, so heavy tails remain visible in the totals.
+func NewHistogram(xs []float64, min, max float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if !(max > min) {
+		return nil, errors.New("stats: histogram needs max > min")
+	}
+	h := &Histogram{
+		Min:    min,
+		Max:    max,
+		Width:  (max - min) / float64(bins),
+		Counts: make([]int, bins),
+	}
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h, nil
+}
+
+// Add tallies one sample.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x > h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / h.Width)
+		if i >= len(h.Counts) { // x == Max lands in the last bin
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.Width
+}
+
+// Fraction returns bin i's share of all samples (including out-of-range
+// samples in the denominator).
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Fractions returns every bin's share of the total.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	for i := range h.Counts {
+		out[i] = h.Fraction(i)
+	}
+	return out
+}
+
+// MutualInformation estimates I(X;Y) in bits between two paired samples by
+// binning each marginal into the given number of equal-width bins. The
+// paper uses mutual information to show that same-RTO hub pairs separate
+// from different-RTO pairs more cleanly than linear correlation does
+// (§3.2, footnote 8).
+func MutualInformation(xs, ys []float64, bins int) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: mutual information length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if bins <= 1 {
+		return 0, errors.New("stats: mutual information needs >= 2 bins")
+	}
+	binOf := func(v, lo, hi float64) int {
+		if hi <= lo {
+			return 0
+		}
+		i := int((v - lo) / (hi - lo) * float64(bins))
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		return i
+	}
+	minMax := func(vs []float64) (float64, float64) {
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return lo, hi
+	}
+	xlo, xhi := minMax(xs)
+	ylo, yhi := minMax(ys)
+
+	joint := make([]float64, bins*bins)
+	px := make([]float64, bins)
+	py := make([]float64, bins)
+	n := float64(len(xs))
+	for i := range xs {
+		bx := binOf(xs[i], xlo, xhi)
+		by := binOf(ys[i], ylo, yhi)
+		joint[bx*bins+by]++
+		px[bx]++
+		py[by]++
+	}
+	mi := 0.0
+	for bx := 0; bx < bins; bx++ {
+		for by := 0; by < bins; by++ {
+			j := joint[bx*bins+by]
+			if j == 0 {
+				continue
+			}
+			pj := j / n
+			mi += pj * math.Log2(pj*n*n/(px[bx]*py[by]))
+		}
+	}
+	if mi < 0 { // guard against rounding producing -0.0000…
+		mi = 0
+	}
+	return mi, nil
+}

@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	xs := []float64{-50, -10, 0, 10, 50, 200}
+	h, err := NewHistogram(xs, -100, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 6 {
+		t.Errorf("Total = %d, want 6", h.Total)
+	}
+	if h.Over != 1 || h.Under != 0 {
+		t.Errorf("Over/Under = %d/%d, want 1/0", h.Over, h.Under)
+	}
+	sum := h.Under + h.Over
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Errorf("counts sum %d != total %d", sum, h.Total)
+	}
+	// -50 goes to bin 1, -10/0/10 straddle the middle, 50 to bin 3.
+	if h.Counts[1] != 2 { // [-50,0): -50, -10
+		t.Errorf("Counts[1] = %d, want 2", h.Counts[1])
+	}
+}
+
+func TestHistogramBinEdges(t *testing.T) {
+	h, err := NewHistogram(nil, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0)  // first bin
+	h.Add(10) // exactly max: must land in last bin, not overflow
+	h.Add(2)  // bin 1
+	if h.Counts[0] != 1 || h.Counts[4] != 1 || h.Counts[1] != 1 {
+		t.Errorf("edge binning wrong: %v (over=%d)", h.Counts, h.Over)
+	}
+	if c := h.BinCenter(0); math.Abs(c-1) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want 1", c)
+	}
+	if f := h.Fraction(0); math.Abs(f-1.0/3) > 1e-12 {
+		t.Errorf("Fraction(0) = %v, want 1/3", f)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 10, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := NewHistogram(nil, 10, 10, 4); err == nil {
+		t.Error("min==max should fail")
+	}
+	if _, err := NewHistogram(nil, 10, 0, 4); err == nil {
+		t.Error("max<min should fail")
+	}
+}
+
+func TestHistogramFractionsSumProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(n uint16) bool {
+		xs := make([]float64, int(n)%500+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 30
+		}
+		h, err := NewHistogram(xs, -60, 60, 24)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i := range h.Counts {
+			sum += h.Fraction(i)
+		}
+		outside := float64(h.Under+h.Over) / float64(h.Total)
+		return math.Abs(sum+outside-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h, _ := NewHistogram(nil, 0, 1, 2)
+	if h.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+	if got := h.Fractions(); len(got) != 2 || got[0] != 0 {
+		t.Errorf("Fractions() = %v", got)
+	}
+}
+
+func TestMutualInformationIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// I(X;X) is large; I(X;independent Y) ≈ 0.
+	self, err := MutualInformation(xs, xs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = rng.NormFloat64()
+	}
+	indep, err := MutualInformation(xs, ys, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self < 1 {
+		t.Errorf("I(X;X) = %v, want > 1 bit", self)
+	}
+	if indep > 0.1 {
+		t.Errorf("I(X;Y) for independent = %v, want ≈ 0", indep)
+	}
+	if self <= indep {
+		t.Error("self-information should exceed independent information")
+	}
+}
+
+func TestMutualInformationSeparatesCoupling(t *testing.T) {
+	// A nonlinearly coupled pair (y = x²+noise) has near-zero correlation
+	// but clearly positive mutual information — the effect behind the
+	// paper's footnote 8 (same-RTO nonlinear relationships).
+	rng := rand.New(rand.NewSource(10))
+	xs := make([]float64, 30000)
+	ys := make([]float64, 30000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = xs[i]*xs[i] + 0.1*rng.NormFloat64()
+	}
+	r, _ := Correlation(xs, ys)
+	mi, _ := MutualInformation(xs, ys, 16)
+	if math.Abs(r) > 0.1 {
+		t.Errorf("correlation = %v, want ≈ 0 for symmetric nonlinear coupling", r)
+	}
+	if mi < 0.3 {
+		t.Errorf("mutual information = %v, want clearly > 0", mi)
+	}
+}
+
+func TestMutualInformationErrors(t *testing.T) {
+	if _, err := MutualInformation([]float64{1}, []float64{1, 2}, 4); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := MutualInformation(nil, nil, 4); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := MutualInformation([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("1 bin should fail")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 10000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*37 + 55
+		o.Add(xs[i])
+	}
+	if o.N() != len(xs) {
+		t.Errorf("N = %d", o.N())
+	}
+	approx(t, "online mean", o.Mean(), Mean(xs), 1e-9)
+	approx(t, "online variance", o.Variance(), Variance(xs), 1e-6)
+	approx(t, "online stddev", o.StdDev(), StdDev(xs), 1e-6)
+}
+
+func TestOnlineMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	var a, b, whole Online
+	for i := 0; i < 5000; i++ {
+		x := rng.ExpFloat64() * 10
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	approx(t, "merged mean", a.Mean(), whole.Mean(), 1e-9)
+	approx(t, "merged variance", a.Variance(), whole.Variance(), 1e-6)
+	if a.N() != whole.N() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Error("merged N/min/max mismatch")
+	}
+	// Merging an empty accumulator is a no-op; merging into empty copies.
+	var empty Online
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Error("merge with empty changed state")
+	}
+	var fresh Online
+	fresh.Merge(&a)
+	if fresh != a {
+		t.Error("merge into empty should copy")
+	}
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.StdDev() != 0 || o.N() != 0 {
+		t.Error("empty Online should be all zeros")
+	}
+}
+
+func TestWeightedMeanAndQuantile(t *testing.T) {
+	samples := []WeightedSample{
+		{Value: 10, Weight: 1},
+		{Value: 20, Weight: 3},
+	}
+	approx(t, "WeightedMean", WeightedMean(samples), 17.5, 1e-12)
+	q, err := WeightedQuantile(samples, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "WeightedQuantile(0.5)", q, 20, 1e-12)
+	q, _ = WeightedQuantile(samples, 0.1)
+	approx(t, "WeightedQuantile(0.1)", q, 10, 1e-12)
+	if _, err := WeightedQuantile(nil, 0.5); err == nil {
+		t.Error("empty weighted quantile should fail")
+	}
+	if _, err := WeightedQuantile([]WeightedSample{{1, 0}}, 0.5); err == nil {
+		t.Error("zero-weight quantile should fail")
+	}
+	if WeightedMean(nil) != 0 {
+		t.Error("empty weighted mean should be 0")
+	}
+}
+
+func TestWeightedQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(n uint8) bool {
+		size := int(n)%100 + 1
+		samples := make([]WeightedSample, size)
+		for i := range samples {
+			samples[i] = WeightedSample{Value: rng.NormFloat64() * 100, Weight: rng.Float64() + 0.01}
+		}
+		q1, e1 := WeightedQuantile(samples, 0.25)
+		q2, e2 := WeightedQuantile(samples, 0.75)
+		return e1 == nil && e2 == nil && q1 <= q2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedHistogram(t *testing.T) {
+	w := NewWeightedHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i), 1)
+	}
+	approx(t, "WeightedHistogram.Mean", w.Mean(), 49.5, 1e-9)
+	q := w.Quantile(0.99)
+	if q < 95 || q > 100 {
+		t.Errorf("Quantile(0.99) = %v, want ≈ 99", q)
+	}
+	if w.Total() != 100 {
+		t.Errorf("Total = %v", w.Total())
+	}
+	// Clamping out-of-range values.
+	w.Add(-50, 1)
+	w.Add(500, 1)
+	if w.Total() != 102 {
+		t.Error("clamped values must still be counted")
+	}
+	// Ignored weights.
+	w.Add(50, 0)
+	w.Add(50, -3)
+	if w.Total() != 102 {
+		t.Error("non-positive weights must be ignored")
+	}
+	// Degenerate construction.
+	d := NewWeightedHistogram(5, 5, 0)
+	d.Add(5, 1)
+	if d.Total() != 1 {
+		t.Error("degenerate histogram should still count")
+	}
+	var empty WeightedHistogram
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty weighted histogram should return zeros")
+	}
+}

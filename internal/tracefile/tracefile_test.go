@@ -1,0 +1,143 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"powerroute/internal/market"
+	"powerroute/internal/timeseries"
+)
+
+func TestSeriesRoundTrip(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := timeseries.New(start, timeseries.Hourly, 48)
+	for i := range s.Values {
+		s.Values[i] = float64(i) * 1.5
+	}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, s, "price"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(s.Start) || got.Step != s.Step || got.Len() != s.Len() {
+		t.Fatalf("geometry mismatch: %v/%v/%d", got.Start, got.Step, got.Len())
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Fatalf("value %d: %v != %v", i, got.Values[i], s.Values[i])
+		}
+	}
+}
+
+func TestSeriesRoundTripMarketData(t *testing.T) {
+	// A real generated series survives the round trip bit-exactly.
+	d := market.MustGenerate(market.Config{Seed: 1, Months: 1})
+	rt, _ := d.RT("NYC")
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, rt, "price"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rt.Values {
+		if got.Values[i] != rt.Values[i] {
+			t.Fatalf("value %d not bit-exact", i)
+		}
+	}
+}
+
+func TestReadSeriesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"too short", "timestamp,price\n2006-01-01T00:00:00Z,1\n"},
+		{"bad time", "timestamp,price\nnot-a-time,1\n2006-01-01T01:00:00Z,2\n"},
+		{"bad value", "timestamp,price\n2006-01-01T00:00:00Z,x\n2006-01-01T01:00:00Z,2\n"},
+		{"irregular", "timestamp,price\n2006-01-01T00:00:00Z,1\n2006-01-01T01:00:00Z,2\n2006-01-01T03:00:00Z,3\n"},
+		{"backwards", "timestamp,price\n2006-01-01T01:00:00Z,1\n2006-01-01T00:00:00Z,2\n"},
+		{"ragged", "timestamp,price\n2006-01-01T00:00:00Z,1,extra\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadSeries(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDemandRoundTrip(t *testing.T) {
+	d := &Demand{
+		Start:   time.Date(2008, 12, 19, 0, 0, 0, 0, time.UTC),
+		Step:    timeseries.FiveMinute,
+		Columns: []string{"CA", "NY", "TX"},
+		Rows: [][]float64{
+			{100, 200, 300},
+			{110, 210, 310},
+			{120, 220, 320},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteDemand(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDemand(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(d.Start) || got.Step != d.Step {
+		t.Fatalf("geometry: %v %v", got.Start, got.Step)
+	}
+	if len(got.Columns) != 3 || got.Columns[1] != "NY" {
+		t.Fatalf("columns: %v", got.Columns)
+	}
+	for i := range d.Rows {
+		for j := range d.Rows[i] {
+			if got.Rows[i][j] != d.Rows[i][j] {
+				t.Fatalf("row %d col %d mismatch", i, j)
+			}
+		}
+	}
+	// Transpose.
+	cols := got.ByColumn()
+	if len(cols) != 3 || cols[2][1] != 310 {
+		t.Fatalf("ByColumn: %v", cols)
+	}
+}
+
+func TestWriteDemandRaggedRows(t *testing.T) {
+	d := &Demand{
+		Start:   time.Now(),
+		Step:    time.Minute,
+		Columns: []string{"a", "b"},
+		Rows:    [][]float64{{1}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDemand(&buf, d); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestReadDemandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"short", "timestamp,CA\n2008-12-19T00:00:00Z,1\n"},
+		{"bad header", "time,CA\n2008-12-19T00:00:00Z,1\n2008-12-19T00:05:00Z,2\n"},
+		{"bad time", "timestamp,CA\nxx,1\n2008-12-19T00:05:00Z,2\n"},
+		{"bad value", "timestamp,CA\n2008-12-19T00:00:00Z,zz\n2008-12-19T00:05:00Z,2\n"},
+		{"irregular", "timestamp,CA\n2008-12-19T00:00:00Z,1\n2008-12-19T00:05:00Z,2\n2008-12-19T00:20:00Z,3\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadDemand(strings.NewReader(c.csv)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"powerroute/internal/geo"
+)
+
+// LongRun is the synthetic long-horizon workload of §6.3: "In order to
+// simulate longer periods we derived a synthetic workload from the 24-day
+// Akamai workload (US traffic only). We calculated an average hit rate for
+// every hub and client state pair. We produced a different average for each
+// hour of the day and each day of the week."
+//
+// We average demand per state (allocation to hubs is the router's job) for
+// each of the 168 hours of the week; evaluating the workload at any instant
+// returns the hour-of-week average.
+type LongRun struct {
+	States  []geo.State
+	profile [][]float64 // [state][168]
+}
+
+// HourOfWeek returns the hour-of-week index (0 = Sunday 00:00 UTC).
+func HourOfWeek(at time.Time) int {
+	return int(at.UTC().Weekday())*24 + at.UTC().Hour()
+}
+
+// LongRun derives the hour-of-week workload from the trace.
+func (t *Trace) LongRun() *LongRun {
+	lr := &LongRun{
+		States:  make([]geo.State, len(t.States)),
+		profile: make([][]float64, len(t.States)),
+	}
+	for i, sd := range t.States {
+		lr.States[i] = sd.State
+		sums := make([]float64, 168)
+		counts := make([]int, 168)
+		for k, v := range sd.Rate {
+			how := HourOfWeek(t.TimeAt(k))
+			sums[how] += v
+			counts[how]++
+		}
+		prof := make([]float64, 168)
+		for h := range prof {
+			if counts[h] > 0 {
+				prof[h] = sums[h] / float64(counts[h])
+			}
+		}
+		lr.profile[i] = prof
+	}
+	return lr
+}
+
+// Rate returns state i's demand (hits/s, public clusters) at an instant.
+func (w *LongRun) Rate(stateIdx int, at time.Time) (float64, error) {
+	if stateIdx < 0 || stateIdx >= len(w.profile) {
+		return 0, fmt.Errorf("traffic: state index %d out of range", stateIdx)
+	}
+	return w.profile[stateIdx][HourOfWeek(at)], nil
+}
+
+// Rates fills dst (len = number of states) with every state's demand at an
+// instant; it allocates when dst is nil or wrongly sized.
+func (w *LongRun) Rates(at time.Time, dst []float64) []float64 {
+	if len(dst) != len(w.profile) {
+		dst = make([]float64, len(w.profile))
+	}
+	how := HourOfWeek(at)
+	for i := range w.profile {
+		dst[i] = w.profile[i][how]
+	}
+	return dst
+}
+
+// Total returns the summed demand across states at an instant.
+func (w *LongRun) Total(at time.Time) float64 {
+	how := HourOfWeek(at)
+	sum := 0.0
+	for i := range w.profile {
+		sum += w.profile[i][how]
+	}
+	return sum
+}

@@ -1,0 +1,126 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestPowerConversions(t *testing.T) {
+	p := 2_500_000 * Watt
+	if got := p.Megawatts(); got != 2.5 {
+		t.Errorf("Megawatts() = %v, want 2.5", got)
+	}
+	if got := p.Kilowatts(); got != 2500 {
+		t.Errorf("Kilowatts() = %v, want 2500", got)
+	}
+	if got := p.Watts(); got != 2.5e6 {
+		t.Errorf("Watts() = %v, want 2.5e6", got)
+	}
+}
+
+func TestPowerOverHours(t *testing.T) {
+	// 250 W for 24 hours is 6 kWh.
+	e := (250 * Watt).OverHours(24)
+	if !almostEqual(e.KilowattHours(), 6, 1e-9) {
+		t.Errorf("OverHours = %v kWh, want 6", e.KilowattHours())
+	}
+	// Zero hours consumes nothing.
+	if e := (1 * Megawatt).OverHours(0); e != 0 {
+		t.Errorf("OverHours(0) = %v, want 0", e)
+	}
+}
+
+func TestEnergyCost(t *testing.T) {
+	// 1 MWh at $60/MWh costs $60 (the paper's reference rate, Fig 1).
+	c := (1 * MegawattHour).Cost(60)
+	if !almostEqual(c.Dollars(), 60, 1e-9) {
+		t.Errorf("Cost = %v, want $60", c)
+	}
+	// Negative prices yield negative cost (being paid to consume, §2.2).
+	c = (2 * MegawattHour).Cost(-10)
+	if !almostEqual(c.Dollars(), -20, 1e-9) {
+		t.Errorf("Cost at negative price = %v, want -$20", c)
+	}
+}
+
+func TestGoogleScaleAnnualCost(t *testing.T) {
+	// Sanity-check the paper's Figure 1 arithmetic: ~6.3e5 MWh at $60/MWh
+	// is about $38M/year.
+	annual := Energy(6.3e5 * 1e6).Cost(60)
+	if annual.Dollars() < 36e6 || annual.Dollars() > 40e6 {
+		t.Errorf("Google-scale annual cost = %v, want ≈ $38M", annual)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{(1500 * Watt).String(), "1.500 kW"},
+		{(2 * Megawatt).String(), "2.000 MW"},
+		{(40 * Watt).String(), "40.0 W"},
+		{(1 * MegawattHour).String(), "1.000 MWh"},
+		{(2 * KilowattHour).String(), "2.000 kWh"},
+		{(30 * WattHour).String(), "30.0 Wh"},
+		{Price(77.9).String(), "$77.90/MWh"},
+		{Money(38e6).String(), "$38.00M"},
+		{Money(4.5e9).String(), "$4.50B"},
+		{Money(1500).String(), "$1.5K"},
+		{Money(12.34).String(), "$12.34"},
+		{Distance(1400).String(), "1400 km"},
+		{HitRate(2.1e6).String(), "2.10M hits/s"},
+		{HitRate(3200).String(), "3.2K hits/s"},
+		{HitRate(12).String(), "12.0 hits/s"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// Property: cost scales linearly in both energy and price.
+func TestCostLinearityProperty(t *testing.T) {
+	f := func(mwh, price float64) bool {
+		if math.IsNaN(mwh) || math.IsInf(mwh, 0) || math.IsNaN(price) || math.IsInf(price, 0) {
+			return true
+		}
+		// Keep magnitudes in a numerically comfortable range.
+		mwh = math.Mod(mwh, 1e6)
+		price = math.Mod(price, 1e4)
+		e := Energy(mwh * 1e6)
+		c1 := e.Cost(Price(price)).Dollars()
+		c2 := (2 * e).Cost(Price(price)).Dollars()
+		c3 := e.Cost(Price(2 * price)).Dollars()
+		tol := 1e-6 * (1 + math.Abs(c1))
+		return almostEqual(c2, 2*c1, tol) && almostEqual(c3, 2*c1, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OverHours is additive in time.
+func TestOverHoursAdditiveProperty(t *testing.T) {
+	f := func(w, h1, h2 float64) bool {
+		if math.IsNaN(w) || math.IsInf(w, 0) || math.IsNaN(h1) || math.IsInf(h1, 0) || math.IsNaN(h2) || math.IsInf(h2, 0) {
+			return true
+		}
+		w = math.Mod(w, 1e9)
+		h1 = math.Abs(math.Mod(h1, 1e4))
+		h2 = math.Abs(math.Mod(h2, 1e4))
+		p := Power(w)
+		lhs := p.OverHours(h1 + h2).WattHours()
+		rhs := p.OverHours(h1).WattHours() + p.OverHours(h2).WattHours()
+		tol := 1e-6 * (1 + math.Abs(lhs))
+		return almostEqual(lhs, rhs, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
