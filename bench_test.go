@@ -10,6 +10,7 @@
 package powerroute_bench
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -112,6 +113,38 @@ func BenchmarkAblationHardCap(b *testing.B)      { runFigure(b, "ablation-hardca
 func BenchmarkAblationUniformFleet(b *testing.B) { runFigure(b, "ablation-uniform") }
 func BenchmarkExtCarbonAware(b *testing.B)       { runFigure(b, "ext-carbon") }
 func BenchmarkExtDemandResponse(b *testing.B)    { runFigure(b, "ext-demand") }
+
+// --- Whole-registry engine benchmarks -------------------------------------
+
+// benchRegistry regenerates every registered experiment through the
+// concurrent engine at a given worker count. Comparing the two targets
+// below pins the parallel engine's speedup on the machine at hand:
+//
+//	go test -bench='BenchmarkRegistry' -benchtime=1x
+func benchRegistry(b *testing.B, parallel int) {
+	env := benchEnv(b)
+	defs := experiments.All()
+	experiments.SetParallelism(parallel)
+	defer experiments.SetParallelism(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(env, defs, parallel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(defs) {
+			b.Fatalf("got %d results, want %d", len(results), len(defs))
+		}
+	}
+}
+
+// BenchmarkRegistrySerial runs the full figure suite on one worker (the
+// pre-parallel engine's behavior).
+func BenchmarkRegistrySerial(b *testing.B) { benchRegistry(b, 1) }
+
+// BenchmarkRegistryParallel runs the full figure suite on one worker per
+// CPU.
+func BenchmarkRegistryParallel(b *testing.B) { benchRegistry(b, runtime.GOMAXPROCS(0)) }
 
 // --- Component micro-benchmarks -------------------------------------------
 

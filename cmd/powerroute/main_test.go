@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestList checks the registry listing path exits clean and names every
+// paper figure.
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, id := range []string{"fig1", "fig20", "ablation-deadband", "ext-carbon"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+// TestRunTinyHorizon exercises the main experiment path against a shrunken
+// world (1-month market, 2-day trace) so the smoke test stays fast.
+func TestRunTinyHorizon(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-months", "1", "-days", "2", "-parallel", "2", "fig1", "fig2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"=== fig1:", "=== fig2:", "Google", "ERCOT"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestUnknownExperiment checks the error path exits non-zero without
+// building the world.
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"nope"}, &out, &errOut); code == 0 {
+		t.Fatal("expected non-zero exit for unknown experiment")
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr missing diagnostic: %s", errOut.String())
+	}
+}
+
+// TestNoArgsUsage checks bare invocation prints usage and exits 2.
+func TestNoArgsUsage(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Errorf("stderr missing usage: %s", errOut.String())
+	}
+}

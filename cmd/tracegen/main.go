@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -31,13 +32,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: -out DIR is required")
 		os.Exit(2)
 	}
-	if err := run(*seed, *months, *days, *out); err != nil {
+	if err := run(*seed, *months, *days, *out, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, months, days int, dir string) error {
+func run(seed int64, months, days int, dir string, stdout io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -95,7 +96,7 @@ func run(seed int64, months, days int, dir string) error {
 	}); err != nil {
 		return err
 	}
-	fmt.Printf("tracegen: wrote %d price files and demand_5min.csv to %s\n", 2*len(mkt.Hubs())+1, dir)
+	fmt.Fprintf(stdout, "tracegen: wrote %d price files and demand_5min.csv to %s\n", 2*len(mkt.Hubs())+1, dir)
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module powerroute
+
+go 1.24

@@ -71,8 +71,10 @@ type System struct {
 	LongRun *traffic.LongRun
 	Fleet   *cluster.Fleet
 
-	mu        sync.Mutex
-	baselines map[baselineKey]*baselineEntry
+	traceDemand *sim.TraceDemand
+
+	baselines flightGroup[baselineKey, baselineVal]
+	statics   flightGroup[baselineKey, *StaticChoice]
 }
 
 type baselineKey struct {
@@ -80,11 +82,9 @@ type baselineKey struct {
 	energy  energy.Model
 }
 
-type baselineEntry struct {
-	once sync.Once
+type baselineVal struct {
 	caps []float64
 	res  *sim.Result
-	err  error
 }
 
 // NewSystem assembles a world from the given options.
@@ -112,12 +112,16 @@ func NewSystem(opts Options) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: fleet: %w", err)
 	}
+	demand, err := sim.FromTrace(tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: trace demand: %w", err)
+	}
 	return &System{
-		Market:    mkt,
-		Trace:     tr,
-		LongRun:   tr.LongRun(),
-		Fleet:     fleet,
-		baselines: make(map[baselineKey]*baselineEntry),
+		Market:      mkt,
+		Trace:       tr,
+		LongRun:     tr.LongRun(),
+		Fleet:       fleet,
+		traceDemand: demand,
 	}, nil
 }
 
@@ -140,11 +144,7 @@ func (s *System) scenario(h Horizon, em energy.Model, delay time.Duration) (sim.
 	}
 	switch h {
 	case Trace24Day:
-		demand, err := sim.FromTrace(s.Trace)
-		if err != nil {
-			return sim.Scenario{}, err
-		}
-		sc.Demand = demand
+		sc.Demand = s.traceDemand
 		sc.Start = s.Trace.Start
 		sc.Steps = s.Trace.Samples
 		sc.Step = 5 * time.Minute
@@ -160,25 +160,19 @@ func (s *System) scenario(h Horizon, em energy.Model, delay time.Duration) (sim.
 }
 
 // Baseline returns the cached Akamai-like baseline result and the derived
-// 95/5 caps for a horizon and energy model.
+// 95/5 caps for a horizon and energy model. Concurrent callers for the same
+// key share one computation (single flight), so parallel sweeps dedupe
+// baseline runs instead of recomputing them.
 func (s *System) Baseline(h Horizon, em energy.Model) ([]float64, *sim.Result, error) {
-	key := baselineKey{horizon: h, energy: em}
-	s.mu.Lock()
-	entry, ok := s.baselines[key]
-	if !ok {
-		entry = &baselineEntry{}
-		s.baselines[key] = entry
-	}
-	s.mu.Unlock()
-	entry.once.Do(func() {
+	v, err := s.baselines.Do(baselineKey{horizon: h, energy: em}, func() (baselineVal, error) {
 		sc, err := s.scenario(h, em, sim.DefaultReactionDelay)
 		if err != nil {
-			entry.err = err
-			return
+			return baselineVal{}, err
 		}
-		entry.caps, entry.res, entry.err = sim.DeriveCaps(sc)
+		caps, res, err := sim.DeriveCaps(sc)
+		return baselineVal{caps: caps, res: res}, err
 	})
-	return entry.caps, entry.res, entry.err
+	return v.caps, v.res, err
 }
 
 // RunConfig describes one optimizer experiment.
@@ -276,8 +270,17 @@ type StaticChoice struct {
 
 // StaticCheapest evaluates placing the entire fleet at each hourly-market
 // hub and returns the cheapest choice ("moving all the servers to the
-// region with the lowest average price", §6.3).
+// region with the lowest average price", §6.3). The 29-hub sweep is
+// expensive, so results are cached per (horizon, energy) with the same
+// single-flight semantics as Baseline; callers must treat the returned
+// choice as read-only.
 func (s *System) StaticCheapest(h Horizon, em energy.Model) (*StaticChoice, error) {
+	return s.statics.Do(baselineKey{horizon: h, energy: em}, func() (*StaticChoice, error) {
+		return s.staticCheapest(h, em)
+	})
+}
+
+func (s *System) staticCheapest(h Horizon, em energy.Model) (*StaticChoice, error) {
 	_, base, err := s.Baseline(h, em)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,36 @@
+package core
+
+import "sync"
+
+// flightGroup is a keyed single-flight cache: the first caller for a key
+// computes the value while concurrent callers for the same key block and
+// share the outcome. Completed entries are cached forever — a System's
+// worlds are deterministic, so a computed value never invalidates. The zero
+// value is ready to use.
+type flightGroup[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*flightEntry[V]
+}
+
+type flightEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, computing it with fn exactly once
+// even under concurrent callers.
+func (g *flightGroup[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.entries == nil {
+		g.entries = make(map[K]*flightEntry[V])
+	}
+	e, ok := g.entries[key]
+	if !ok {
+		e = &flightEntry[V]{}
+		g.entries[key] = e
+	}
+	g.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}

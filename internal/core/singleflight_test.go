@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"powerroute/internal/energy"
+)
+
+func TestFlightGroupSingleFlight(t *testing.T) {
+	var g flightGroup[int, int]
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	vals := make([]int, 32)
+	for i := 0; i < len(vals); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.Do(7, func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("computed %d times, want 1", calls.Load())
+	}
+	for i, v := range vals {
+		if v != 42 {
+			t.Errorf("caller %d got %d", i, v)
+		}
+	}
+	// A different key is an independent computation.
+	if v, _ := g.Do(8, func() (int, error) { return 13, nil }); v != 13 {
+		t.Errorf("key 8 = %d", v)
+	}
+}
+
+func TestFlightGroupCachesErrors(t *testing.T) {
+	var g flightGroup[string, int]
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := g.Do("k", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if err != boom {
+			t.Fatalf("got %v, want %v", err, boom)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failed computation ran %d times, want 1 (deterministic worlds fail deterministically)", calls)
+	}
+}
+
+// TestConcurrentBaselineSingleFlight hammers one baseline key from many
+// goroutines: every caller must observe the same result pointer and the
+// derivation must run once.
+func TestConcurrentBaselineSingleFlight(t *testing.T) {
+	s := MustNewSystem(Options{Seed: 11, MarketMonths: 2, TraceDays: 4})
+	const n = 16
+	var wg sync.WaitGroup
+	ptrs := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, res, err := s.Baseline(LongRun39Months, energy.OptimisticFuture)
+			ptrs[i] = res
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatalf("caller %d observed a different baseline result", i)
+		}
+	}
+}
+
+// TestStaticCheapestCached checks the 29-hub static sweep is computed once
+// per (horizon, energy) key.
+func TestStaticCheapestCached(t *testing.T) {
+	s := testSystem()
+	a, err := s.StaticCheapest(LongRun39Months, energy.OptimisticFuture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.StaticCheapest(LongRun39Months, energy.OptimisticFuture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("static choice not cached (different pointers)")
+	}
+	c, err := s.StaticCheapest(LongRun39Months, energy.CuttingEdge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("distinct energy models share a static choice")
+	}
+}

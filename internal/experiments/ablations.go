@@ -22,22 +22,26 @@ func AblationPriceThreshold(env *Env) (*Result, error) {
 	var b strings.Builder
 	t := report.NewTable("24-day savings by price threshold ((0% idle, 1.1 PUE), 1500 km)",
 		"Dead-band ($/MWh)", "Relax 95/5", "Follow 95/5", "Mean distance (km)")
-	for _, th := range []float64{0, 5, 10, 20, 40} {
-		relaxed, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: 1500, PriceThresholdDollars: th, NoPriceThresholdDefault: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		follow, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: 1500, PriceThresholdDollars: th, NoPriceThresholdDefault: true,
-			Follow95: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	thresholds := []float64{0, 5, 10, 20, 40}
+	cfgs := make([]core.RunConfig, 0, 2*len(thresholds))
+	for _, th := range thresholds {
+		cfgs = append(cfgs,
+			core.RunConfig{
+				Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
+				DistanceThresholdKm: 1500, PriceThresholdDollars: th, NoPriceThresholdDefault: true,
+			},
+			core.RunConfig{
+				Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
+				DistanceThresholdKm: 1500, PriceThresholdDollars: th, NoPriceThresholdDefault: true,
+				Follow95: true,
+			})
+	}
+	outs, err := runConfigs(env.System, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, th := range thresholds {
+		relaxed, follow := outs[2*i], outs[2*i+1]
 		t.Add(fmt.Sprintf("%.0f", th), pct(relaxed.Savings), pct(follow.Savings),
 			fmt.Sprintf("%.0f", relaxed.Optimized.MeanDistanceKm))
 	}
@@ -55,25 +59,25 @@ func AblationExponent(env *Env) (*Result, error) {
 	var b strings.Builder
 	t := report.NewTable("24-day savings by energy-curve exponent (1500 km, relax 95/5)",
 		"Model", "r", "Savings")
-	for _, r := range []float64{1.0, 1.4} {
+	exponents := []float64{1.0, 1.4}
+	var models []energy.Model
+	for _, r := range exponents {
 		em := energy.OptimisticFuture
 		em.Exponent = r
-		out, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: em, DistanceThresholdKm: 1500,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.Add(em.String(), fmt.Sprintf("%.1f", r), pct(out.Savings))
 		em2 := energy.CuttingEdge
 		em2.Exponent = r
-		out2, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: em2, DistanceThresholdKm: 1500,
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.Add(em2.String(), fmt.Sprintf("%.1f", r), pct(out2.Savings))
+		models = append(models, em, em2)
+	}
+	cfgs := make([]core.RunConfig, len(models))
+	for i, em := range models {
+		cfgs[i] = core.RunConfig{Horizon: core.Trace24Day, Energy: em, DistanceThresholdKm: 1500}
+	}
+	outs, err := runConfigs(env.System, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, em := range models {
+		t.Add(em.String(), fmt.Sprintf("%.1f", em.Exponent), pct(outs[i].Savings))
 	}
 	if _, err := t.WriteTo(&b); err != nil {
 		return nil, err
@@ -92,41 +96,47 @@ func AblationHardCap(env *Env) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Burst-budget mode: the library default.
-	budget, err := sys.Run(core.RunConfig{
-		Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-		DistanceThresholdKm: 1500, Follow95: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Hard-cap mode: shrink each cluster's physical capacity to its cap so
-	// no allocation can ever exceed it, then run relaxed.
-	hard := make([]cluster.Cluster, len(sys.Fleet.Clusters))
-	copy(hard, sys.Fleet.Clusters)
-	for i := range hard {
-		if c := units.HitRate(caps[i]); c < hard[i].Capacity {
-			hard[i].Capacity = c
-		}
-	}
-	hardFleet, err := cluster.NewFleet(hard)
-	if err != nil {
-		return nil, err
-	}
-	demand, err := sim.FromTrace(sys.Trace)
-	if err != nil {
-		return nil, err
-	}
-	opt, err := routing.NewPriceOptimizer(hardFleet, 1500, routing.DefaultPriceThreshold)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(sim.Scenario{
-		Fleet: hardFleet, Policy: opt, Energy: energy.OptimisticFuture,
-		Market: sys.Market, Demand: demand,
-		Start: sys.Trace.Start, Steps: sys.Trace.Samples, Step: 5 * time.Minute,
-		ReactionDelay: sim.DefaultReactionDelay,
-	})
+	var budget *core.Outcome
+	var res *sim.Result
+	err = runTasks(
+		// Burst-budget mode: the library default.
+		func() (err error) {
+			budget, err = sys.Run(core.RunConfig{
+				Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
+				DistanceThresholdKm: 1500, Follow95: true,
+			})
+			return err
+		},
+		// Hard-cap mode: shrink each cluster's physical capacity to its cap
+		// so no allocation can ever exceed it, then run relaxed.
+		func() error {
+			hard := make([]cluster.Cluster, len(sys.Fleet.Clusters))
+			copy(hard, sys.Fleet.Clusters)
+			for i := range hard {
+				if c := units.HitRate(caps[i]); c < hard[i].Capacity {
+					hard[i].Capacity = c
+				}
+			}
+			hardFleet, err := cluster.NewFleet(hard)
+			if err != nil {
+				return err
+			}
+			demand, err := sim.FromTrace(sys.Trace)
+			if err != nil {
+				return err
+			}
+			opt, err := routing.NewPriceOptimizer(hardFleet, 1500, routing.DefaultPriceThreshold)
+			if err != nil {
+				return err
+			}
+			res, err = sim.Run(sim.Scenario{
+				Fleet: hardFleet, Policy: opt, Energy: energy.OptimisticFuture,
+				Market: sys.Market, Demand: demand,
+				Start: sys.Trace.Start, Steps: sys.Trace.Samples, Step: 5 * time.Minute,
+				ReactionDelay: sim.DefaultReactionDelay,
+			})
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -179,25 +189,36 @@ func AblationUniformFleet(env *Env) (*Result, error) {
 		Demand: sys.LongRun, Start: sys.Market.Start, Steps: sys.Market.Hours,
 		Step: time.Hour, ReactionDelay: sim.DefaultReactionDelay,
 	}
-	_, baseRes, err := sim.DeriveCaps(base)
-	if err != nil {
+	// The baseline and every sweep point are independent simulations; run
+	// them all concurrently and normalize afterwards.
+	thresholds := []float64{0, 500, 1000, 1500, 2000, 2500}
+	var baseRes *sim.Result
+	results := make([]*sim.Result, len(thresholds))
+	tasks := []func() error{func() (err error) {
+		_, baseRes, err = sim.DeriveCaps(base)
+		return err
+	}}
+	for i, km := range thresholds {
+		tasks = append(tasks, func() error {
+			opt, err := routing.NewPriceOptimizer(fleet, km, routing.DefaultPriceThreshold)
+			if err != nil {
+				return err
+			}
+			sc := base
+			sc.Policy = opt
+			results[i], err = sim.Run(sc)
+			return err
+		})
+	}
+	if err := runTasks(tasks...); err != nil {
 		return nil, err
 	}
 	t := report.NewTable("39-month normalized cost, uniform 29-hub fleet ((0% idle, 1.1 PUE), relax 95/5)",
 		"Threshold (km)", "Normalized cost", "Mean distance (km)")
 	prev := 2.0
 	monotone := true
-	for _, km := range []float64{0, 500, 1000, 1500, 2000, 2500} {
-		opt, err := routing.NewPriceOptimizer(fleet, km, routing.DefaultPriceThreshold)
-		if err != nil {
-			return nil, err
-		}
-		sc := base
-		sc.Policy = opt
-		res, err := sim.Run(sc)
-		if err != nil {
-			return nil, err
-		}
+	for i, km := range thresholds {
+		res := results[i]
 		norm := res.NormalizedCost(baseRes)
 		if norm > prev+0.005 {
 			monotone = false

@@ -25,7 +25,13 @@ type Env struct {
 
 // NewEnv assembles a full-size world (39-month market, 24-day trace).
 func NewEnv(seed int64) (*Env, error) {
-	sys, err := core.NewSystem(core.Options{Seed: seed})
+	return NewEnvWith(core.Options{Seed: seed})
+}
+
+// NewEnvWith assembles a world from explicit options. Smoke tests and fast
+// iteration shrink the horizons through MarketMonths/TraceDays.
+func NewEnvWith(opts core.Options) (*Env, error) {
+	sys, err := core.NewSystem(opts)
 	if err != nil {
 		return nil, err
 	}

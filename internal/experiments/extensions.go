@@ -29,31 +29,49 @@ func init() {
 func ExtJointOptimization(env *Env) (*Result, error) {
 	var b strings.Builder
 	sys := env.System
-	_, base, err := sys.Baseline(core.LongRun39Months, energy.OptimisticFuture)
-	if err != nil {
-		return nil, err
-	}
 	sc := sim.Scenario{
 		Fleet: sys.Fleet, Energy: energy.OptimisticFuture, Market: sys.Market,
 		Demand: sys.LongRun, Start: sys.Market.Start, Steps: sys.Market.Hours,
 		Step: time.Hour, ReactionDelay: sim.DefaultReactionDelay,
 	}
+	weights := []float64{0, 0.005, 0.01, 0.02, 0.05, 0.2}
+	var base *sim.Result
+	var ref *core.Outcome
+	results := make([]*sim.Result, len(weights))
+	tasks := []func() error{
+		func() (err error) {
+			_, base, err = sys.Baseline(core.LongRun39Months, energy.OptimisticFuture)
+			return err
+		},
+		// Reference: the paper's threshold scheme at 1500 km.
+		func() (err error) {
+			ref, err = sys.Run(core.RunConfig{
+				Horizon: core.LongRun39Months, Energy: energy.OptimisticFuture, DistanceThresholdKm: 1500,
+			})
+			return err
+		},
+	}
+	for i, w := range weights {
+		tasks = append(tasks, func() error {
+			pol, err := routing.NewJointOptimizer(sys.Fleet, w)
+			if err != nil {
+				return err
+			}
+			run := sc
+			run.Policy = pol
+			results[i], err = sim.Run(run)
+			return err
+		})
+	}
+	if err := runTasks(tasks...); err != nil {
+		return nil, err
+	}
 	t := report.NewTable("Joint optimization: price + w·distance, 39 months, (0% idle, 1.1 PUE)",
 		"w ($/MWh per km)", "Normalized cost", "Mean distance (km)", "p99 distance (km)")
-	weights := []float64{0, 0.005, 0.01, 0.02, 0.05, 0.2}
 	prevCost := 0.0
 	frontier := true
-	for _, w := range weights {
-		pol, err := routing.NewJointOptimizer(sys.Fleet, w)
-		if err != nil {
-			return nil, err
-		}
-		run := sc
-		run.Policy = pol
-		res, err := sim.Run(run)
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range weights {
+		res := results[i]
 		cost := res.NormalizedCost(base)
 		if cost < prevCost-0.005 {
 			frontier = false // cost should rise as distance is penalized more
@@ -63,13 +81,6 @@ func ExtJointOptimization(env *Env) (*Result, error) {
 			fmt.Sprintf("%.0f", res.MeanDistanceKm), fmt.Sprintf("%.0f", res.P99DistanceKm))
 	}
 	if _, err := t.WriteTo(&b); err != nil {
-		return nil, err
-	}
-	// Reference: the paper's threshold scheme at 1500 km.
-	ref, err := sys.Run(core.RunConfig{
-		Horizon: core.LongRun39Months, Energy: energy.OptimisticFuture, DistanceThresholdKm: 1500,
-	})
-	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(&b, "\nThreshold scheme at 1500 km for reference: cost %.3f at mean %.0f km.\n",
@@ -121,15 +132,11 @@ func ExtCarbonAware(env *Env) (*Result, error) {
 		}
 		return sim.Run(sc)
 	}
-	baseline, err := run("baseline")
-	if err != nil {
-		return nil, err
-	}
-	price, err := run("price")
-	if err != nil {
-		return nil, err
-	}
-	green, err := run("carbon")
+	var baseline, price, green *sim.Result
+	err = runTasks(
+		func() (err error) { baseline, err = run("baseline"); return err },
+		func() (err error) { price, err = run("price"); return err },
+		func() (err error) { green, err = run("carbon"); return err })
 	if err != nil {
 		return nil, err
 	}
@@ -181,36 +188,51 @@ func ExtDemandResponse(env *Env) (*Result, error) {
 		CapacityCredit: 4000,
 	}
 	const months = 39
-	var totalDR, totalNega float64
-	for ci, cl := range sys.Fleet.Clusters {
+	type clusterYield struct {
+		shedMW float64
+		settle demand.Settlement
+		nega   demand.NegawattResult
+	}
+	yields := make([]clusterYield, len(sys.Fleet.Clusters))
+	err = forEach(0, len(sys.Fleet.Clusters), func(ci int) error {
+		cl := sys.Fleet.Clusters[ci]
 		u := baseRes.MeanUtilization[ci]
 		shedMW := em.VariablePower(u, cl.Servers).Megawatts()
 		rt, err := sys.Market.RT(cl.HubID)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		events, err := program.Events(rt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		settle, err := program.Settle(events, shedMW, months)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		da, err := sys.Market.DA(cl.HubID)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bid := demand.NegawattBid{OfferPrice: 150, MW: shedMW}
 		nega, err := bid.Evaluate(da)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		totalDR += settle.Total.Dollars()
-		totalNega += nega.Revenue.Dollars()
-		t.Add(cl.Code, cl.HubID, fmt.Sprintf("%.1f", shedMW),
-			fmt.Sprintf("%d", settle.Events), settle.Total.String(),
-			fmt.Sprintf("%d", nega.HoursCleared), nega.Revenue.String())
+		yields[ci] = clusterYield{shedMW: shedMW, settle: settle, nega: nega}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totalDR, totalNega float64
+	for ci, cl := range sys.Fleet.Clusters {
+		y := yields[ci]
+		totalDR += y.settle.Total.Dollars()
+		totalNega += y.nega.Revenue.Dollars()
+		t.Add(cl.Code, cl.HubID, fmt.Sprintf("%.1f", y.shedMW),
+			fmt.Sprintf("%d", y.settle.Events), y.settle.Total.String(),
+			fmt.Sprintf("%d", y.nega.HoursCleared), y.nega.Revenue.String())
 	}
 	if _, err := t.WriteTo(&b); err != nil {
 		return nil, err

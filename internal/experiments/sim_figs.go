@@ -56,19 +56,19 @@ func Fig15ElasticitySavings(env *Env) (*Result, error) {
 	t := report.NewTable(
 		fmt.Sprintf("24-day savings vs the Akamai-like allocation (%d km threshold)", fig15ThresholdKm),
 		"Energy model", "Elasticity", "Relax 95/5", "Follow 95/5")
-	for _, em := range energy.Fig15Models() {
-		relaxed, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: em, DistanceThresholdKm: fig15ThresholdKm,
-		})
-		if err != nil {
-			return nil, err
-		}
-		follow, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: em, DistanceThresholdKm: fig15ThresholdKm, Follow95: true,
-		})
-		if err != nil {
-			return nil, err
-		}
+	models := energy.Fig15Models()
+	cfgs := make([]core.RunConfig, 0, 2*len(models))
+	for _, em := range models {
+		cfgs = append(cfgs,
+			core.RunConfig{Horizon: core.Trace24Day, Energy: em, DistanceThresholdKm: fig15ThresholdKm},
+			core.RunConfig{Horizon: core.Trace24Day, Energy: em, DistanceThresholdKm: fig15ThresholdKm, Follow95: true})
+	}
+	outs, err := runConfigs(env.System, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, em := range models {
+		relaxed, follow := outs[2*i], outs[2*i+1]
 		t.Add(em.String(), fmt.Sprintf("%.2f", em.Elasticity()), pct(relaxed.Savings), pct(follow.Savings))
 	}
 	if _, err := t.WriteTo(&b); err != nil {
@@ -81,27 +81,31 @@ func Fig15ElasticitySavings(env *Env) (*Result, error) {
 // fig16Thresholds is the Fig 16/17/18 sweep.
 var fig16Thresholds = []float64{0, 250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2250, 2500}
 
+// runThresholdPairs sweeps distance thresholds under the (0% idle, 1.1 PUE)
+// model concurrently, returning a (follow 95/5, relax 95/5) outcome pair
+// per threshold — the shared shape of Figs 16, 17, and 18.
+func runThresholdPairs(env *Env, h core.Horizon, thresholds []float64) ([]*core.Outcome, error) {
+	cfgs := make([]core.RunConfig, 0, 2*len(thresholds))
+	for _, km := range thresholds {
+		cfgs = append(cfgs,
+			core.RunConfig{Horizon: h, Energy: energy.OptimisticFuture, DistanceThresholdKm: km, Follow95: true},
+			core.RunConfig{Horizon: h, Energy: energy.OptimisticFuture, DistanceThresholdKm: km})
+	}
+	return runConfigs(env.System, cfgs)
+}
+
 // Fig16CostVsDistance reproduces Figure 16: normalized 24-day electricity
 // cost against the distance threshold under the (0% idle, 1.1 PUE) model.
 func Fig16CostVsDistance(env *Env) (*Result, error) {
 	var b strings.Builder
 	t := report.NewTable("Normalized 24-day cost, (0% idle, 1.1 PUE) model",
 		"Threshold (km)", "Akamai allocation", "Follow 95/5", "Relax 95/5")
-	for _, km := range fig16Thresholds {
-		follow, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: km, Follow95: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		relaxed, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: km,
-		})
-		if err != nil {
-			return nil, err
-		}
+	outs, err := runThresholdPairs(env, core.Trace24Day, fig16Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	for i, km := range fig16Thresholds {
+		follow, relaxed := outs[2*i], outs[2*i+1]
 		t.Add(fmt.Sprintf("%.0f", km), "1.000",
 			fmt.Sprintf("%.3f", follow.NormalizedCost), fmt.Sprintf("%.3f", relaxed.NormalizedCost))
 	}
@@ -118,21 +122,12 @@ func Fig17ClientDistance(env *Env) (*Result, error) {
 	var b strings.Builder
 	t := report.NewTable("Client-server distance vs threshold (24-day, (0% idle, 1.1 PUE))",
 		"Threshold (km)", "Mean (95/5)", "99th (95/5)", "Mean (relax)", "99th (relax)")
-	for _, km := range fig16Thresholds {
-		follow, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: km, Follow95: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		relaxed, err := env.System.Run(core.RunConfig{
-			Horizon: core.Trace24Day, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: km,
-		})
-		if err != nil {
-			return nil, err
-		}
+	outs, err := runThresholdPairs(env, core.Trace24Day, fig16Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	for i, km := range fig16Thresholds {
+		follow, relaxed := outs[2*i], outs[2*i+1]
 		t.Add(fmt.Sprintf("%.0f", km),
 			fmt.Sprintf("%.0f", follow.Optimized.MeanDistanceKm),
 			fmt.Sprintf("%.0f", follow.Optimized.P99DistanceKm),
@@ -156,31 +151,28 @@ func Fig17ClientDistance(env *Env) (*Result, error) {
 // distance threshold, including the static cheapest-hub comparison.
 func Fig18LongRun(env *Env) (*Result, error) {
 	var b strings.Builder
-	static, err := env.System.StaticCheapest(core.LongRun39Months, energy.OptimisticFuture)
+	// The paper's sweep plus an unconstrained row ("If we remove the
+	// distance constraint", §1): 4500 km exceeds any US client-hub pair.
+	sweep := append(append([]float64{}, fig16Thresholds...), 3000, 4500)
+	var static *core.StaticChoice
+	var outs []*core.Outcome
+	err := runTasks(
+		func() (err error) {
+			static, err = env.System.StaticCheapest(core.LongRun39Months, energy.OptimisticFuture)
+			return err
+		},
+		func() (err error) {
+			outs, err = runThresholdPairs(env, core.LongRun39Months, sweep)
+			return err
+		})
 	if err != nil {
 		return nil, err
 	}
 	t := report.NewTable("Normalized 39-month cost, (0% idle, 1.1 PUE) model",
 		"Threshold (km)", "Akamai-like", "Cheapest hub only", "Follow 95/5", "Relax 95/5")
 	var bestRelax float64 = 1
-	// The paper's sweep plus an unconstrained row ("If we remove the
-	// distance constraint", §1): 4500 km exceeds any US client-hub pair.
-	sweep := append(append([]float64{}, fig16Thresholds...), 3000, 4500)
-	for _, km := range sweep {
-		follow, err := env.System.Run(core.RunConfig{
-			Horizon: core.LongRun39Months, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: km, Follow95: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		relaxed, err := env.System.Run(core.RunConfig{
-			Horizon: core.LongRun39Months, Energy: energy.OptimisticFuture,
-			DistanceThresholdKm: km,
-		})
-		if err != nil {
-			return nil, err
-		}
+	for i, km := range sweep {
+		follow, relaxed := outs[2*i], outs[2*i+1]
 		if relaxed.NormalizedCost < bestRelax {
 			bestRelax = relaxed.NormalizedCost
 		}
@@ -220,14 +212,19 @@ func Fig19PerCluster(env *Env) (*Result, error) {
 	order := []string{"CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2"}
 	headers := append([]string{"Threshold"}, order...)
 	t := report.NewTable("Per-cluster cost change (% of total baseline cost)", headers...)
-	for _, km := range fig19Thresholds {
-		out, err := env.System.Run(core.RunConfig{
+	cfgs := make([]core.RunConfig, len(fig19Thresholds))
+	for i, km := range fig19Thresholds {
+		cfgs[i] = core.RunConfig{
 			Horizon: core.LongRun39Months, Energy: energy.OptimisticFuture,
 			DistanceThresholdKm: km, Follow95: true,
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	outs, err := runConfigs(env.System, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for i, km := range fig19Thresholds {
+		out := outs[i]
 		row := []string{fmt.Sprintf("<%.0fkm", km)}
 		baseTotal := float64(out.Baseline.TotalCost)
 		for _, code := range order {
@@ -257,26 +254,26 @@ func Fig20ReactionDelay(env *Env) (*Result, error) {
 	var b strings.Builder
 	t := report.NewTable("Cost increase vs immediate reaction ((65% idle, 1.3 PUE), 1500 km, follow 95/5)",
 		"Delay (h)", "Savings", "Cost increase")
-	var immediate float64
-	var incs []float64
-	for _, d := range fig20Delays {
-		cfg := core.RunConfig{
+	cfgs := make([]core.RunConfig, len(fig20Delays))
+	for i, d := range fig20Delays {
+		cfgs[i] = core.RunConfig{
 			Horizon: core.LongRun39Months, Energy: energy.CuttingEdge,
 			DistanceThresholdKm: 1500, Follow95: true,
 			ReactionDelay: time.Duration(d) * time.Hour,
 		}
 		if d == 0 {
-			cfg.ReactImmediately = true
+			cfgs[i].ReactImmediately = true
 		}
-		out, err := env.System.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		cost := float64(out.Optimized.TotalCost)
-		if d == 0 {
-			immediate = cost
-		}
-		inc := cost/immediate - 1
+	}
+	outs, err := runConfigs(env.System, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	immediate := float64(outs[0].Optimized.TotalCost)
+	var incs []float64
+	for i, d := range fig20Delays {
+		out := outs[i]
+		inc := float64(out.Optimized.TotalCost)/immediate - 1
 		incs = append(incs, inc)
 		t.Add(fmt.Sprintf("%d", d), pct(out.Savings), fmt.Sprintf("%+.2f%%", 100*inc))
 	}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/timeseries"
+)
+
+func TestSeriesLookupSharedFastPath(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	a := timeseries.FromValues(start, time.Hour, []float64{1, 2, 3})
+	b := timeseries.FromValues(start, time.Hour, []float64{4, 5, 6})
+	l := newSeriesLookup([]*timeseries.Series{a, b})
+	if !l.shared {
+		t.Fatal("identical geometry not detected")
+	}
+	dst := make([]float64, 2)
+	if err := l.values(start.Add(90*time.Minute), dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 2 || dst[1] != 5 {
+		t.Fatalf("dst = %v", dst)
+	}
+	// Out-of-range instants error on both sides of the series.
+	if err := l.values(start.Add(-time.Minute), dst); err == nil {
+		t.Error("instant before start accepted")
+	}
+	if err := l.values(start.Add(3*time.Hour), dst); err == nil {
+		t.Error("instant past end accepted")
+	}
+}
+
+func TestSeriesLookupFallbackMatchesFastPath(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	hourly := timeseries.FromValues(start, time.Hour, []float64{1, 2, 3, 4})
+	// A 30-minute series holding each hourly value twice resolves to the
+	// same value at every instant but breaks the shared-geometry check.
+	half := timeseries.FromValues(start, 30*time.Minute, []float64{1, 1, 2, 2, 3, 3, 4, 4})
+	mixed := newSeriesLookup([]*timeseries.Series{hourly, half})
+	if mixed.shared {
+		t.Fatal("mismatched geometry not detected")
+	}
+	fast := newSeriesLookup([]*timeseries.Series{hourly, hourly})
+	for m := 0; m < 4*60; m += 25 {
+		at := start.Add(time.Duration(m) * time.Minute)
+		got := make([]float64, 2)
+		want := make([]float64, 2)
+		if err := mixed.values(at, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := fast.values(at, want); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("at %v: fallback %v vs fast %v", at, got, want)
+		}
+	}
+}
+
+// TestRunDecisionGeometryFallback runs the same scenario with an hourly
+// decision series (shared fast path) and a 30-minute resampling of it
+// (fallback path) and demands identical results — the lookup strategy must
+// never change simulation outcomes.
+func TestRunDecisionGeometryFallback(t *testing.T) {
+	fx := fixtures()
+	sc := shortScenario()
+	opt, err := routing.NewPriceOptimizer(fx.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Policy = opt
+	sc.Energy = energy.OptimisticFuture
+
+	hourly := make([]*timeseries.Series, len(fx.Fleet.Clusters))
+	resampled := make([]*timeseries.Series, len(fx.Fleet.Clusters))
+	for c, cl := range fx.Fleet.Clusters {
+		rt, err := fx.Market.RT(cl.HubID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hourly[c] = rt
+		vals := make([]float64, 2*len(rt.Values))
+		for i, v := range rt.Values {
+			vals[2*i], vals[2*i+1] = v, v
+		}
+		resampled[c] = timeseries.FromValues(rt.Start, 30*time.Minute, vals)
+	}
+
+	scFast := sc
+	scFast.DecisionSeries = hourly
+	fast, err := Run(scFast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scSlow := sc
+	scSlow.DecisionSeries = resampled
+	slow, err := Run(scSlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fast, slow) {
+		t.Errorf("fallback lookup changed the result:\nfast: %+v\nslow: %+v", fast, slow)
+	}
+}

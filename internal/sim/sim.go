@@ -152,6 +152,62 @@ func (r *Result) NormalizedCost(base *Result) float64 {
 	return float64(r.TotalCost) / float64(base.TotalCost)
 }
 
+// seriesLookup resolves one value per cluster at an instant. When every
+// series shares one geometry — the common case: all hub price series come
+// from the same hourly market — the sample index is computed once per
+// instant instead of once per series, keeping the time arithmetic out of
+// the per-cluster hot loop. Mismatched geometries fall back to Series.At.
+type seriesLookup struct {
+	series []*timeseries.Series
+	start  time.Time
+	step   time.Duration
+	n      int
+	shared bool
+}
+
+func newSeriesLookup(series []*timeseries.Series) seriesLookup {
+	l := seriesLookup{series: series}
+	if len(series) == 0 {
+		return l
+	}
+	first := series[0]
+	l.start, l.step, l.n = first.Start, first.Step, first.Len()
+	l.shared = l.step > 0
+	for _, s := range series[1:] {
+		if !s.Start.Equal(l.start) || s.Step != l.step || s.Len() != l.n {
+			l.shared = false
+			break
+		}
+	}
+	return l
+}
+
+// values fills dst[c] with series[c]'s value covering instant at.
+func (l *seriesLookup) values(at time.Time, dst []float64) error {
+	if l.shared {
+		d := at.Sub(l.start)
+		if d < 0 {
+			return fmt.Errorf("timeseries: %v precedes series start %v", at, l.start)
+		}
+		i := int(d / l.step)
+		if i >= l.n {
+			return fmt.Errorf("timeseries: %v past series end %v", at, l.start.Add(time.Duration(l.n)*l.step))
+		}
+		for c, s := range l.series {
+			dst[c] = s.Values[i]
+		}
+		return nil
+	}
+	for c, s := range l.series {
+		v, err := s.At(at)
+		if err != nil {
+			return err
+		}
+		dst[c] = v
+	}
+	return nil
+}
+
 // Run executes the scenario.
 func Run(sc Scenario) (*Result, error) {
 	if err := sc.validate(); err != nil {
@@ -210,6 +266,24 @@ func Run(sc Scenario) (*Result, error) {
 		BurstRoom:      make([]float64, nc),
 	}
 	loads := make([]float64, nc)
+	billPrices := make([]float64, nc)
+	capacities := make([]float64, nc)
+	for c, cl := range sc.Fleet.Clusters {
+		capacities[c] = float64(cl.Capacity)
+	}
+
+	signal := prices
+	if sc.DecisionSeries != nil {
+		signal = sc.DecisionSeries
+	}
+	billLookup := newSeriesLookup(prices)
+	decisionLookup := newSeriesLookup(signal)
+	var carbonLookup seriesLookup
+	var carbonIntensity []float64
+	if sc.Carbon != nil {
+		carbonLookup = newSeriesLookup(sc.Carbon)
+		carbonIntensity = make([]float64, nc)
+	}
 
 	marketStart := prices[0].Start
 	for step := 0; step < sc.Steps; step++ {
@@ -227,16 +301,17 @@ func Run(sc Scenario) (*Result, error) {
 		if decisionAt.Before(marketStart) {
 			decisionAt = marketStart
 		}
-		signal := prices
-		if sc.DecisionSeries != nil {
-			signal = sc.DecisionSeries
+		if err := decisionLookup.values(decisionAt, ctx.DecisionPrices); err != nil {
+			return nil, fmt.Errorf("sim: decision signal at %v: %w", decisionAt, err)
 		}
-		for c := range signal {
-			v, err := signal[c].At(decisionAt)
-			if err != nil {
-				return nil, fmt.Errorf("sim: decision signal at %v: %w", decisionAt, err)
+		// Billing prices for this instant (always real-time dollars).
+		if err := billLookup.values(at, billPrices); err != nil {
+			return nil, fmt.Errorf("sim: billing price at %v: %w", at, err)
+		}
+		if sc.Carbon != nil {
+			if err := carbonLookup.values(at, carbonIntensity); err != nil {
+				return nil, fmt.Errorf("sim: carbon intensity at %v: %w", at, err)
 			}
-			ctx.DecisionPrices[c] = v
 		}
 
 		// Room tiers. Burst room above the 95/5 caps is unlocked only when
@@ -248,8 +323,8 @@ func Run(sc Scenario) (*Result, error) {
 			for _, dem := range ctx.Demand {
 				totalDemand += dem
 			}
-			for c, cl := range sc.Fleet.Clusters {
-				capacity := float64(cl.Capacity)
+			for c := range sc.Fleet.Clusters {
+				capacity := capacities[c]
 				cap95 := constraints[c].Cap
 				if cap95 > capacity {
 					cap95 = capacity
@@ -259,15 +334,15 @@ func Run(sc Scenario) (*Result, error) {
 				totalRoom += cap95
 			}
 			if totalDemand > totalRoom*0.999 {
-				for c, cl := range sc.Fleet.Clusters {
+				for c := range sc.Fleet.Clusters {
 					if constraints[c].CanBurst() {
-						ctx.BurstRoom[c] = float64(cl.Capacity) - ctx.Room[c]
+						ctx.BurstRoom[c] = capacities[c] - ctx.Room[c]
 					}
 				}
 			}
 		} else {
-			for c, cl := range sc.Fleet.Clusters {
-				ctx.Room[c] = float64(cl.Capacity)
+			for c := range sc.Fleet.Clusters {
+				ctx.Room[c] = capacities[c]
 				ctx.BurstRoom[c] = 0
 			}
 		}
@@ -306,7 +381,7 @@ func Run(sc Scenario) (*Result, error) {
 			}
 			// Epsilon absorbs float residue from the allocator's room
 			// arithmetic; genuine overloads are orders of magnitude larger.
-			if over := load - float64(cl.Capacity); over > 1e-6+1e-9*float64(cl.Capacity) {
+			if over := load - capacities[c]; over > 1e-6+1e-9*capacities[c] {
 				res.OverloadHitSeconds += over * sc.Step.Seconds()
 			}
 			if constraints != nil {
@@ -317,21 +392,13 @@ func Run(sc Scenario) (*Result, error) {
 			u := cl.Utilization(units.HitRate(load))
 			res.MeanUtilization[c] += u
 			e := sc.Energy.Energy(u, cl.Servers, stepHours)
-			billPrice, err := prices[c].At(at)
-			if err != nil {
-				return nil, fmt.Errorf("sim: billing price at %v: %w", at, err)
-			}
-			cost := e.Cost(units.Price(billPrice))
+			cost := e.Cost(units.Price(billPrices[c]))
 			res.ClusterEnergy[c] += e
 			res.ClusterCost[c] += cost
 			res.TotalEnergy += e
 			res.TotalCost += cost
 			if sc.Carbon != nil {
-				intensity, err := sc.Carbon[c].At(at)
-				if err != nil {
-					return nil, fmt.Errorf("sim: carbon intensity at %v: %w", at, err)
-				}
-				kg := e.KilowattHours() * intensity / 1000
+				kg := e.KilowattHours() * carbonIntensity[c] / 1000
 				res.ClusterCarbonKg[c] += kg
 				res.TotalCarbonKg += kg
 			}
