@@ -8,10 +8,13 @@
 //	powerroute [-seed N] [-parallel N] all
 //
 // Experiment IDs follow the paper's figure numbers (fig1 … fig20) plus the
-// ablations documented in DESIGN.md. Experiment dispatch and each
-// experiment's internal parameter sweep independently bound their worker
-// count by -parallel (default: the number of CPUs); output is rendered in
-// registry order and is byte-identical to a serial run.
+// ablations documented in DESIGN.md and the extension experiments
+// (ext-carbon, ext-demand, ext-joint, ext-storage, ext-peakshave — the
+// last two add site batteries and demand-charge tariffs on top of the
+// routing results). Experiment dispatch and each experiment's internal
+// parameter sweep independently bound their worker count by -parallel
+// (default: the number of CPUs); output is rendered in registry order and
+// is byte-identical to a serial run.
 package main
 
 import (
@@ -101,6 +104,7 @@ usage:
   powerroute [-seed N] list                    list experiments
   powerroute [-seed N] <id> [<id>...]          run specific experiments
   powerroute [-seed N] all                     run everything
+  powerroute ext-storage ext-peakshave         battery & demand-charge extensions
   powerroute [-seed N] -time <id>              report wall time too
   powerroute -parallel N <id>                  bound the worker pool (1 = serial)
   powerroute -months M -days D <id>            shrink the world (fast iteration)

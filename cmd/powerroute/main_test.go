@@ -12,7 +12,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
-	for _, id := range []string{"fig1", "fig20", "ablation-deadband", "ext-carbon"} {
+	for _, id := range []string{"fig1", "fig20", "ablation-deadband", "ext-carbon", "ext-storage", "ext-peakshave"} {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("list output missing %s", id)
 		}
@@ -28,6 +28,22 @@ func TestRunTinyHorizon(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
 	}
 	for _, want := range []string{"=== fig1:", "=== fig2:", "Google", "ERCOT"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunStorageTinyHorizon smokes the storage experiments against the
+// shrunken world: both must render their tables through the parallel
+// runner.
+func TestRunStorageTinyHorizon(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-months", "1", "-days", "2", "-parallel", "2", "ext-storage", "ext-peakshave"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"=== ext-storage:", "=== ext-peakshave:", "Bought (GWh)", "Demand charge"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}

@@ -9,13 +9,23 @@
 //     percentile bandwidth for any location" — by capping a cluster at its
 //     baseline p95 while allowing the 5% of intervals that 95/5 billing
 //     ignores to burst above it.
+//
+// It also implements the demand-charge side of a commercial electricity
+// tariff: DemandMeter tracks each calendar month's peak average power draw
+// (kW), the billing determinant utilities charge per kW-month on top of
+// energy. Unlike the 95/5 bandwidth bill, a demand charge has no 5% grace —
+// a single spiky interval sets the whole month's charge, which is exactly
+// what peak shaving with stored energy attacks.
 package billing
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"powerroute/internal/stats"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/units"
 )
 
 // Meter records per-interval rates for one cluster.
@@ -119,4 +129,63 @@ func (c *Constraint) Verify() error {
 		return fmt.Errorf("billing: %d bursts used, budget %d", c.burstsUsed, c.totalBudget)
 	}
 	return nil
+}
+
+// DemandMeter tracks the billing determinant of a demand-charge tariff for
+// one cluster: the peak interval-average power draw (kW) within each
+// calendar month (UTC). State is O(months), so 39-month hourly runs carry
+// no per-interval storage.
+type DemandMeter struct {
+	months []timeseries.MonthKey
+	peaks  []float64 // parallel to months
+}
+
+// Record meters one interval's average draw. Intervals are expected in
+// chronological order (the simulation step loop); out-of-order months fold
+// into their existing bucket.
+func (m *DemandMeter) Record(at time.Time, kw float64) {
+	k := timeseries.MonthKey{Year: at.UTC().Year(), Month: at.UTC().Month()}
+	if n := len(m.months); n > 0 && m.months[n-1] == k {
+		if kw > m.peaks[n-1] {
+			m.peaks[n-1] = kw
+		}
+		return
+	}
+	for i, mk := range m.months {
+		if mk == k {
+			if kw > m.peaks[i] {
+				m.peaks[i] = kw
+			}
+			return
+		}
+	}
+	m.months = append(m.months, k)
+	m.peaks = append(m.peaks, kw)
+}
+
+// PeakKW returns the highest draw recorded in any month (0 when empty).
+func (m *DemandMeter) PeakKW() float64 {
+	peak := 0.0
+	for _, p := range m.peaks {
+		if p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// MonthlyPeaks returns the recorded months and their peak draws, in the
+// order first observed.
+func (m *DemandMeter) MonthlyPeaks() ([]timeseries.MonthKey, []float64) {
+	return append([]timeseries.MonthKey(nil), m.months...), append([]float64(nil), m.peaks...)
+}
+
+// Charge bills every month's peak at the tariff's demand rate:
+// Σ months peak_kW × ratePerKWMonth.
+func (m *DemandMeter) Charge(ratePerKWMonth float64) units.Money {
+	var total float64
+	for _, p := range m.peaks {
+		total += p * ratePerKWMonth
+	}
+	return units.Money(total)
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestMeterPercentile95(t *testing.T) {
@@ -187,5 +188,56 @@ func TestConstraint95InvariantProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestDemandMeterMonthlyPeaks(t *testing.T) {
+	var m DemandMeter
+	jan := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	for h := 0; h < 24; h++ {
+		m.Record(jan.Add(time.Duration(h)*time.Hour), 100+float64(h))
+	}
+	feb := time.Date(2006, 2, 10, 0, 0, 0, 0, time.UTC)
+	m.Record(feb, 90)
+	m.Record(feb.Add(time.Hour), 250)
+	m.Record(feb.Add(2*time.Hour), 80)
+
+	months, peaks := m.MonthlyPeaks()
+	if len(months) != 2 {
+		t.Fatalf("recorded %d months, want 2", len(months))
+	}
+	if months[0].String() != "2006-01" || peaks[0] != 123 {
+		t.Errorf("January peak = %v (%v), want 123", peaks[0], months[0])
+	}
+	if months[1].String() != "2006-02" || peaks[1] != 250 {
+		t.Errorf("February peak = %v (%v), want 250", peaks[1], months[1])
+	}
+	if m.PeakKW() != 250 {
+		t.Errorf("PeakKW = %v, want 250", m.PeakKW())
+	}
+	// $12/kW-month: (123 + 250) × 12.
+	if got, want := m.Charge(12).Dollars(), (123.0+250)*12; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Charge = %v, want %v", got, want)
+	}
+}
+
+func TestDemandMeterEmptyAndOutOfOrder(t *testing.T) {
+	var m DemandMeter
+	if m.PeakKW() != 0 || m.Charge(10) != 0 {
+		t.Error("empty meter should bill zero")
+	}
+	// A late sample for an earlier month folds into its bucket instead of
+	// opening a duplicate.
+	jan := time.Date(2006, 1, 5, 0, 0, 0, 0, time.UTC)
+	feb := time.Date(2006, 2, 5, 0, 0, 0, 0, time.UTC)
+	m.Record(jan, 10)
+	m.Record(feb, 20)
+	m.Record(jan, 30)
+	months, peaks := m.MonthlyPeaks()
+	if len(months) != 2 {
+		t.Fatalf("recorded %d months, want 2", len(months))
+	}
+	if peaks[0] != 30 || peaks[1] != 20 {
+		t.Errorf("peaks = %v, want [30 20]", peaks)
 	}
 }

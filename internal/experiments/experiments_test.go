@@ -16,8 +16,8 @@ func env(t *testing.T) *Env {
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 27 {
-		t.Fatalf("registry has %d entries, want 27 (20 figures + 4 ablations + 3 extensions)", len(defs))
+	if len(defs) != 29 {
+		t.Fatalf("registry has %d entries, want 29 (20 figures + 4 ablations + 5 extensions)", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {
@@ -212,5 +212,29 @@ func TestExtensions(t *testing.T) {
 	}
 	if !strings.Contains(res.Text, "Total DR settlement") {
 		t.Errorf("demand-response output incomplete:\n%s", res.Text)
+	}
+}
+
+// TestStorageExtensions runs the energy-storage experiments and checks the
+// battery actually pays off: arbitrage must beat both routers, and the
+// largest battery in the tariff sweep must shave the demand charge.
+func TestStorageExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storage extensions are expensive; run without -short")
+	}
+	e := env(t)
+	res, err := ExtStorageArbitrage(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "composes with the geographic lever") {
+		t.Errorf("battery arbitrage did not save money:\n%s", res.Text)
+	}
+	res, err = ExtPeakShaving(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "stored energy attacks the component") {
+		t.Errorf("battery sweep did not shave the demand charge:\n%s", res.Text)
 	}
 }

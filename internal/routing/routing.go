@@ -327,6 +327,22 @@ func (p *PriceOptimizer) preferenceOrder(s int, prices []float64, order []int) [
 	return order
 }
 
+// ApplyPriceCaps caps each decision price at caps[c] in place. The
+// simulation engine uses it to make the routing signal storage-aware: a
+// cluster whose battery serves the load above its discharge threshold
+// never looks more expensive to the router than that threshold, so a
+// price spike at a charged site no longer repels traffic the battery
+// would have absorbed. A cap of +Inf (or any value at or above the price)
+// leaves the signal untouched, preserving byte-identical behavior for
+// storage-free runs.
+func ApplyPriceCaps(prices, caps []float64) {
+	for c := range prices {
+		if c < len(caps) && caps[c] < prices[c] {
+			prices[c] = caps[c]
+		}
+	}
+}
+
 // AllToOne sends every request to a single cluster index: the static
 // solution of §6.3 ("place all servers in cheapest market").
 type AllToOne struct {

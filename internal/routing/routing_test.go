@@ -428,3 +428,21 @@ func TestZeroDemandSkipped(t *testing.T) {
 		}
 	}
 }
+
+func TestApplyPriceCaps(t *testing.T) {
+	prices := []float64{30, 80, 120, 50}
+	caps := []float64{math.Inf(1), 60, 120, 40}
+	ApplyPriceCaps(prices, caps)
+	want := []float64{30, 60, 120, 40}
+	for i := range want {
+		if prices[i] != want[i] {
+			t.Errorf("prices[%d] = %v, want %v", i, prices[i], want[i])
+		}
+	}
+	// A short caps vector leaves the uncovered tail untouched.
+	prices = []float64{10, 20}
+	ApplyPriceCaps(prices, []float64{5})
+	if prices[0] != 5 || prices[1] != 20 {
+		t.Errorf("short caps: prices = %v, want [5 20]", prices)
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"powerroute/internal/timeseries"
+)
+
+// TestTraceDemandBoundaries pins the trace edges: instants before the
+// start — including the sub-step window that toward-zero truncation used
+// to map onto sample 0 — and at or past the end return zero demand, while
+// in-range instants snap to their covering 5-minute sample.
+func TestTraceDemandBoundaries(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	td, err := NewTraceDemand(start, 2, [][]float64{{7, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		at   time.Time
+		want float64
+	}{
+		{"one step before start", start.Add(-5 * time.Minute), 0},
+		{"mid-step before start", start.Add(-150 * time.Second), 0},
+		{"just before start", start.Add(-time.Nanosecond), 0},
+		{"exactly at start", start, 7},
+		{"end of first sample", start.Add(5*time.Minute - time.Nanosecond), 7},
+		{"second sample", start.Add(5 * time.Minute), 9},
+		{"just before end", start.Add(10*time.Minute - time.Nanosecond), 9},
+		{"exactly at end", start.Add(10 * time.Minute), 0},
+		{"past end", start.Add(time.Hour), 0},
+	}
+	for _, c := range cases {
+		got := td.Rates(c.at, nil)
+		if got[0] != c.want {
+			t.Errorf("%s: demand = %v, want %v", c.name, got[0], c.want)
+		}
+	}
+}
+
+// TestSeriesLookupBoundaryInstants checks the shared-geometry fast path
+// and the mismatched-geometry fallback agree at the exact series edges:
+// the first and last covered nanoseconds resolve, one nanosecond outside
+// on either side errors.
+func TestSeriesLookupBoundaryInstants(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	shared := newSeriesLookup([]*timeseries.Series{
+		timeseries.FromValues(start, time.Hour, []float64{1, 2, 3}),
+		timeseries.FromValues(start, time.Hour, []float64{4, 5, 6}),
+	})
+	if !shared.shared {
+		t.Fatal("identical geometry not detected")
+	}
+	// Different lengths force the Series.At fallback over the same window.
+	fallback := newSeriesLookup([]*timeseries.Series{
+		timeseries.FromValues(start, time.Hour, []float64{1, 2, 3}),
+		timeseries.FromValues(start, time.Hour, []float64{4, 5, 6, 6}),
+	})
+	if fallback.shared {
+		t.Fatal("mismatched geometry not detected")
+	}
+	end := start.Add(3 * time.Hour)
+	for name, l := range map[string]*seriesLookup{"shared": &shared, "fallback": &fallback} {
+		dst := make([]float64, 2)
+		if err := l.values(start.Add(-time.Nanosecond), dst); err == nil {
+			t.Errorf("%s: instant just before start accepted", name)
+		}
+		if err := l.values(start, dst); err != nil || dst[0] != 1 || dst[1] != 4 {
+			t.Errorf("%s: at start: %v, dst=%v", name, err, dst)
+		}
+		if err := l.values(end.Add(-time.Nanosecond), dst); err != nil || dst[0] != 3 || dst[1] != 6 {
+			t.Errorf("%s: last covered instant: %v, dst=%v", name, err, dst)
+		}
+		if err := l.values(end, dst); err == nil {
+			t.Errorf("%s: instant at end accepted", name)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"powerroute/internal/billing"
@@ -20,6 +21,7 @@ import (
 	"powerroute/internal/market"
 	"powerroute/internal/routing"
 	"powerroute/internal/stats"
+	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/traffic"
 	"powerroute/internal/units"
@@ -68,6 +70,19 @@ type Scenario struct {
 	// Carbon, when non-nil, meters per-cluster emissions using these
 	// hourly intensity series (gCO₂/kWh).
 	Carbon []*timeseries.Series
+
+	// Storage, when non-nil, installs a battery behind each cluster's grid
+	// meter. Each step the dispatch policy sees the cluster's current
+	// real-time price (site controllers react locally, so no reaction
+	// delay) and the grid draw becomes IT draw + charging − discharging;
+	// discharge is capped at the IT draw so the meter never runs backwards.
+	// Zero-capacity batteries reproduce a storage-free run exactly.
+	Storage *storage.Config
+
+	// DemandChargePerKW, when positive, adds a demand-charge tariff on top
+	// of energy billing: each cluster pays its monthly peak grid draw (kW)
+	// times this rate ($/kW-month). Zero keeps pure energy billing.
+	DemandChargePerKW float64
 }
 
 func (sc *Scenario) validate() error {
@@ -94,6 +109,16 @@ func (sc *Scenario) validate() error {
 	}
 	if sc.Carbon != nil && len(sc.Carbon) != len(sc.Fleet.Clusters) {
 		return fmt.Errorf("sim: %d carbon series for %d clusters", len(sc.Carbon), len(sc.Fleet.Clusters))
+	}
+	if sc.Storage != nil {
+		if err := sc.Storage.Validate(len(sc.Fleet.Clusters)); err != nil {
+			return err
+		}
+	}
+	// NaN would slip past a plain sign check and silently disable the
+	// tariff at the > 0 metering gate; +Inf would bill infinite charges.
+	if !(sc.DemandChargePerKW >= 0) || math.IsInf(sc.DemandChargePerKW, 1) {
+		return errors.New("sim: demand charge rate must be non-negative and finite")
 	}
 	return nil
 }
@@ -133,6 +158,23 @@ type Result struct {
 	// supplied carbon intensity series (§8 extension).
 	TotalCarbonKg   float64
 	ClusterCarbonKg []float64
+
+	// EnergyCost and DemandCharge split TotalCost under a demand-charge
+	// tariff: TotalCost = EnergyCost + DemandCharge. Without a tariff,
+	// EnergyCost equals TotalCost and DemandCharge is zero.
+	EnergyCost          units.Money
+	DemandCharge        units.Money
+	ClusterDemandCharge []units.Money
+	// PeakGridKW is each cluster's maximum interval-average grid draw,
+	// the demand-charge billing determinant (non-nil only when metered).
+	PeakGridKW []float64
+
+	// StorageBoughtKWh and StorageServedKWh total the grid energy bought
+	// into batteries and the load energy they served; FinalSoCKWh is each
+	// battery's remaining charge (non-nil only when storage is configured).
+	StorageBoughtKWh float64
+	StorageServedKWh float64
+	FinalSoCKWh      []float64
 }
 
 // SavingsVersus returns 1 − cost/base, the percentage-style savings of this
@@ -240,6 +282,34 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 
+	// Battery and demand-charge state. Both stay nil for storage-free,
+	// energy-only scenarios so those runs take the exact code path (and
+	// produce the exact results) they did before this subsystem existed.
+	var batteries []*storage.State
+	var dispatch storage.Policy
+	var priceCapper storage.PriceCapper
+	var priceCaps []float64
+	if sc.Storage != nil {
+		batteries = make([]*storage.State, nc)
+		for c := range batteries {
+			batteries[c] = storage.NewState(sc.Storage.Batteries[c])
+		}
+		dispatch = sc.Storage.Policy
+		if sc.Storage.RoutingAware {
+			if pc, ok := dispatch.(storage.PriceCapper); ok {
+				priceCapper = pc
+				priceCaps = make([]float64, nc)
+			}
+		}
+	}
+	var demandMeters []*billing.DemandMeter
+	if sc.DemandChargePerKW > 0 {
+		demandMeters = make([]*billing.DemandMeter, nc)
+		for c := range demandMeters {
+			demandMeters[c] = new(billing.DemandMeter)
+		}
+	}
+
 	res := &Result{
 		Policy:          sc.Policy.Name(),
 		Steps:           sc.Steps,
@@ -312,6 +382,15 @@ func Run(sc Scenario) (*Result, error) {
 			if err := carbonLookup.values(at, carbonIntensity); err != nil {
 				return nil, fmt.Errorf("sim: carbon intensity at %v: %w", at, err)
 			}
+		}
+		// Storage-aware signal: a charged battery caps how expensive its
+		// cluster can look to the router (the battery absorbs anything
+		// above its discharge threshold).
+		if priceCapper != nil {
+			for c := range priceCaps {
+				priceCaps[c] = priceCapper.PriceCap(c, batteries[c])
+			}
+			routing.ApplyPriceCaps(ctx.DecisionPrices, priceCaps)
 		}
 
 		// Room tiers. Burst room above the 95/5 caps is unlocked only when
@@ -392,13 +471,37 @@ func Run(sc Scenario) (*Result, error) {
 			u := cl.Utilization(units.HitRate(load))
 			res.MeanUtilization[c] += u
 			e := sc.Energy.Energy(u, cl.Servers, stepHours)
-			cost := e.Cost(units.Price(billPrices[c]))
-			res.ClusterEnergy[c] += e
+			// Grid draw = IT draw + battery charging − battery discharging;
+			// everything downstream (bill, demand meter, carbon ledger) is
+			// metered at the grid interconnect.
+			grid := e
+			if batteries != nil {
+				b := batteries[c]
+				itKW := e.KilowattHours() / stepHours
+				if act := dispatch.Action(c, billPrices[c], itKW, b); act > 0 {
+					bought := b.Charge(act, stepHours)
+					grid += units.Energy(bought * 1000)
+					res.StorageBoughtKWh += bought
+				} else if act < 0 {
+					want := -act
+					if want > itKW {
+						want = itKW // no grid export
+					}
+					served := b.Discharge(want, stepHours)
+					grid -= units.Energy(served * 1000)
+					res.StorageServedKWh += served
+				}
+			}
+			cost := grid.Cost(units.Price(billPrices[c]))
+			res.ClusterEnergy[c] += grid
 			res.ClusterCost[c] += cost
-			res.TotalEnergy += e
+			res.TotalEnergy += grid
 			res.TotalCost += cost
+			if demandMeters != nil {
+				demandMeters[c].Record(at, grid.KilowattHours()/stepHours)
+			}
 			if sc.Carbon != nil {
-				kg := e.KilowattHours() * carbonIntensity[c] / 1000
+				kg := grid.KilowattHours() * carbonIntensity[c] / 1000
 				res.ClusterCarbonKg[c] += kg
 				res.TotalCarbonKg += kg
 			}
@@ -420,6 +523,25 @@ func Run(sc Scenario) (*Result, error) {
 			if err := constraints[c].Verify(); err != nil {
 				return nil, err
 			}
+		}
+	}
+	res.EnergyCost = res.TotalCost
+	if demandMeters != nil {
+		res.ClusterDemandCharge = make([]units.Money, nc)
+		res.PeakGridKW = make([]float64, nc)
+		for c, m := range demandMeters {
+			ch := m.Charge(sc.DemandChargePerKW)
+			res.ClusterDemandCharge[c] = ch
+			res.PeakGridKW[c] = m.PeakKW()
+			res.ClusterCost[c] += ch
+			res.DemandCharge += ch
+			res.TotalCost += ch
+		}
+	}
+	if batteries != nil {
+		res.FinalSoCKWh = make([]float64, nc)
+		for c, b := range batteries {
+			res.FinalSoCKWh[c] = b.SoCKWh()
 		}
 	}
 	res.MeanDistanceKm = distHist.Mean()
@@ -470,7 +592,13 @@ func (td *TraceDemand) Rates(at time.Time, dst []float64) []float64 {
 	if len(dst) != len(td.rates) {
 		dst = make([]float64, len(td.rates))
 	}
-	idx := int(at.Sub(td.start) / timeseries.FiveMinute)
+	// Go's integer division truncates toward zero, so a bare int(d/step)
+	// would map instants up to one step *before* the trace start onto
+	// sample 0; the pre-start side needs its own check.
+	idx := -1
+	if !at.Before(td.start) {
+		idx = int(at.Sub(td.start) / timeseries.FiveMinute)
+	}
 	if idx < 0 || idx >= td.samples {
 		for i := range dst {
 			dst[i] = 0

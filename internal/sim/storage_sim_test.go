@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/energy"
+	"powerroute/internal/market"
+	"powerroute/internal/routing"
+	"powerroute/internal/storage"
+	"powerroute/internal/units"
+)
+
+// oneClusterWorld builds a deterministic single-cluster world over a
+// 1-month market whose NYC hourly prices are overwritten with a square
+// wave: cheap for local hours [0,12), expensive for [12,24). The market is
+// generated fresh per call, so tests may mutate its series freely.
+func oneClusterWorld(t *testing.T, cheap, dear float64) (*cluster.Fleet, *market.Dataset, routing.Policy) {
+	t.Helper()
+	mkt := market.MustGenerate(market.Config{Seed: 7, Months: 1})
+	hub, err := market.HubByID("NYC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := cluster.NewFleet([]cluster.Cluster{{
+		Code: "NY", HubID: hub.ID, Location: hub.Location, Zone: hub.Zone,
+		Servers: 1000, Capacity: units.HitRate(1000 * cluster.HitsPerServer),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := mkt.RT("NYC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rt.Values {
+		if rt.TimeAt(i).Hour() < 12 {
+			rt.Values[i] = cheap
+		} else {
+			rt.Values[i] = dear
+		}
+	}
+	pol, err := routing.NewAllToOne(fleet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet, mkt, pol
+}
+
+// steadyDemand yields a constant per-state demand vector.
+type steadyDemand struct {
+	ns    int
+	total float64
+}
+
+func (d steadyDemand) Rates(_ time.Time, dst []float64) []float64 {
+	if len(dst) != d.ns {
+		dst = make([]float64, d.ns)
+	}
+	per := d.total / float64(d.ns)
+	for i := range dst {
+		dst[i] = per
+	}
+	return dst
+}
+
+// dayNightDemand is low during local hours [0,12) and high during [12,24),
+// aligned with oneClusterWorld's price wave.
+type dayNightDemand struct {
+	ns        int
+	low, high float64
+}
+
+func (d dayNightDemand) Rates(at time.Time, dst []float64) []float64 {
+	if len(dst) != d.ns {
+		dst = make([]float64, d.ns)
+	}
+	total := d.low
+	if at.Hour() >= 12 {
+		total = d.high
+	}
+	per := total / float64(d.ns)
+	for i := range dst {
+		dst[i] = per
+	}
+	return dst
+}
+
+// TestStorageArbitrageSavesMoney checks the battery buys cheap hours and
+// serves expensive ones: with a square-wave price and constant load, the
+// energy bill with a battery is strictly below the no-battery bill.
+func TestStorageArbitrageSavesMoney(t *testing.T) {
+	fleet, mkt, pol := oneClusterWorld(t, 10, 100)
+	sc := Scenario{
+		Fleet:  fleet,
+		Policy: pol,
+		Energy: energy.OptimisticFuture,
+		Market: mkt,
+		Demand: steadyDemand{ns: fleet.StateCount(), total: 0.5 * float64(fleet.TotalCapacity())},
+		Start:  mkt.Start,
+		Steps:  10 * 24,
+		Step:   time.Hour,
+	}
+	base, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dispatch, err := storage.NewThreshold(20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Storage = storage.Uniform(storage.Battery{
+		CapacityKWh:         500,
+		MaxChargeKW:         250,
+		MaxDischargeKW:      150, // below the ~180 kW IT draw: no grid export
+		RoundTripEfficiency: 0.81,
+	}, 1, dispatch)
+	withBattery, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if withBattery.StorageBoughtKWh <= 0 || withBattery.StorageServedKWh <= 0 {
+		t.Fatalf("battery idle: bought %v kWh, served %v kWh",
+			withBattery.StorageBoughtKWh, withBattery.StorageServedKWh)
+	}
+	if withBattery.TotalCost >= base.TotalCost {
+		t.Errorf("battery run cost %v, baseline %v — arbitrage should save strictly",
+			withBattery.TotalCost, base.TotalCost)
+	}
+	if withBattery.EnergyCost != withBattery.TotalCost || withBattery.DemandCharge != 0 {
+		t.Errorf("no tariff configured but EnergyCost %v / DemandCharge %v / TotalCost %v",
+			withBattery.EnergyCost, withBattery.DemandCharge, withBattery.TotalCost)
+	}
+	// Round-trip losses: served energy ≤ η × bought energy.
+	if withBattery.StorageServedKWh > 0.81*withBattery.StorageBoughtKWh+1e-6 {
+		t.Errorf("served %v kWh from %v kWh bought exceeds round-trip efficiency",
+			withBattery.StorageServedKWh, withBattery.StorageBoughtKWh)
+	}
+}
+
+// TestStoragePeakShaving checks the demand-charge component falls strictly
+// when a battery rides through the expensive (and busy) half of each day:
+// the monthly peak grid draw drops by the battery's discharge rate.
+func TestStoragePeakShaving(t *testing.T) {
+	fleet, mkt, pol := oneClusterWorld(t, 10, 100)
+	capacity := float64(fleet.TotalCapacity())
+	sc := Scenario{
+		Fleet:  fleet,
+		Policy: pol,
+		Energy: energy.OptimisticFuture,
+		Market: mkt,
+		Demand: dayNightDemand{ns: fleet.StateCount(), low: 0.2 * capacity, high: 0.9 * capacity},
+		Start:  mkt.Start,
+		Steps:  10 * 24,
+		Step:   time.Hour,
+		// $10/kW-month, a typical commercial demand rate.
+		DemandChargePerKW: 10,
+	}
+	base, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DemandCharge <= 0 || base.TotalCost != base.EnergyCost+base.DemandCharge {
+		t.Fatalf("tariff accounting broken: total %v = energy %v + demand %v?",
+			base.TotalCost, base.EnergyCost, base.DemandCharge)
+	}
+
+	dispatch, err := storage.NewThreshold(20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sized so the battery sustains its full 50 kW for the entire 12-hour
+	// expensive block (needs 600 kWh served = 667 kWh stored), while the
+	// 80 kW charging draw keeps cheap-hour grid below the shaved peak.
+	sc.Storage = storage.Uniform(storage.Battery{
+		CapacityKWh:         800,
+		MaxChargeKW:         80,
+		MaxDischargeKW:      50,
+		RoundTripEfficiency: 0.81,
+	}, 1, dispatch)
+	shaved, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if shaved.PeakGridKW[0] >= base.PeakGridKW[0] {
+		t.Errorf("peak grid draw %v kW not below baseline %v kW",
+			shaved.PeakGridKW[0], base.PeakGridKW[0])
+	}
+	if want := base.PeakGridKW[0] - 50; math.Abs(shaved.PeakGridKW[0]-want) > 1 {
+		t.Errorf("peak grid draw %v kW, want ≈ %v (baseline − discharge rate)",
+			shaved.PeakGridKW[0], want)
+	}
+	if shaved.DemandCharge >= base.DemandCharge {
+		t.Errorf("demand charge %v not below baseline %v", shaved.DemandCharge, base.DemandCharge)
+	}
+	if shaved.EnergyCost >= base.EnergyCost {
+		t.Errorf("energy bill %v not below baseline %v", shaved.EnergyCost, base.EnergyCost)
+	}
+	if shaved.TotalCost != shaved.EnergyCost+shaved.DemandCharge {
+		t.Errorf("total %v != energy %v + demand %v",
+			shaved.TotalCost, shaved.EnergyCost, shaved.DemandCharge)
+	}
+}
+
+// TestZeroCapacityBatteryIsIdentity checks the acceptance criterion that a
+// configured-but-empty storage subsystem reproduces a storage-free run
+// bit for bit.
+func TestZeroCapacityBatteryIsIdentity(t *testing.T) {
+	sc := shortScenario()
+	sc.Policy = routing.NewBaseline(sc.Fleet)
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dispatch, err := storage.NewThreshold(20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero := sc
+	withZero.Policy = routing.NewBaseline(sc.Fleet) // fresh policy state
+	withZero.Storage = storage.Uniform(storage.Battery{}, len(sc.Fleet.Clusters), dispatch)
+	withZero.Storage.RoutingAware = true
+	got, err := Run(withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FinalSoCKWh == nil {
+		t.Error("storage-configured run should report FinalSoCKWh")
+	}
+	if got.StorageBoughtKWh != 0 || got.StorageServedKWh != 0 {
+		t.Errorf("zero-capacity battery moved energy: %v/%v kWh",
+			got.StorageBoughtKWh, got.StorageServedKWh)
+	}
+	// Apart from the storage bookkeeping fields, every number must be
+	// bit-identical to the storage-free run.
+	got.FinalSoCKWh = nil
+	if !reflect.DeepEqual(plain, got) {
+		t.Errorf("zero-capacity battery changed the result:\nplain: %+v\n with: %+v", plain, got)
+	}
+}
+
+// TestStorageScenarioValidation checks the new scenario knobs reject
+// malformed configurations.
+func TestStorageScenarioValidation(t *testing.T) {
+	dispatch, err := storage.NewThreshold(20, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := shortScenario()
+	good.Policy = routing.NewBaseline(good.Fleet)
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.Storage = &storage.Config{Policy: dispatch} }, // battery count mismatch
+		func(s *Scenario) { s.Storage = storage.Uniform(storage.Battery{}, len(s.Fleet.Clusters), nil) },
+		func(s *Scenario) {
+			s.Storage = storage.Uniform(storage.Battery{CapacityKWh: -5}, len(s.Fleet.Clusters), dispatch)
+		},
+		func(s *Scenario) { s.DemandChargePerKW = -1 },
+		// NaN would silently disable the tariff; +Inf would bill it infinite.
+		func(s *Scenario) { s.DemandChargePerKW = math.NaN() },
+		func(s *Scenario) { s.DemandChargePerKW = math.Inf(1) },
+	}
+	for i, mutate := range cases {
+		sc := good
+		mutate(&sc)
+		if _, err := Run(sc); err == nil {
+			t.Errorf("case %d: invalid storage scenario accepted", i)
+		}
+	}
+}
+
+// TestStorageAwareRoutingSignal checks the decision-price cap steers the
+// router: with two clusters, a spiking hub that holds a charged battery
+// keeps receiving load when RoutingAware is set, and sheds it when not.
+func TestStorageAwareRoutingSignal(t *testing.T) {
+	fx := fixtures()
+	sc := Scenario{
+		Fleet:         fx.Fleet,
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.Demand,
+		Start:         fx.Trace.Start,
+		Steps:         2 * 288,
+		Step:          5 * time.Minute,
+		ReactionDelay: 0,
+	}
+	opt, err := routing.NewPriceOptimizer(fx.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Policy = opt
+	dispatch, err := storage.NewThreshold(15, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	battery := storage.Battery{
+		CapacityKWh: 200, MaxChargeKW: 100, MaxDischargeKW: 100,
+		RoundTripEfficiency: 0.9, InitialSoC: 1,
+	}
+	run := func(aware bool) *Result {
+		s := sc
+		pol, err := routing.NewPriceOptimizer(fx.Fleet, 1500, routing.DefaultPriceThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Policy = pol
+		s.Storage = storage.Uniform(battery, len(fx.Fleet.Clusters), dispatch)
+		s.Storage.RoutingAware = aware
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	aware, blind := run(true), run(false)
+	// The capped signal must change the allocation (different realized
+	// costs or distances); identical results would mean the cap never bit.
+	if aware.TotalCost == blind.TotalCost && aware.MeanDistanceKm == blind.MeanDistanceKm {
+		t.Error("storage-aware signal did not change routing")
+	}
+}

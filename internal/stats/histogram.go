@@ -8,12 +8,13 @@ import (
 // Histogram is a fixed-width binned empirical distribution, used to render
 // the paper's price change and differential histograms (Fig 7, 10, 13).
 type Histogram struct {
-	Min, Max float64 // bounds of the binned range
-	Width    float64 // bin width
-	Counts   []int   // per-bin counts
-	Under    int     // samples below Min
-	Over     int     // samples above Max
-	Total    int     // all samples offered, including under/overflow
+	Min, Max  float64 // bounds of the binned range
+	Width     float64 // bin width
+	Counts    []int   // per-bin counts
+	Under     int     // samples below Min
+	Over      int     // samples above Max
+	NonFinite int     // NaN and ±Inf samples
+	Total     int     // all samples offered, including out-of-range and non-finite
 }
 
 // NewHistogram builds a histogram of xs with the given number of equal-width
@@ -38,10 +39,15 @@ func NewHistogram(xs []float64, min, max float64, bins int) (*Histogram, error) 
 	return h, nil
 }
 
-// Add tallies one sample.
+// Add tallies one sample. Non-finite samples land in NonFinite rather
+// than a bin: a NaN fails both range comparisons, and int(NaN) — like
+// int(±Inf) — is implementation-defined (negative on amd64), which would
+// panic on the Counts index.
 func (h *Histogram) Add(x float64) {
 	h.Total++
 	switch {
+	case math.IsNaN(x) || math.IsInf(x, 0):
+		h.NonFinite++
 	case x < h.Min:
 		h.Under++
 	case x > h.Max:

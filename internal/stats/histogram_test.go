@@ -291,3 +291,65 @@ func TestWeightedHistogram(t *testing.T) {
 		t.Error("empty weighted histogram should return zeros")
 	}
 }
+
+// TestHistogramNonFinite checks NaN/±Inf samples are tallied, not binned:
+// int(NaN) is implementation-defined (negative on amd64) and used to panic
+// on the Counts index.
+func TestHistogramNonFinite(t *testing.T) {
+	h, err := NewHistogram(nil, -10, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	h.Add(5)
+	if h.NonFinite != 3 {
+		t.Errorf("NonFinite = %d, want 3", h.NonFinite)
+	}
+	if h.Total != 4 {
+		t.Errorf("Total = %d, want 4", h.Total)
+	}
+	if h.Under != 0 || h.Over != 0 {
+		t.Errorf("±Inf leaked into Under/Over: %d/%d", h.Under, h.Over)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 1 {
+		t.Errorf("binned %d samples, want only the finite one", sum)
+	}
+	// Construction from a slice containing non-finite values must not panic.
+	h2, err := NewHistogram([]float64{math.NaN(), 0, math.Inf(1)}, -1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NonFinite != 2 || h2.Total != 3 {
+		t.Errorf("NonFinite/Total = %d/%d, want 2/3", h2.NonFinite, h2.Total)
+	}
+}
+
+// TestWeightedHistogramNonFinite checks that NaN/±Inf values and weights
+// cannot poison the running sum (Mean would become NaN for the whole run).
+func TestWeightedHistogramNonFinite(t *testing.T) {
+	w := NewWeightedHistogram(0, 100, 10)
+	w.Add(50, 2)
+	w.Add(math.NaN(), 1)
+	w.Add(math.Inf(1), 1)
+	w.Add(math.Inf(-1), 1)
+	w.Add(60, math.NaN())
+	w.Add(60, math.Inf(1))
+	if got := w.NonFinite(); got != 3 {
+		t.Errorf("NonFinite = %v, want 3", got)
+	}
+	if got := w.Total(); got != 2 {
+		t.Errorf("Total = %v, want 2 (only the finite sample)", got)
+	}
+	if got := w.Mean(); math.IsNaN(got) || got != 50 {
+		t.Errorf("Mean = %v, want 50", got)
+	}
+	if got := w.Quantile(0.5); got < 50 || got > 60 {
+		t.Errorf("Quantile(0.5) = %v, want within bin of 50", got)
+	}
+}

@@ -141,10 +141,11 @@ func WeightedQuantile(samples []WeightedSample, q float64) (float64, error) {
 // track client-server distance distributions over millions of allocations
 // without retaining them.
 type WeightedHistogram struct {
-	min, max float64
-	bins     []float64
-	total    float64
-	sum      float64 // Σ weight·value, for the mean
+	min, max  float64
+	bins      []float64
+	total     float64
+	sum       float64 // Σ weight·value, for the mean
+	nonFinite float64 // weight carried by NaN/±Inf values
 }
 
 // NewWeightedHistogram creates a histogram over [min,max] with the given
@@ -159,9 +160,16 @@ func NewWeightedHistogram(min, max float64, bins int) *WeightedHistogram {
 	return &WeightedHistogram{min: min, max: max, bins: make([]float64, bins)}
 }
 
-// Add records value with the given weight (non-positive weights ignored).
+// Add records value with the given weight. Non-positive or non-finite
+// weights are ignored; non-finite values are tallied in NonFinite instead
+// of a bin (a NaN would clamp into bin 0 and poison the running sum, so
+// Mean would return NaN for the whole run).
 func (w *WeightedHistogram) Add(value, weight float64) {
-	if weight <= 0 {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		w.nonFinite += weight
 		return
 	}
 	i := int((value - w.min) / (w.max - w.min) * float64(len(w.bins)))
@@ -208,5 +216,8 @@ func (w *WeightedHistogram) Quantile(q float64) float64 {
 	return w.max
 }
 
-// Total returns the total recorded weight.
+// Total returns the total recorded weight (finite values only).
 func (w *WeightedHistogram) Total() float64 { return w.total }
+
+// NonFinite returns the weight offered with NaN/±Inf values.
+func (w *WeightedHistogram) NonFinite() float64 { return w.nonFinite }

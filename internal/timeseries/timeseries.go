@@ -213,8 +213,16 @@ func (s *Series) Clone() *Series {
 	return &Series{Start: s.Start, Step: s.Step, Values: v}
 }
 
-// HoursBetween returns the whole number of steps from the series start to
-// t (may be negative or past the end; callers bound it separately).
+// StepsFromStart returns the index of the step covering instant t: the
+// floor of (t − Start)/Step. Instants before the start map to negative
+// indices — an instant just before Start is step −1, never 0, which plain
+// toward-zero integer division would claim. The result may also lie past
+// the series end; callers bound it separately.
 func (s *Series) StepsFromStart(t time.Time) int {
-	return int(t.Sub(s.Start) / s.Step)
+	d := t.Sub(s.Start)
+	i := int(d / s.Step)
+	if d < 0 && time.Duration(i)*s.Step != d {
+		i-- // toward-zero truncation rounds negatives up; floor instead
+	}
+	return i
 }

@@ -239,6 +239,17 @@ func TestStepsFromStart(t *testing.T) {
 	if s.StepsFromStart(t0.Add(-2*time.Hour)) != -2 {
 		t.Error("StepsFromStart negative wrong")
 	}
+	// Floor semantics: instants inside the step before the start belong to
+	// step −1, not step 0 (toward-zero truncation would report 0).
+	if got := s.StepsFromStart(t0.Add(-time.Minute)); got != -1 {
+		t.Errorf("StepsFromStart just before start = %d, want -1", got)
+	}
+	if got := s.StepsFromStart(t0.Add(-90 * time.Minute)); got != -2 {
+		t.Errorf("StepsFromStart mid-step before start = %d, want -2", got)
+	}
+	if got := s.StepsFromStart(t0); got != 0 {
+		t.Errorf("StepsFromStart at start = %d, want 0", got)
+	}
 }
 
 func TestRoundTripIndexProperty(t *testing.T) {
