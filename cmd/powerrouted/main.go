@@ -1,0 +1,153 @@
+// Command powerrouted is the online routing daemon: the paper's §6.1
+// mapping system as a long-running HTTP service. It assembles the
+// deterministic synthetic world (fleet, energy model, market geometry),
+// wraps an incremental sim.Engine in internal/server, and then routes
+// whatever price and demand feeds arrive over HTTP — one routing decision
+// per demand interval, with the running bill, peaks, and battery
+// state-of-charge queryable while it serves.
+//
+// Usage:
+//
+//	powerrouted [-addr HOST:PORT] [-seed N] [-months M] [-days D]
+//	            [-horizon longrun|trace] [-threshold-km KM]
+//	            [-price-threshold D] [-reaction-delay DUR]
+//
+// Feed it with cmd/tracegen's replay mode:
+//
+//	powerrouted -addr 127.0.0.1:7946 &
+//	tracegen -replay http://127.0.0.1:7946
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain, the engine's books are closed, and a final bill summary is
+// printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"powerroute/internal/core"
+	"powerroute/internal/energy"
+	"powerroute/internal/experiments"
+	"powerroute/internal/routing"
+	"powerroute/internal/server"
+	"powerroute/internal/sim"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable main path. It blocks until ctx is cancelled (signal)
+// or startup fails, and returns the process exit code.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("powerrouted", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7946", "listen address")
+	seed := fs.Int64("seed", experiments.DefaultSeed, "world seed (must match the feed generator's)")
+	months := fs.Int("months", 0, "override market history length in months (0 = the paper's 39)")
+	days := fs.Int("days", 0, "override traffic trace length in days (0 = the paper's 24)")
+	horizon := fs.String("horizon", "longrun", "routing interval source: longrun (hourly) or trace (5-minute)")
+	thresholdKm := fs.Float64("threshold-km", 1500, "optimizer distance threshold (paper's elbow)")
+	priceThreshold := fs.Float64("price-threshold", routing.DefaultPriceThreshold, "price differential dead-band ($/MWh)")
+	delay := fs.Duration("reaction-delay", sim.DefaultReactionDelay, "lag between a price taking effect and the router seeing it")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "powerrouted: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	sys, err := core.NewSystem(core.Options{Seed: *seed, MarketMonths: *months, TraceDays: *days})
+	if err != nil {
+		fmt.Fprintln(stderr, "powerrouted:", err)
+		return 1
+	}
+	sc := sim.Scenario{
+		Fleet:         sys.Fleet,
+		Energy:        energy.OptimisticFuture,
+		Market:        sys.Market,
+		ReactionDelay: *delay,
+	}
+	switch *horizon {
+	case "longrun":
+		sc.Demand = sys.LongRun
+		sc.Start = sys.Market.Start
+		sc.Steps = sys.Market.Hours
+		sc.Step = time.Hour
+	case "trace":
+		demand, err := sim.FromTrace(sys.Trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		sc.Demand = demand
+		sc.Start = sys.Trace.Start
+		sc.Steps = sys.Trace.Samples
+		sc.Step = 5 * time.Minute
+	default:
+		fmt.Fprintf(stderr, "powerrouted: unknown horizon %q (longrun or trace)\n", *horizon)
+		return 2
+	}
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, *thresholdKm, *priceThreshold)
+	if err != nil {
+		fmt.Fprintln(stderr, "powerrouted:", err)
+		return 1
+	}
+	sc.Policy = opt
+	eng, err := sim.NewEngine(sc)
+	if err != nil {
+		fmt.Fprintln(stderr, "powerrouted:", err)
+		return 1
+	}
+	srv, err := server.New(server.Config{Engine: eng})
+	if err != nil {
+		fmt.Fprintln(stderr, "powerrouted:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "powerrouted:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "powerrouted: listening on %s (policy %s, step %v, %d clusters, %d states)\n",
+		ln.Addr(), opt.Name(), sc.Step, len(sys.Fleet.Clusters), len(sys.Fleet.States))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "powerrouted:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: drain in-flight requests, then close the books.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(stderr, "powerrouted: shutdown:", err)
+	}
+	if res, err := srv.Finalize(); err != nil {
+		// Expected when the daemon is stopped before any traffic arrived.
+		fmt.Fprintf(stdout, "powerrouted: no intervals routed (%v)\n", err)
+	} else {
+		fmt.Fprintf(stdout, "powerrouted: routed %d intervals, total bill $%.2f, energy %.1f MWh, mean distance %.0f km\n",
+			res.Steps, float64(res.TotalCost), res.TotalEnergy.MegawattHours(), res.MeanDistanceKm)
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuf is a goroutine-safe writer: run() logs from the serving
+// goroutine while the test polls for the listen line.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (\S+) `)
+
+// TestServeRouteShutdown boots the daemon on an ephemeral port with a tiny
+// world, routes one interval over HTTP, then cancels the context and
+// checks the graceful-shutdown summary.
+func TestServeRouteShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out, errOut syncBuf
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-months", "1", "-days", "7"}, &out, &errOut)
+	}()
+
+	var base string
+	deadline := time.Now().Add(30 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stdout %q stderr %q", out.String(), errOut.String())
+		}
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// Discover the world, then feed one priced, routed interval.
+	var world struct {
+		Start    time.Time `json:"start"`
+		States   []string  `json:"states"`
+		Clusters []struct {
+			Hub string `json:"hub"`
+		} `json:"clusters"`
+	}
+	resp, err = http.Get(base + "/v1/world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&world)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := map[string]float64{}
+	for _, cl := range world.Clusters {
+		prices[cl.Hub] = 42
+	}
+	post := func(path string, v any) {
+		t.Helper()
+		body, _ := json.Marshal(v)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, msg)
+		}
+	}
+	post("/v1/prices", map[string]any{"at": world.Start, "prices": prices})
+	rates := make([]float64, len(world.States))
+	for i := range rates {
+		rates[i] = 1000
+	}
+	post("/v1/demand", map[string]any{"rates": rates})
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr %q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "routed 1 intervals") {
+		t.Errorf("missing shutdown summary, got %q", out.String())
+	}
+}
+
+// TestBadInvocations covers flag and startup failures.
+func TestBadInvocations(t *testing.T) {
+	cases := []struct {
+		argv []string
+		want int
+	}{
+		{[]string{"-horizon", "nope"}, 2},
+		{[]string{"stray-arg"}, 2},
+		{[]string{"-not-a-flag"}, 2},
+		{[]string{"-addr", "256.0.0.1:bad", "-months", "1", "-days", "2"}, 1},
+	}
+	for _, tc := range cases {
+		var out, errOut syncBuf
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		code := run(ctx, tc.argv, &out, &errOut)
+		cancel()
+		if code != tc.want {
+			t.Errorf("%v: exit %d, want %d (stderr %q)", tc.argv, code, tc.want, errOut.String())
+		}
+	}
+}

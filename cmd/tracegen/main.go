@@ -4,9 +4,21 @@
 // formats, so they round-trip back into the simulator and can be swapped
 // for real archives.
 //
+// It is also the load generator for the powerrouted daemon: -replay
+// regenerates the same world (match the daemon's -seed/-months/-days) and
+// streams the full price history plus the hourly long-run demand through
+// the daemon's ingest endpoints, one routing decision per hour, at a
+// configurable speedup.
+//
 // Usage:
 //
 //	tracegen [-seed N] [-months M] [-days D] -out DIR
+//	tracegen [-seed N] [-months M] [-days D] -replay URL
+//	         [-speedup X] [-batch N] [-loop N]
+//
+// With -speedup 0 (the default) the replay free-runs as fast as the daemon
+// routes, reporting sustained decision throughput; -speedup 3600 replays
+// one simulated hour per wall second.
 package main
 
 import (
@@ -26,10 +38,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "generation seed")
 	months := flag.Int("months", market.DefaultMonths, "price history length in months")
 	days := flag.Int("days", traffic.DefaultDays, "traffic trace length in days")
-	out := flag.String("out", "", "output directory (required)")
+	out := flag.String("out", "", "output directory (required unless -replay)")
+	replayURL := flag.String("replay", "", "powerrouted base URL to replay the world against (e.g. http://127.0.0.1:7946)")
+	speedup := flag.Float64("speedup", 0, "replay pacing: simulated seconds per wall second (0 = as fast as possible)")
+	batch := flag.Int("batch", 1024, "replay ingest batch size in steps")
+	loops := flag.Int("loop", 1, "replay the price horizon this many times")
 	flag.Parse()
+	if *replayURL != "" {
+		if err := replay(os.Stdout, *replayURL, *seed, *months, *days, *batch, *loops, *speedup); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "tracegen: -out DIR is required")
+		fmt.Fprintln(os.Stderr, "tracegen: -out DIR or -replay URL is required")
 		os.Exit(2)
 	}
 	if err := run(*seed, *months, *days, *out, os.Stdout); err != nil {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"powerroute/internal/market"
+	"powerroute/internal/server"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/traffic"
+)
+
+// replay regenerates the synthetic world and streams it through a running
+// powerrouted daemon: the hourly hub price history via POST /v1/prices and
+// the long-run hour-of-week demand via POST /v1/demand, in binary batches
+// of `batch` steps, `loops` passes over the price horizon. Each price
+// chunk is posted before the demand chunk that references it, so the
+// daemon's decision lookups (reaction delay included) always resolve.
+//
+// With speedup 0 the replay free-runs, which makes it a throughput
+// benchmark: the routed-steps-per-second figure it prints is the daemon's
+// sustained decision rate including ingest parsing and HTTP overhead.
+func replay(stdout io.Writer, baseURL string, seed int64, months, days, batch, loops int, speedup float64) error {
+	if batch <= 0 {
+		return fmt.Errorf("replay: non-positive batch size %d", batch)
+	}
+	if loops <= 0 {
+		return fmt.Errorf("replay: non-positive loop count %d", loops)
+	}
+	mkt, err := market.Generate(market.Config{Seed: seed, Months: months})
+	if err != nil {
+		return err
+	}
+	tr, err := traffic.Generate(traffic.Config{Seed: seed + 1, Days: days})
+	if err != nil {
+		return err
+	}
+	lr := tr.LongRun()
+
+	hubs := mkt.Hubs()
+	hubIDs := make([]string, len(hubs))
+	rts := make([]*timeseries.Series, len(hubs))
+	for i, h := range hubs {
+		hubIDs[i] = h.ID
+		s, err := mkt.RT(h.ID)
+		if err != nil {
+			return err
+		}
+		rts[i] = s
+	}
+	ns := len(tr.States)
+	step := timeseries.Hourly
+	start := mkt.Start
+	horizon := mkt.Hours
+	total := horizon * loops
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	fmt.Fprintf(stdout, "replay: %d hourly steps (%d-pass %d-month horizon), %d hubs, %d states, batch %d\n",
+		total, loops, months, len(hubs), ns, batch)
+
+	priceRow := make([]float64, len(hubIDs))
+	demandRow := make([]float64, ns)
+	rowBuf := make([]byte, 0, 8*max(len(hubIDs), ns))
+	routed := 0
+	t0 := time.Now()
+	for off := 0; off < total; off += batch {
+		n := min(batch, total-off)
+		chunkStart := start.Add(time.Duration(off) * step)
+
+		var pb bytes.Buffer
+		if err := server.WriteBatchHeader(&pb, "prices", chunkStart, step, n, len(hubIDs), hubIDs); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			idx := (off + i) % horizon
+			for j, rt := range rts {
+				priceRow[j] = rt.Values[idx]
+			}
+			pb.Write(server.AppendRow(rowBuf[:0], priceRow))
+		}
+		if err := post(client, baseURL+"/v1/prices", server.ContentTypePricesBatch, &pb); err != nil {
+			return fmt.Errorf("replay: price chunk at %v: %w", chunkStart, err)
+		}
+
+		var db bytes.Buffer
+		if err := server.WriteBatchHeader(&db, "demand", chunkStart, step, n, ns, nil); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			demandRow = lr.Rates(chunkStart.Add(time.Duration(i)*step), demandRow)
+			db.Write(server.AppendRow(rowBuf[:0], demandRow))
+		}
+		if err := post(client, baseURL+"/v1/demand", server.ContentTypeDemandBatch, &db); err != nil {
+			return fmt.Errorf("replay: demand chunk at %v: %w", chunkStart, err)
+		}
+		routed += n
+		if speedup > 0 {
+			time.Sleep(time.Duration(float64(n) * float64(step) / speedup))
+		}
+	}
+	elapsed := time.Since(t0)
+
+	status, err := getStatus(client, baseURL)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "replay: routed %d steps in %v (%.0f steps/s)\n",
+		routed, elapsed.Round(time.Millisecond), float64(routed)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "replay: daemon at %d steps, total cost $%.2f, energy %.1f MWh\n",
+		status.Steps, status.TotalCostUSD, status.TotalEnergyMWh)
+	return nil
+}
+
+// post sends one ingest body and fails on any non-2xx response, surfacing
+// the daemon's JSON error message.
+func post(client *http.Client, url, contentType string, body io.Reader) error {
+	resp, err := client.Post(url, contentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// daemonStatus is the slice of /v1/status the replay summary reports.
+type daemonStatus struct {
+	Steps          int     `json:"steps"`
+	TotalCostUSD   float64 `json:"total_cost_usd"`
+	TotalEnergyMWh float64 `json:"total_energy_mwh"`
+}
+
+func getStatus(client *http.Client, baseURL string) (*daemonStatus, error) {
+	resp, err := client.Get(baseURL + "/v1/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status: %s", resp.Status)
+	}
+	status := new(daemonStatus)
+	if err := json.NewDecoder(resp.Body).Decode(status); err != nil {
+		return nil, fmt.Errorf("status: decoding response: %w", err)
+	}
+	return status, nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"powerroute/internal/core"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/server"
+	"powerroute/internal/sim"
+)
+
+// replayWorld assembles the daemon side of a replay: the same world the
+// generator will regenerate, wrapped in an engine and HTTP server.
+func replayWorld(t *testing.T, seed int64, months, days int) (*server.Server, *httptest.Server, sim.Scenario) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{Seed: seed, MarketMonths: months, TraceDays: days})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.Scenario{
+		Fleet:         sys.Fleet,
+		Energy:        energy.OptimisticFuture,
+		Market:        sys.Market,
+		Demand:        sys.LongRun,
+		Start:         sys.Market.Start,
+		Steps:         sys.Market.Hours,
+		Step:          time.Hour,
+		ReactionDelay: sim.DefaultReactionDelay,
+	}
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Policy = opt
+	eng, err := sim.NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, sc
+}
+
+// TestReplayMatchesBatchRun is the online/batch equivalence check at full
+// system scope: replaying the world through powerrouted's HTTP ingest
+// (binary batches, price feed with reaction delay) must leave the daemon's
+// engine with the exact Result — bit for bit — that the batch sim.Run
+// produces for the same scenario.
+func TestReplayMatchesBatchRun(t *testing.T) {
+	const (
+		seed   = int64(42)
+		months = 1
+		days   = 7
+	)
+	srv, ts, sc := replayWorld(t, seed, months, days)
+
+	var out strings.Builder
+	// Batch size deliberately misaligned with the horizon so chunk
+	// boundaries land mid-feed.
+	if err := replay(&out, ts.URL, seed, months, days, 100, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	online, err := srv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh policy: the served engine's optimizer carries its order cache.
+	opt, err := routing.NewPriceOptimizer(sc.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Policy = opt
+	batch, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(online, batch) {
+		t.Fatalf("online replay diverged from batch Run:\nonline: %+v\nbatch:  %+v", online, batch)
+	}
+	if !strings.Contains(out.String(), "routed") {
+		t.Errorf("replay summary missing, got %q", out.String())
+	}
+}
+
+// TestReplayLoops: a second pass over the price horizon keeps routing
+// (periodic demand, cyclic prices) and doubles the step count.
+func TestReplayLoops(t *testing.T) {
+	srv, ts, sc := replayWorld(t, 7, 1, 7)
+	var out strings.Builder
+	if err := replay(&out, ts.URL, 7, 1, 7, 512, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := srv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * sc.Steps; res.Steps != want {
+		t.Fatalf("looped replay routed %d steps, want %d", res.Steps, want)
+	}
+	if res.TotalCost <= 0 {
+		t.Fatal("looped replay billed nothing")
+	}
+}
+
+// TestReplayArgumentValidation: bad knobs fail before any traffic.
+func TestReplayArgumentValidation(t *testing.T) {
+	var out strings.Builder
+	if err := replay(&out, "http://127.0.0.1:1", 1, 1, 1, 0, 1, 0); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if err := replay(&out, "http://127.0.0.1:1", 1, 1, 1, 16, 0, 0); err == nil {
+		t.Error("loop 0 accepted")
+	}
+}

@@ -318,12 +318,20 @@ func (p *PriceOptimizer) preferenceOrder(s int, prices []float64, order []int) [
 	}
 	rest := order[head:]
 	dist := p.fleet.DistanceKm[s]
-	sort.SliceStable(rest, func(i, j int) bool {
-		if prices[rest[i]] != prices[rest[j]] {
-			return prices[rest[i]] < prices[rest[j]]
+	// Stable insertion sort: rest is at most a handful of cluster indices
+	// and this runs for every state on every price change, where
+	// sort.SliceStable's reflection-based swapper dominated the whole
+	// simulation profile (~60% of the hourly step loop).
+	for i := 1; i < len(rest); i++ {
+		c := rest[i]
+		j := i - 1
+		for j >= 0 && (prices[c] < prices[rest[j]] ||
+			(prices[c] == prices[rest[j]] && dist[c] < dist[rest[j]])) {
+			rest[j+1] = rest[j]
+			j--
 		}
-		return dist[rest[i]] < dist[rest[j]]
-	})
+		rest[j+1] = c
+	}
 	return order
 }
 

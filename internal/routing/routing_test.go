@@ -2,6 +2,9 @@ package routing
 
 import (
 	"math"
+	"math/rand"
+	"slices"
+	"sort"
 	"testing"
 
 	"powerroute/internal/cluster"
@@ -444,5 +447,64 @@ func TestApplyPriceCaps(t *testing.T) {
 	ApplyPriceCaps(prices, []float64{5})
 	if prices[0] != 5 || prices[1] != 20 {
 		t.Errorf("short caps: prices = %v, want [5 20]", prices)
+	}
+}
+
+// TestPreferenceOrderMatchesStableSort cross-checks the hand-rolled
+// insertion sort in preferenceOrder against sort.SliceStable with the same
+// comparator, over randomized prices with deliberate ties — the hot-path
+// rewrite must be permutation-identical, since routing determinism (and
+// the byte-identical experiment registry) depends on it.
+func TestPreferenceOrderMatchesStableSort(t *testing.T) {
+	fleet := testFleet(t)
+	opt, err := NewPriceOptimizer(fleet, 2500, DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := len(fleet.Clusters)
+	rng := rand.New(rand.NewSource(99))
+	prices := make([]float64, nc)
+	for trial := 0; trial < 200; trial++ {
+		for c := range prices {
+			// Coarse quantization forces frequent price ties so the
+			// stability tiebreak (distance) is actually exercised.
+			prices[c] = 20 + 5*float64(rng.Intn(8))
+		}
+		for s := range fleet.States {
+			got := opt.preferenceOrder(s, prices, nil)
+
+			cands := opt.candidates[s]
+			pmin := prices[cands[0]]
+			for _, c := range cands[1:] {
+				if prices[c] < pmin {
+					pmin = prices[c]
+				}
+			}
+			cutoff := pmin + opt.priceThreshold
+			var want []int
+			for _, c := range cands {
+				if prices[c] <= cutoff {
+					want = append(want, c)
+				}
+			}
+			head := len(want)
+			for _, c := range cands {
+				if prices[c] > cutoff {
+					want = append(want, c)
+				}
+			}
+			rest := want[head:]
+			dist := fleet.DistanceKm[s]
+			sort.SliceStable(rest, func(i, j int) bool {
+				if prices[rest[i]] != prices[rest[j]] {
+					return prices[rest[i]] < prices[rest[j]]
+				}
+				return dist[rest[i]] < dist[rest[j]]
+			})
+			if !slices.Equal(got, want) {
+				t.Fatalf("trial %d state %d: order %v, stable-sort reference %v (prices %v)",
+					trial, s, got, want, prices)
+			}
+		}
 	}
 }

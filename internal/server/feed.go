@@ -1,0 +1,228 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// priceFeed is the daemon's ingested price history: per-cluster price
+// vectors keyed by the instant they took effect, append-only and
+// chronological. Lookups resolve an instant to the newest vector at or
+// before it (clamping to the first vector for pre-feed instants, exactly
+// as the batch engine clamps decision times to the start of market data).
+type priceFeed struct {
+	at  []time.Time
+	vec [][]float64 // per-cluster, fleet order
+}
+
+func (f *priceFeed) len() int { return len(f.at) }
+
+// last returns the newest ingested vector, or nil when the feed is empty.
+func (f *priceFeed) last() []float64 {
+	if len(f.vec) == 0 {
+		return nil
+	}
+	return f.vec[len(f.vec)-1]
+}
+
+// add appends one vector. Entries must arrive in chronological order; a
+// re-post at the newest instant replaces it (feed corrections).
+func (f *priceFeed) add(at time.Time, perCluster []float64) error {
+	if n := len(f.at); n > 0 {
+		switch {
+		case at.Equal(f.at[n-1]):
+			f.vec[n-1] = perCluster
+			return nil
+		case at.Before(f.at[n-1]):
+			return fmt.Errorf("server: price at %v precedes newest feed entry %v", at, f.at[n-1])
+		}
+	}
+	f.at = append(f.at, at)
+	f.vec = append(f.vec, perCluster)
+	return nil
+}
+
+// prune drops entries that can never be looked up again: everything
+// strictly older than the newest entry at or before `oldest` (that entry
+// itself must stay — it covers `oldest` and later instants up to its
+// successor). The daemon calls this with its oldest future lookup instant
+// (next interval minus reaction delay) so a long-running feed holds O(delay
+// ÷ feed cadence) vectors instead of growing without bound.
+func (f *priceFeed) prune(oldest time.Time) {
+	n := len(f.at)
+	if n == 0 {
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return f.at[i].After(oldest) })
+	// f.at[i-1] covers `oldest`; drop [0, i-1).
+	if i <= 1 {
+		return
+	}
+	f.at = append(f.at[:0], f.at[i-1:]...)
+	f.vec = append(f.vec[:0], f.vec[i-1:]...)
+}
+
+// lookup returns the vector covering instant at, clamped to the first
+// entry. Returns nil when the feed is empty.
+func (f *priceFeed) lookup(at time.Time) []float64 {
+	n := len(f.at)
+	if n == 0 {
+		return nil
+	}
+	// Common case for chronological stepping: at covers the newest entry.
+	if !at.Before(f.at[n-1]) {
+		return f.vec[n-1]
+	}
+	i := sort.Search(n, func(i int) bool { return f.at[i].After(at) })
+	if i == 0 {
+		return f.vec[0]
+	}
+	return f.vec[i-1]
+}
+
+// Binary batch bodies: the high-throughput ingest path the trace-replay
+// load generator uses. A batch is one text header line followed by
+// rows×cols little-endian float64s:
+//
+//	powerroute-batch v1 kind=<demand|prices> start=<unixnano> step=<ns> rows=<n> cols=<m> [hubs=<id,id,...>]\n
+//
+// Demand columns are the fleet's states in order; price columns are the
+// named hubs. The header is self-describing, so a chunked replay can POST
+// any number of batches back to back.
+const (
+	batchMagic = "powerroute-batch v1"
+
+	// ContentTypeDemandBatch and ContentTypePricesBatch select the binary
+	// batch parser on POST /v1/demand and /v1/prices.
+	ContentTypeDemandBatch = "application/x-powerroute-demand-batch"
+	ContentTypePricesBatch = "application/x-powerroute-prices-batch"
+
+	// maxBatchRows bounds one batch body (a protective cap, not a
+	// throughput limit — replays just send more batches).
+	maxBatchRows = 1 << 20
+)
+
+// batchHeader is the parsed first line of a binary batch body.
+type batchHeader struct {
+	kind  string
+	start time.Time
+	step  time.Duration
+	rows  int
+	cols  int
+	hubs  []string // kind=prices only
+}
+
+func parseBatchHeader(r *bufio.Reader) (*batchHeader, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("server: reading batch header: %w", err)
+	}
+	line = strings.TrimSuffix(line, "\n")
+	if !strings.HasPrefix(line, batchMagic+" ") {
+		return nil, fmt.Errorf("server: batch header missing %q magic", batchMagic)
+	}
+	h := &batchHeader{}
+	for _, field := range strings.Fields(line[len(batchMagic)+1:]) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("server: malformed batch header field %q", field)
+		}
+		switch key {
+		case "kind":
+			h.kind = val
+		case "start":
+			ns, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: batch start: %w", err)
+			}
+			h.start = time.Unix(0, ns).UTC()
+		case "step":
+			ns, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("server: batch step: %w", err)
+			}
+			h.step = time.Duration(ns)
+		case "rows":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("server: batch rows: %w", err)
+			}
+			h.rows = n
+		case "cols":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("server: batch cols: %w", err)
+			}
+			h.cols = n
+		case "hubs":
+			h.hubs = strings.Split(val, ",")
+		default:
+			return nil, fmt.Errorf("server: unknown batch header field %q", key)
+		}
+	}
+	if h.kind != "demand" && h.kind != "prices" {
+		return nil, fmt.Errorf("server: batch kind %q", h.kind)
+	}
+	// A missing start would silently anchor the batch at the Unix epoch —
+	// and for prices there is no downstream alignment check to catch it.
+	if h.start.IsZero() {
+		return nil, fmt.Errorf("server: batch header missing start")
+	}
+	if h.rows <= 0 || h.rows > maxBatchRows || h.cols <= 0 {
+		return nil, fmt.Errorf("server: batch dimensions %dx%d out of range", h.rows, h.cols)
+	}
+	if h.step <= 0 {
+		return nil, fmt.Errorf("server: non-positive batch step %v", h.step)
+	}
+	if h.kind == "prices" && len(h.hubs) != h.cols {
+		return nil, fmt.Errorf("server: %d hub names for %d price columns", len(h.hubs), h.cols)
+	}
+	return h, nil
+}
+
+// readRow fills dst (len = header cols) with the next row of the batch
+// body, reusing buf as the byte scratch (grown as needed).
+func readRow(r *bufio.Reader, dst []float64, buf []byte) ([]byte, error) {
+	need := len(dst) * 8
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("server: batch body truncated: %w", err)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return buf, nil
+}
+
+// WriteBatchHeader writes the batch header line for a binary batch body.
+// It is exported for the load generator (cmd/tracegen) so the two sides
+// share one definition of the format.
+func WriteBatchHeader(w io.Writer, kind string, start time.Time, step time.Duration, rows, cols int, hubs []string) error {
+	if kind == "prices" {
+		_, err := fmt.Fprintf(w, "%s kind=prices start=%d step=%d rows=%d cols=%d hubs=%s\n",
+			batchMagic, start.UnixNano(), int64(step), rows, cols, strings.Join(hubs, ","))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s kind=%s start=%d step=%d rows=%d cols=%d\n",
+		batchMagic, kind, start.UnixNano(), int64(step), rows, cols)
+	return err
+}
+
+// AppendRow appends one row of little-endian float64s to b. Exported for
+// the load generator.
+func AppendRow(b []byte, row []float64) []byte {
+	for _, v := range row {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}

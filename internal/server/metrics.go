@@ -1,0 +1,86 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics renders the daemon's state in the Prometheus text
+// exposition format (version 0.0.4). Everything is derived from one engine
+// snapshot, so a scrape never tears across a routing step.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	feedEntries := s.feed.len()
+	s.mu.Unlock()
+
+	var b strings.Builder
+	metric := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	metric("powerrouted_steps_total", "counter", "Routing intervals advanced since start.")
+	fmt.Fprintf(&b, "powerrouted_steps_total %d\n", snap.Steps)
+
+	metric("powerrouted_cost_dollars_total", "counter", "Cumulative electricity bill (energy plus demand charges).")
+	fmt.Fprintf(&b, "powerrouted_cost_dollars_total %g\n", float64(snap.TotalCost))
+
+	metric("powerrouted_energy_cost_dollars_total", "counter", "Cumulative energy component of the bill.")
+	fmt.Fprintf(&b, "powerrouted_energy_cost_dollars_total %g\n", float64(snap.EnergyCost))
+
+	metric("powerrouted_demand_charge_dollars", "gauge", "Demand charge if every open month ended now.")
+	fmt.Fprintf(&b, "powerrouted_demand_charge_dollars %g\n", float64(snap.DemandCharge))
+
+	metric("powerrouted_energy_megawatt_hours_total", "counter", "Cumulative grid energy drawn.")
+	fmt.Fprintf(&b, "powerrouted_energy_megawatt_hours_total %g\n", snap.TotalEnergy.MegawattHours())
+
+	metric("powerrouted_overload_hit_seconds_total", "counter", "Demand assigned beyond physical capacity.")
+	fmt.Fprintf(&b, "powerrouted_overload_hit_seconds_total %g\n", snap.OverloadHitSeconds)
+
+	metric("powerrouted_price_feed_entries", "gauge", "Price vectors ingested and retained.")
+	fmt.Fprintf(&b, "powerrouted_price_feed_entries %d\n", feedEntries)
+
+	metric("powerrouted_cluster_rate_hits", "gauge", "Last interval's assigned rate per cluster (hits/s).")
+	for c, cl := range s.fleet.Clusters {
+		fmt.Fprintf(&b, "powerrouted_cluster_rate_hits{cluster=%q} %g\n", cl.Code, snap.ClusterRate[c])
+	}
+
+	metric("powerrouted_cluster_cost_dollars_total", "counter", "Cumulative bill per cluster.")
+	for c, cl := range s.fleet.Clusters {
+		fmt.Fprintf(&b, "powerrouted_cluster_cost_dollars_total{cluster=%q} %g\n", cl.Code, float64(snap.ClusterCost[c]))
+	}
+
+	if snap.SoCKWh != nil {
+		metric("powerrouted_battery_soc_kwh", "gauge", "Battery state of charge per cluster.")
+		for c, cl := range s.fleet.Clusters {
+			fmt.Fprintf(&b, "powerrouted_battery_soc_kwh{cluster=%q} %g\n", cl.Code, snap.SoCKWh[c])
+		}
+	}
+	if snap.PeakGridKW != nil {
+		metric("powerrouted_peak_grid_kw", "gauge", "Highest metered grid draw per cluster.")
+		for c, cl := range s.fleet.Clusters {
+			fmt.Fprintf(&b, "powerrouted_peak_grid_kw{cluster=%q} %g\n", cl.Code, snap.PeakGridKW[c])
+		}
+	}
+	if snap.TotalCarbonKg != 0 {
+		metric("powerrouted_carbon_kg_total", "counter", "Cumulative metered emissions.")
+		fmt.Fprintf(&b, "powerrouted_carbon_kg_total %g\n", snap.TotalCarbonKg)
+	}
+
+	s.reqMu.Lock()
+	handlers := make([]string, 0, len(s.requests))
+	for name := range s.requests {
+		handlers = append(handlers, name)
+	}
+	sort.Strings(handlers)
+	metric("powerrouted_http_requests_total", "counter", "HTTP requests served per handler.")
+	for _, name := range handlers {
+		fmt.Fprintf(&b, "powerrouted_http_requests_total{handler=%q} %d\n", name, s.requests[name])
+	}
+	s.reqMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,511 @@
+// Package server wraps a sim.Engine in a long-running HTTP daemon: the
+// online counterpart of the batch simulator, shaped like the paper's §6.1
+// mapping system. Price feeds and demand reports arrive over HTTP, every
+// demand interval triggers one routing decision through the engine, and
+// the running bill, peaks, and battery state are queryable while the
+// daemon serves.
+//
+//	POST /v1/prices       ingest a price vector (JSON per hub, or binary batch)
+//	POST /v1/demand       ingest demand and route one interval (JSON or binary batch)
+//	GET  /v1/assignments  the last interval's routing decision
+//	GET  /v1/status       running cost / peak / state-of-charge totals
+//	GET  /v1/world        static world description (clusters, states, policy)
+//	GET  /metrics         Prometheus-style text metrics
+//	GET  /healthz         liveness probe
+//
+// All engine access is serialized behind one mutex; handlers are safe for
+// concurrent use. The binary batch bodies (see feed.go) are the
+// high-throughput path: a batch acquires the lock once and routes
+// thousands of intervals per request.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/sim"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Engine is the incremental simulation engine to serve. The server
+	// owns it after New; all further access must go through handlers.
+	Engine *sim.Engine
+}
+
+// Server is the powerrouted HTTP daemon state.
+type Server struct {
+	mu    sync.Mutex
+	eng   *sim.Engine
+	fleet *cluster.Fleet
+	step  time.Duration
+	delay time.Duration
+
+	hubClusters map[string][]int
+	feed        priceFeed
+
+	// scratch buffers for the demand path (guarded by mu).
+	rowBuf  []float64
+	byteBuf []byte
+
+	reqMu    sync.Mutex
+	requests map[string]uint64
+}
+
+// New builds a Server around an engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: config missing engine")
+	}
+	fleet := cfg.Engine.Fleet()
+	s := &Server{
+		eng:         cfg.Engine,
+		fleet:       fleet,
+		step:        cfg.Engine.StepSize(),
+		delay:       cfg.Engine.ReactionDelay(),
+		hubClusters: make(map[string][]int),
+		rowBuf:      make([]float64, len(fleet.States)),
+		requests:    make(map[string]uint64),
+	}
+	for c, cl := range fleet.Clusters {
+		s.hubClusters[cl.HubID] = append(s.hubClusters[cl.HubID], c)
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/prices", s.counted("prices", s.handlePrices))
+	mux.HandleFunc("POST /v1/demand", s.counted("demand", s.handleDemand))
+	mux.HandleFunc("GET /v1/assignments", s.counted("assignments", s.handleAssignments))
+	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
+	mux.HandleFunc("GET /v1/world", s.counted("world", s.handleWorld))
+	mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /healthz", s.counted("healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	return mux
+}
+
+// Finalize closes the engine's books and returns the final Result (for a
+// shutdown summary). The server keeps answering reads afterwards; further
+// demand ingestion fails.
+func (s *Server) Finalize() (*sim.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Finalize()
+}
+
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reqMu.Lock()
+		s.requests[name]++
+		s.reqMu.Unlock()
+		h(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// batchError reports a mid-batch demand failure. Rows before the failing
+// one are already committed to the engine, so the response carries the
+// routed count and the engine's next expected interval — everything a
+// client needs to resume instead of replaying a now-misaligned batch.
+// Callers hold s.mu.
+func (s *Server) batchError(w http.ResponseWriter, code, routed int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":  fmt.Sprintf(format, args...),
+		"routed": routed,
+		"next":   s.eng.Next(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// --- price ingestion -------------------------------------------------------
+
+// pricePost is the JSON body of POST /v1/prices: the hub prices taking
+// effect at an instant. Hubs that host no cluster are ignored; every
+// cluster must be covered once the overlay on the previous vector is
+// applied.
+type pricePost struct {
+	At     time.Time          `json:"at"`
+	Prices map[string]float64 `json:"prices"`
+}
+
+func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == ContentTypePricesBatch {
+		s.handlePricesBatch(w, r)
+		return
+	}
+	var post pricePost
+	if err := json.NewDecoder(r.Body).Decode(&post); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding price post: %v", err)
+		return
+	}
+	if post.At.IsZero() {
+		httpError(w, http.StatusBadRequest, "price post missing \"at\"")
+		return
+	}
+	if len(post.Prices) == 0 {
+		httpError(w, http.StatusBadRequest, "price post missing \"prices\"")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nc := len(s.fleet.Clusters)
+	vec := make([]float64, nc)
+	covered := make([]bool, nc)
+	if last := s.feed.last(); last != nil {
+		copy(vec, last)
+		for c := range covered {
+			covered[c] = true
+		}
+	}
+	ignored := 0
+	for hub, price := range post.Prices {
+		idxs, ok := s.hubClusters[hub]
+		if !ok {
+			ignored++
+			continue
+		}
+		for _, c := range idxs {
+			vec[c] = price
+			covered[c] = true
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			httpError(w, http.StatusBadRequest, "no price yet for cluster %s (hub %s)",
+				s.fleet.Clusters[c].Code, s.fleet.Clusters[c].HubID)
+			return
+		}
+	}
+	if err := s.feed.add(post.At.UTC(), vec); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"at":           post.At.UTC(),
+		"ignored_hubs": ignored,
+		"feed_entries": s.feed.len(),
+	})
+}
+
+func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReaderSize(r.Body, 1<<16)
+	h, err := parseBatchHeader(br)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if h.kind != "prices" {
+		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/prices", h.kind)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Resolve hub columns to cluster indices once per batch.
+	nc := len(s.fleet.Clusters)
+	colClusters := make([][]int, h.cols)
+	covered := make([]bool, nc)
+	if s.feed.last() != nil {
+		for c := range covered {
+			covered[c] = true
+		}
+	}
+	for i, hub := range h.hubs {
+		colClusters[i] = s.hubClusters[hub]
+		for _, c := range colClusters[i] {
+			covered[c] = true
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			httpError(w, http.StatusBadRequest, "no price for cluster %s (hub %s) in batch",
+				s.fleet.Clusters[c].Code, s.fleet.Clusters[c].HubID)
+			return
+		}
+	}
+	row := make([]float64, h.cols)
+	prev := s.feed.last()
+	for i := 0; i < h.rows; i++ {
+		if s.byteBuf, err = readRow(br, row, s.byteBuf); err != nil {
+			httpError(w, http.StatusBadRequest, "price row %d: %v", i, err)
+			return
+		}
+		vec := make([]float64, nc)
+		if prev != nil {
+			copy(vec, prev)
+		}
+		for col, price := range row {
+			for _, c := range colClusters[col] {
+				vec[c] = price
+			}
+		}
+		if err := s.feed.add(h.start.Add(time.Duration(i)*h.step), vec); err != nil {
+			httpError(w, http.StatusConflict, "price row %d: %v", i, err)
+			return
+		}
+		prev = vec
+	}
+	writeJSON(w, map[string]any{
+		"ingested":     h.rows,
+		"feed_entries": s.feed.len(),
+	})
+}
+
+// --- demand ingestion / routing --------------------------------------------
+
+// demandPost is the JSON body of POST /v1/demand: one interval's per-state
+// demand (fleet state order; GET /v1/world lists the codes). A zero At
+// defaults to the engine's next expected interval.
+type demandPost struct {
+	At    time.Time `json:"at"`
+	Rates []float64 `json:"rates"`
+}
+
+func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == ContentTypeDemandBatch {
+		s.handleDemandBatch(w, r)
+		return
+	}
+	var post demandPost
+	if err := json.NewDecoder(r.Body).Decode(&post); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding demand post: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	at := post.At.UTC()
+	if post.At.IsZero() {
+		at = s.eng.Next()
+	} else if !at.Equal(s.eng.Next()) {
+		httpError(w, http.StatusConflict, "demand at %v, engine expects %v", at, s.eng.Next())
+		return
+	}
+	if code, err := s.routeOne(at, post.Rates); err != nil {
+		httpError(w, code, "%v", err)
+		return
+	}
+	s.feed.prune(s.eng.Next().Add(-s.delay))
+	snap := s.eng.Snapshot()
+	writeJSON(w, map[string]any{
+		"routed":         1,
+		"at":             at,
+		"steps":          snap.Steps,
+		"total_cost_usd": float64(snap.TotalCost),
+	})
+}
+
+// routeOne advances the engine one interval at `at` using the freshest
+// ingested prices (decision prices lagged by the reaction delay). Callers
+// hold s.mu.
+func (s *Server) routeOne(at time.Time, rates []float64) (int, error) {
+	bill := s.feed.lookup(at)
+	if bill == nil {
+		return http.StatusConflict, fmt.Errorf("server: no prices ingested yet")
+	}
+	decision := s.feed.lookup(at.Add(-s.delay))
+	if err := s.eng.Step(at, sim.StepPrices{Decision: decision, Bill: bill}, rates); err != nil {
+		return http.StatusBadRequest, err
+	}
+	return 0, nil
+}
+
+func (s *Server) handleDemandBatch(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReaderSize(r.Body, 1<<16)
+	h, err := parseBatchHeader(br)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if h.kind != "demand" {
+		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/demand", h.kind)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.cols != len(s.fleet.States) {
+		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.cols, len(s.fleet.States))
+		return
+	}
+	if h.step != s.step {
+		httpError(w, http.StatusBadRequest, "batch step %v, engine step %v", h.step, s.step)
+		return
+	}
+	if next := s.eng.Next(); !h.start.Equal(next) {
+		httpError(w, http.StatusConflict, "batch starts %v, engine expects %v", h.start, next)
+		return
+	}
+	for i := 0; i < h.rows; i++ {
+		if s.byteBuf, err = readRow(br, s.rowBuf, s.byteBuf); err != nil {
+			s.batchError(w, http.StatusBadRequest, i, "demand row %d: %v", i, err)
+			return
+		}
+		at := h.start.Add(time.Duration(i) * h.step)
+		if code, err := s.routeOne(at, s.rowBuf); err != nil {
+			s.batchError(w, code, i, "demand row %d: %v", i, err)
+			return
+		}
+	}
+	s.feed.prune(s.eng.Next().Add(-s.delay))
+	snap := s.eng.Snapshot()
+	writeJSON(w, map[string]any{
+		"routed":         h.rows,
+		"steps":          snap.Steps,
+		"total_cost_usd": float64(snap.TotalCost),
+	})
+}
+
+// --- read endpoints --------------------------------------------------------
+
+type clusterStatus struct {
+	Code          string  `json:"code"`
+	Hub           string  `json:"hub"`
+	RateHits      float64 `json:"rate_hits_per_s"`
+	PeakRateHits  float64 `json:"peak_rate_hits_per_s"`
+	CostUSD       float64 `json:"cost_usd"`
+	PeakGridKW    float64 `json:"peak_grid_kw,omitempty"`
+	BatterySoCKWh float64 `json:"battery_soc_kwh,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	feedEntries := s.feed.len()
+	s.mu.Unlock()
+
+	clusters := make([]clusterStatus, len(s.fleet.Clusters))
+	for c, cl := range s.fleet.Clusters {
+		cs := clusterStatus{
+			Code:         cl.Code,
+			Hub:          cl.HubID,
+			RateHits:     snap.ClusterRate[c],
+			PeakRateHits: snap.PeakRate[c],
+			CostUSD:      float64(snap.ClusterCost[c]),
+		}
+		if snap.PeakGridKW != nil {
+			cs.PeakGridKW = snap.PeakGridKW[c]
+		}
+		if snap.SoCKWh != nil {
+			cs.BatterySoCKWh = snap.SoCKWh[c]
+		}
+		clusters[c] = cs
+	}
+	resp := map[string]any{
+		"policy":               snap.Policy,
+		"steps":                snap.Steps,
+		"next":                 snap.Next,
+		"total_cost_usd":       float64(snap.TotalCost),
+		"energy_cost_usd":      float64(snap.EnergyCost),
+		"demand_charge_usd":    float64(snap.DemandCharge),
+		"total_energy_mwh":     snap.TotalEnergy.MegawattHours(),
+		"overload_hit_seconds": snap.OverloadHitSeconds,
+		"price_feed_entries":   feedEntries,
+		"clusters":             clusters,
+	}
+	if !snap.At.IsZero() {
+		resp["at"] = snap.At
+	}
+	if snap.SoCKWh != nil {
+		resp["storage_bought_kwh"] = snap.StorageBoughtKWh
+		resp["storage_served_kwh"] = snap.StorageServedKWh
+	}
+	if snap.TotalCarbonKg != 0 {
+		resp["carbon_kg"] = snap.TotalCarbonKg
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	var matrix [][]float64
+	if r.URL.Query().Get("matrix") == "1" {
+		matrix = s.eng.Assignments(nil)
+	}
+	s.mu.Unlock()
+
+	type row struct {
+		Code     string  `json:"code"`
+		RateHits float64 `json:"rate_hits_per_s"`
+		Share    float64 `json:"share"`
+	}
+	var total float64
+	for _, rate := range snap.ClusterRate {
+		total += rate
+	}
+	clusters := make([]row, len(s.fleet.Clusters))
+	for c, cl := range s.fleet.Clusters {
+		share := 0.0
+		if total > 0 {
+			share = snap.ClusterRate[c] / total
+		}
+		clusters[c] = row{Code: cl.Code, RateHits: snap.ClusterRate[c], Share: share}
+	}
+	resp := map[string]any{
+		"steps":           snap.Steps,
+		"total_rate_hits": total,
+		"clusters":        clusters,
+	}
+	if !snap.At.IsZero() {
+		resp["at"] = snap.At
+	}
+	if matrix != nil {
+		states := make([]string, len(s.fleet.States))
+		for i, st := range s.fleet.States {
+			states[i] = st.Code
+		}
+		resp["states"] = states
+		resp["matrix"] = matrix
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
+	type clusterInfo struct {
+		Code     string  `json:"code"`
+		Hub      string  `json:"hub"`
+		Servers  int     `json:"servers"`
+		Capacity float64 `json:"capacity_hits_per_s"`
+	}
+	clusters := make([]clusterInfo, len(s.fleet.Clusters))
+	for c, cl := range s.fleet.Clusters {
+		clusters[c] = clusterInfo{Code: cl.Code, Hub: cl.HubID, Servers: cl.Servers, Capacity: float64(cl.Capacity)}
+	}
+	states := make([]string, len(s.fleet.States))
+	for i, st := range s.fleet.States {
+		states[i] = st.Code
+	}
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	start := s.eng.Start()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"policy":                 snap.Policy,
+		"start":                  start,
+		"step_seconds":           s.step.Seconds(),
+		"reaction_delay_seconds": s.delay.Seconds(),
+		"clusters":               clusters,
+		"states":                 states,
+	})
+}

@@ -1,0 +1,558 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"powerroute/internal/core"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testWorld builds the small deterministic world every server test runs
+// against: 1-month market, 7-day trace (seven days cover each hour of the
+// week once, so the long-run demand profile has no holes).
+func testWorld(t testing.TB) *core.System {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{Seed: 42, MarketMonths: 1, TraceDays: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testEngine(t testing.TB, sys *core.System) *sim.Engine {
+	t.Helper()
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(sim.Scenario{
+		Fleet:         sys.Fleet,
+		Policy:        opt,
+		Energy:        energy.OptimisticFuture,
+		Market:        sys.Market,
+		Demand:        sys.LongRun,
+		Start:         sys.Market.Start,
+		Steps:         sys.Market.Hours,
+		Step:          time.Hour,
+		ReactionDelay: sim.DefaultReactionDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testServer(t testing.TB) (*Server, *httptest.Server, *core.System) {
+	t.Helper()
+	sys := testWorld(t)
+	srv, err := New(Config{Engine: testEngine(t, sys)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, sys
+}
+
+// postJSON posts v and returns the response body, failing unless the
+// status is wantCode.
+func postJSON(t *testing.T, url string, v any, wantCode int) []byte {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: got %d want %d: %s", url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+func get(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: got %d want %d: %s", url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+// hubPrices builds a full JSON price map for the fleet's hubs at a flat
+// price plus a per-hub offset, so every cluster is covered and prices
+// differ deterministically.
+func hubPrices(sys *core.System, base float64) map[string]float64 {
+	prices := make(map[string]float64)
+	for i, cl := range sys.Fleet.Clusters {
+		prices[cl.HubID] = base + float64(i)
+	}
+	return prices
+}
+
+func flatDemand(n int, rate float64) []float64 {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = rate
+	}
+	return d
+}
+
+// checkGolden compares got against testdata/<name> (rewriting it under
+// -update).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/server -update` to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenResponses pins the exact JSON every read endpoint serves after
+// a deterministic two-interval session: world description, status,
+// assignments (with matrix), and a routed demand response.
+func TestGoldenResponses(t *testing.T) {
+	_, ts, sys := testServer(t)
+	start := sys.Market.Start
+
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 30)}, http.StatusOK)
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start.Add(time.Hour), Prices: hubPrices(sys, 60)}, http.StatusOK)
+
+	demand := flatDemand(len(sys.Fleet.States), 2000)
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: demand}, http.StatusOK)
+	routedBody := postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: demand}, http.StatusOK)
+
+	checkGolden(t, "demand.golden.json", routedBody)
+	checkGolden(t, "world.golden.json", get(t, ts.URL+"/v1/world", http.StatusOK))
+	checkGolden(t, "status.golden.json", get(t, ts.URL+"/v1/status", http.StatusOK))
+	checkGolden(t, "assignments.golden.json", get(t, ts.URL+"/v1/assignments?matrix=1", http.StatusOK))
+}
+
+// TestMetrics sanity-checks the Prometheus exposition: counters present,
+// steps correct, per-cluster series labeled.
+func TestMetrics(t *testing.T) {
+	_, ts, sys := testServer(t)
+	start := sys.Market.Start
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 40)}, http.StatusOK)
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(len(sys.Fleet.States), 1000)}, http.StatusOK)
+
+	body := string(get(t, ts.URL+"/metrics", http.StatusOK))
+	for _, want := range []string{
+		"powerrouted_steps_total 1\n",
+		"# TYPE powerrouted_cost_dollars_total counter",
+		`powerrouted_cluster_rate_hits{cluster="NY"}`,
+		"powerrouted_price_feed_entries 1\n",
+		`powerrouted_http_requests_total{handler="demand"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestIngestErrors drives every rejection path: demand before prices,
+// mis-sized demand, time regressions, malformed bodies, batch shape
+// mismatches.
+func TestIngestErrors(t *testing.T) {
+	_, ts, sys := testServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+
+	// Demand with an empty feed.
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 1)}, http.StatusConflict)
+	// Price post without a timestamp, without prices, and partial coverage.
+	postJSON(t, ts.URL+"/v1/prices", pricePost{Prices: hubPrices(sys, 30)}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: map[string]float64{"NYC": 40}}, http.StatusBadRequest)
+
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 30)}, http.StatusOK)
+	// Partial update is fine once a full vector exists.
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start.Add(time.Hour), Prices: map[string]float64{"NYC": 99}}, http.StatusOK)
+	// Price time regression.
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start.Add(-time.Hour), Prices: hubPrices(sys, 30)}, http.StatusConflict)
+
+	// Mis-sized demand vector.
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns-1, 1)}, http.StatusBadRequest)
+	// Demand at the wrong interval.
+	postJSON(t, ts.URL+"/v1/demand", demandPost{At: start.Add(5 * time.Hour), Rates: flatDemand(ns, 1)}, http.StatusConflict)
+
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/demand", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: got %d", resp.StatusCode)
+	}
+}
+
+// demandBatch builds a binary demand batch body.
+func demandBatch(start time.Time, step time.Duration, rows [][]float64) *bytes.Buffer {
+	var b bytes.Buffer
+	if err := WriteBatchHeader(&b, "demand", start, step, len(rows), len(rows[0]), nil); err != nil {
+		panic(err)
+	}
+	for _, row := range rows {
+		b.Write(AppendRow(nil, row))
+	}
+	return &b
+}
+
+// TestBinaryBatch routes a binary demand batch end to end and checks the
+// rejection paths (bad magic, wrong kind, shape mismatch, misaligned
+// start, truncated body).
+func TestBinaryBatch(t *testing.T) {
+	_, ts, sys := testServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+
+	// Seed prices via a binary prices batch covering 4 hours.
+	hubIDs := make([]string, 0, len(sys.Fleet.Clusters))
+	seen := map[string]bool{}
+	for _, cl := range sys.Fleet.Clusters {
+		if !seen[cl.HubID] {
+			seen[cl.HubID] = true
+			hubIDs = append(hubIDs, cl.HubID)
+		}
+	}
+	var pb bytes.Buffer
+	if err := WriteBatchHeader(&pb, "prices", start, time.Hour, 4, len(hubIDs), hubIDs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		row := make([]float64, len(hubIDs))
+		for j := range row {
+			row[j] = 30 + float64(10*i+j)
+		}
+		pb.Write(AppendRow(nil, row))
+	}
+	resp, err := http.Post(ts.URL+"/v1/prices", ContentTypePricesBatch, &pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prices batch: %d", resp.StatusCode)
+	}
+
+	rows := [][]float64{flatDemand(ns, 500), flatDemand(ns, 700), flatDemand(ns, 900)}
+	resp, err = http.Post(ts.URL+"/v1/demand", ContentTypeDemandBatch, demandBatch(start, time.Hour, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("demand batch: %d: %s", resp.StatusCode, body)
+	}
+	var routed struct {
+		Routed int `json:"routed"`
+		Steps  int `json:"steps"`
+	}
+	if err := json.Unmarshal(body, &routed); err != nil {
+		t.Fatal(err)
+	}
+	if routed.Routed != 3 || routed.Steps != 3 {
+		t.Fatalf("routed %+v, want 3/3", routed)
+	}
+
+	bad := []struct {
+		name        string
+		contentType string
+		body        io.Reader
+		wantCode    int
+	}{
+		{"bad magic", ContentTypeDemandBatch, strings.NewReader("nope v9 kind=demand\n"), http.StatusBadRequest},
+		{"wrong kind", ContentTypeDemandBatch,
+			func() *bytes.Buffer {
+				var b bytes.Buffer
+				_ = WriteBatchHeader(&b, "prices", start, time.Hour, 1, 2, []string{"A", "B"})
+				b.Write(AppendRow(nil, []float64{1, 2}))
+				return &b
+			}(), http.StatusBadRequest},
+		{"wrong cols", ContentTypeDemandBatch,
+			demandBatch(start.Add(3*time.Hour), time.Hour, [][]float64{{1, 2, 3}}), http.StatusBadRequest},
+		{"misaligned start", ContentTypeDemandBatch,
+			demandBatch(start, time.Hour, [][]float64{flatDemand(ns, 1)}), http.StatusConflict},
+		{"wrong step", ContentTypeDemandBatch,
+			demandBatch(start.Add(3*time.Hour), 30*time.Minute, [][]float64{flatDemand(ns, 1)}), http.StatusBadRequest},
+		{"truncated body", ContentTypeDemandBatch,
+			func() io.Reader {
+				full := demandBatch(start.Add(3*time.Hour), time.Hour, [][]float64{flatDemand(ns, 1)})
+				return bytes.NewReader(full.Bytes()[:full.Len()-8])
+			}(), http.StatusBadRequest},
+	}
+	for _, tc := range bad {
+		resp, err := http.Post(ts.URL+"/v1/demand", tc.contentType, tc.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantCode {
+			t.Errorf("%s: got %d want %d: %s", tc.name, resp.StatusCode, tc.wantCode, msg)
+		}
+	}
+
+	// The engine must still be exactly where the last good batch left it.
+	var status struct {
+		Steps int `json:"steps"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/status", http.StatusOK), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Steps != 3 {
+		t.Fatalf("steps after rejected batches = %d, want 3", status.Steps)
+	}
+}
+
+// TestConcurrentIngestAndQuery hammers the read endpoints from several
+// goroutines while a single writer feeds prices and demand, under -race
+// in CI. Every response must be well-formed; the final step count must
+// equal what the writer ingested.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	_, ts, sys := testServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+	const steps = 60
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/v1/status", "/metrics", "/v1/assignments?matrix=1", "/v1/world", "/healthz"}
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + paths[(i+j)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("read returned %d", resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+
+	demand := flatDemand(ns, 1500)
+	for i := 0; i < steps; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		postJSON(t, ts.URL+"/v1/prices", pricePost{At: at, Prices: hubPrices(sys, 30+float64(i))}, http.StatusOK)
+		postJSON(t, ts.URL+"/v1/demand", demandPost{At: at, Rates: demand}, http.StatusOK)
+	}
+	close(stop)
+	wg.Wait()
+
+	var status struct {
+		Steps int     `json:"steps"`
+		Cost  float64 `json:"total_cost_usd"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/status", http.StatusOK), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Steps != steps || status.Cost <= 0 {
+		t.Fatalf("final status %+v, want %d steps and positive cost", status, steps)
+	}
+}
+
+// TestFinalizeStopsIngest: after the daemon closes the books, reads still
+// serve and demand ingestion fails cleanly.
+func TestFinalizeStopsIngest(t *testing.T) {
+	srv, ts, sys := testServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 35)}, http.StatusOK)
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 800)}, http.StatusOK)
+
+	res, err := srv.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || res.TotalCost <= 0 {
+		t.Fatalf("finalized %+v", res)
+	}
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 800)}, http.StatusBadRequest)
+	get(t, ts.URL+"/v1/status", http.StatusOK)
+}
+
+// TestNewRejectsNilEngine covers the constructor guard.
+func TestNewRejectsNilEngine(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil engine")
+	}
+}
+
+// TestPriceFeedPrune: the feed retains only the covering entry at or
+// before the oldest future lookup instant, and lookups after pruning
+// resolve exactly as before.
+func TestPriceFeedPrune(t *testing.T) {
+	var f priceFeed
+	t0 := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		if err := f.add(t0.Add(time.Duration(i)*time.Hour), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.prune(t0.Add(5*time.Hour + 30*time.Minute))
+	if f.len() != 5 { // entries 5..9; entry 5 covers 5:30
+		t.Fatalf("feed holds %d entries after prune, want 5", f.len())
+	}
+	if got := f.lookup(t0.Add(5*time.Hour + 30*time.Minute)); got[0] != 5 {
+		t.Fatalf("covering lookup = %v, want 5", got[0])
+	}
+	// Pre-threshold instants clamp to the retained covering entry.
+	if got := f.lookup(t0); got[0] != 5 {
+		t.Fatalf("clamped lookup = %v, want 5", got[0])
+	}
+	// Pruning at/behind the first entry is a no-op.
+	f.prune(t0)
+	if f.len() != 5 {
+		t.Fatalf("no-op prune changed length to %d", f.len())
+	}
+}
+
+// TestDemandPruningKeepsRouting: a long JSON-fed session must not grow the
+// feed without bound, and routing must be unaffected by pruning.
+func TestDemandPruningKeepsRouting(t *testing.T) {
+	srv, ts, sys := testServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+	const steps = 30
+	for i := 0; i < steps; i++ {
+		at := start.Add(time.Duration(i) * time.Hour)
+		postJSON(t, ts.URL+"/v1/prices", pricePost{At: at, Prices: hubPrices(sys, 30+float64(i))}, http.StatusOK)
+		postJSON(t, ts.URL+"/v1/demand", demandPost{At: at, Rates: flatDemand(ns, 1200)}, http.StatusOK)
+	}
+	srv.mu.Lock()
+	held := srv.feed.len()
+	srv.mu.Unlock()
+	// Next lookup horizon is Next-delay = start+(steps-1)h; only the
+	// covering entry plus newer ones survive (delay = 1h -> 2 entries).
+	if held > 3 {
+		t.Fatalf("feed holds %d entries after %d steps; pruning is not bounding it", held, steps)
+	}
+	var status struct {
+		Steps int `json:"steps"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/status", http.StatusOK), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Steps != steps {
+		t.Fatalf("steps = %d, want %d", status.Steps, steps)
+	}
+}
+
+// TestBatchHeaderRequiresStart: a prices batch without start= must be
+// rejected, not silently anchored at the Unix epoch.
+func TestBatchHeaderRequiresStart(t *testing.T) {
+	_, ts, _ := testServer(t)
+	body := "powerroute-batch v1 kind=prices step=3600000000000 rows=1 cols=1 hubs=NYC\n" +
+		string(AppendRow(nil, []float64{42}))
+	resp, err := http.Post(ts.URL+"/v1/prices", ContentTypePricesBatch, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("start-less batch: got %d: %s", resp.StatusCode, msg)
+	}
+	if !strings.Contains(string(msg), "missing start") {
+		t.Errorf("error does not name the missing field: %s", msg)
+	}
+}
+
+// TestMidBatchErrorReportsResume: when a demand batch dies mid-way, the
+// error body must carry the committed row count and the engine's next
+// interval so the client can resume.
+func TestMidBatchErrorReportsResume(t *testing.T) {
+	_, ts, sys := testServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 33)}, http.StatusOK)
+
+	full := demandBatch(start, time.Hour, [][]float64{
+		flatDemand(ns, 400), flatDemand(ns, 500), flatDemand(ns, 600),
+	})
+	truncated := full.Bytes()[:full.Len()-8] // row 2 unreadable
+	resp, err := http.Post(ts.URL+"/v1/demand", ContentTypeDemandBatch, bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated batch: got %d: %s", resp.StatusCode, body)
+	}
+	var failure struct {
+		Error  string    `json:"error"`
+		Routed int       `json:"routed"`
+		Next   time.Time `json:"next"`
+	}
+	if err := json.Unmarshal(body, &failure); err != nil {
+		t.Fatalf("error body is not JSON: %s", body)
+	}
+	if failure.Routed != 2 || !failure.Next.Equal(start.Add(2*time.Hour)) || failure.Error == "" {
+		t.Fatalf("resume info wrong: %+v", failure)
+	}
+	// Resuming from the reported point succeeds.
+	resume := demandBatch(failure.Next, time.Hour, [][]float64{flatDemand(ns, 600)})
+	resp, err = http.Post(ts.URL+"/v1/demand", ContentTypeDemandBatch, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume batch: got %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,495 @@
+// The incremental simulation engine: all per-run state of a Scenario —
+// billing meters, 95/5 burst budgets, battery state-of-charge, the distance
+// histogram — held explicitly and advanced one interval at a time. The
+// batch Run is a thin loop over an Engine; long-running services
+// (cmd/powerrouted) drive the same engine from live price and demand feeds
+// instead of pre-generated series, one Step per routing interval.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerroute/internal/billing"
+	"powerroute/internal/cluster"
+	"powerroute/internal/routing"
+	"powerroute/internal/stats"
+	"powerroute/internal/storage"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/units"
+)
+
+// StepPrices carries one interval's per-cluster price vectors into Step.
+type StepPrices struct {
+	// Decision is the signal the router optimizes ($/MWh, or whatever the
+	// scenario's DecisionSeries meters). Any reaction delay is the caller's
+	// concern: batch Run looks these up ReactionDelay in the past, an online
+	// daemon's staleness is however old its freshest feed entry is.
+	Decision []float64
+	// Bill is the real-time price each cluster's grid draw is billed at.
+	Bill []float64
+	// Carbon is the hourly intensity (gCO₂/kWh); required exactly when the
+	// scenario meters carbon, ignored otherwise.
+	Carbon []float64
+}
+
+// Engine advances a Scenario one interval at a time. Build one with
+// NewEngine, call Step once per interval in chronological order, then
+// Finalize to close the books and obtain the Result. Engines are not
+// goroutine-safe; wrap them in a lock to serve concurrent feeds
+// (internal/server does).
+type Engine struct {
+	sc        Scenario
+	nc, ns    int
+	stepHours float64
+
+	prices []*timeseries.Series // resolved per-cluster RT series
+
+	constraints  []*billing.Constraint
+	batteries    []*storage.State
+	dispatch     storage.Policy
+	priceCapper  storage.PriceCapper
+	priceCaps    []float64
+	demandMeters []*billing.DemandMeter
+
+	res        *Result
+	meters     []billing.Meter
+	distHist   *stats.WeightedHistogram
+	assign     [][]float64
+	ctx        *routing.Context
+	loads      []float64
+	capacities []float64
+
+	stepsRun  int
+	lastAt    time.Time
+	finalized bool
+}
+
+// NewEngine validates the scenario and builds the per-run state. The
+// scenario's Demand source and horizon (Start/Steps) describe the batch
+// run the engine was sized for — constraint burst budgets derive from
+// Steps — but Step itself is driven entirely by its arguments, so an
+// online caller may feed any aligned sequence of intervals.
+func NewEngine(sc Scenario) (*Engine, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	nc := len(sc.Fleet.Clusters)
+	ns := len(sc.Fleet.States)
+
+	e := &Engine{
+		sc:        sc,
+		nc:        nc,
+		ns:        ns,
+		stepHours: sc.Step.Hours(),
+	}
+
+	// Resolve per-cluster hourly price series once.
+	e.prices = make([]*timeseries.Series, nc)
+	for c, cl := range sc.Fleet.Clusters {
+		s, err := sc.Market.RT(cl.HubID)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cluster %s: %w", cl.Code, err)
+		}
+		e.prices[c] = s
+	}
+
+	// 95/5 constraint state.
+	if sc.SoftCaps != nil {
+		e.constraints = make([]*billing.Constraint, nc)
+		for c := range e.constraints {
+			con, err := billing.NewConstraint(sc.SoftCaps[c], sc.Steps)
+			if err != nil {
+				return nil, err
+			}
+			e.constraints[c] = con
+		}
+	}
+
+	// Battery and demand-charge state. Both stay nil for storage-free,
+	// energy-only scenarios so those runs take the exact code path (and
+	// produce the exact results) they did before this subsystem existed.
+	if sc.Storage != nil {
+		e.batteries = make([]*storage.State, nc)
+		for c := range e.batteries {
+			e.batteries[c] = storage.NewState(sc.Storage.Batteries[c])
+		}
+		e.dispatch = sc.Storage.Policy
+		if sc.Storage.RoutingAware {
+			if pc, ok := e.dispatch.(storage.PriceCapper); ok {
+				e.priceCapper = pc
+				e.priceCaps = make([]float64, nc)
+			}
+		}
+	}
+	if sc.DemandChargePerKW > 0 {
+		e.demandMeters = make([]*billing.DemandMeter, nc)
+		for c := range e.demandMeters {
+			e.demandMeters[c] = new(billing.DemandMeter)
+		}
+	}
+
+	e.res = &Result{
+		Policy:          sc.Policy.Name(),
+		Steps:           sc.Steps,
+		ClusterCost:     make([]units.Money, nc),
+		ClusterEnergy:   make([]units.Energy, nc),
+		BillableP95:     make([]float64, nc),
+		PeakRate:        make([]float64, nc),
+		MeanUtilization: make([]float64, nc),
+	}
+	if sc.Carbon != nil {
+		e.res.ClusterCarbonKg = make([]float64, nc)
+	}
+	e.meters = make([]billing.Meter, nc)
+	e.distHist = stats.NewWeightedHistogram(0, 5500, 1100) // 5 km resolution
+	e.assign = make([][]float64, ns)
+	for s := range e.assign {
+		e.assign[s] = make([]float64, nc)
+	}
+	e.ctx = &routing.Context{
+		Demand:         make([]float64, ns),
+		DecisionPrices: make([]float64, nc),
+		Room:           make([]float64, nc),
+		BurstRoom:      make([]float64, nc),
+	}
+	e.loads = make([]float64, nc)
+	e.capacities = make([]float64, nc)
+	for c, cl := range sc.Fleet.Clusters {
+		e.capacities[c] = float64(cl.Capacity)
+	}
+	return e, nil
+}
+
+// PriceSeries returns the per-cluster real-time price series resolved from
+// the scenario's market (fleet order). Batch Run builds its lookups from
+// these; online callers use them to seed a feed or clamp decision times.
+func (e *Engine) PriceSeries() []*timeseries.Series { return e.prices }
+
+// Fleet returns the scenario's fleet.
+func (e *Engine) Fleet() *cluster.Fleet { return e.sc.Fleet }
+
+// StepSize returns the scenario's interval length.
+func (e *Engine) StepSize() time.Duration { return e.sc.Step }
+
+// Start returns the scenario's first interval instant.
+func (e *Engine) Start() time.Time { return e.sc.Start }
+
+// ReactionDelay returns the scenario's configured routing reaction delay.
+func (e *Engine) ReactionDelay() time.Duration { return e.sc.ReactionDelay }
+
+// StepsRun returns the number of intervals advanced so far.
+func (e *Engine) StepsRun() int { return e.stepsRun }
+
+// Next returns the instant the next Step is expected to cover:
+// Start + StepsRun·Step.
+func (e *Engine) Next() time.Time {
+	return e.sc.Start.Add(time.Duration(e.stepsRun) * e.sc.Step)
+}
+
+// Step advances the engine through the interval starting at `at`: the
+// policy allocates demand onto clusters under the 95/5 room tiers, every
+// cluster's grid draw is metered and billed at prices.Bill, batteries
+// dispatch, and the distance histogram absorbs the assignment. Inputs are
+// copied, never retained.
+func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
+	if e.finalized {
+		return errors.New("sim: engine already finalized")
+	}
+	sc := &e.sc
+	ctx := e.ctx
+	res := e.res
+	ctx.At = at
+
+	// Demand.
+	if len(demand) != e.ns {
+		return fmt.Errorf("sim: demand source returned %d states, want %d", len(demand), e.ns)
+	}
+	copy(ctx.Demand, demand)
+
+	// Decision signal (delay already applied by the caller).
+	if len(prices.Decision) != e.nc {
+		return fmt.Errorf("sim: %d decision prices for %d clusters", len(prices.Decision), e.nc)
+	}
+	copy(ctx.DecisionPrices, prices.Decision)
+	// Billing prices for this instant (always real-time dollars).
+	if len(prices.Bill) != e.nc {
+		return fmt.Errorf("sim: %d billing prices for %d clusters", len(prices.Bill), e.nc)
+	}
+	if sc.Carbon != nil && len(prices.Carbon) != e.nc {
+		return fmt.Errorf("sim: %d carbon intensities for %d clusters", len(prices.Carbon), e.nc)
+	}
+	// Storage-aware signal: a charged battery caps how expensive its
+	// cluster can look to the router (the battery absorbs anything
+	// above its discharge threshold).
+	if e.priceCapper != nil {
+		for c := range e.priceCaps {
+			e.priceCaps[c] = e.priceCapper.PriceCap(c, e.batteries[c])
+		}
+		routing.ApplyPriceCaps(ctx.DecisionPrices, e.priceCaps)
+	}
+
+	// Room tiers. Burst room above the 95/5 caps is unlocked only when
+	// this interval is infeasible under the caps alone — reserving each
+	// cluster's 5% burst budget for the true peak intervals rather than
+	// letting the router spend it chasing cheap prices.
+	if e.constraints != nil {
+		var totalDemand, totalRoom float64
+		for _, dem := range ctx.Demand {
+			totalDemand += dem
+		}
+		for c := range sc.Fleet.Clusters {
+			capacity := e.capacities[c]
+			cap95 := e.constraints[c].Cap
+			if cap95 > capacity {
+				cap95 = capacity
+			}
+			ctx.Room[c] = cap95
+			ctx.BurstRoom[c] = 0
+			totalRoom += cap95
+		}
+		if totalDemand > totalRoom*0.999 {
+			for c := range sc.Fleet.Clusters {
+				if e.constraints[c].CanBurst() {
+					ctx.BurstRoom[c] = e.capacities[c] - ctx.Room[c]
+				}
+			}
+		}
+	} else {
+		for c := range sc.Fleet.Clusters {
+			ctx.Room[c] = e.capacities[c]
+			ctx.BurstRoom[c] = 0
+		}
+	}
+
+	// Allocate.
+	for s := range e.assign {
+		row := e.assign[s]
+		for c := range row {
+			row[c] = 0
+		}
+	}
+	if err := sc.Policy.Allocate(ctx, e.assign); err != nil {
+		return err
+	}
+
+	// Meter.
+	for c := range e.loads {
+		e.loads[c] = 0
+	}
+	stepHours := e.stepHours
+	for s := range e.assign {
+		row := e.assign[s]
+		dist := sc.Fleet.DistanceKm[s]
+		for c, rate := range row {
+			if rate <= 0 {
+				continue
+			}
+			e.loads[c] += rate
+			e.distHist.Add(dist[c], rate*stepHours)
+		}
+	}
+	for c, cl := range sc.Fleet.Clusters {
+		load := e.loads[c]
+		e.meters[c].Record(load)
+		if load > res.PeakRate[c] {
+			res.PeakRate[c] = load
+		}
+		// Epsilon absorbs float residue from the allocator's room
+		// arithmetic; genuine overloads are orders of magnitude larger.
+		if over := load - e.capacities[c]; over > 1e-6+1e-9*e.capacities[c] {
+			res.OverloadHitSeconds += over * sc.Step.Seconds()
+		}
+		if e.constraints != nil {
+			if err := e.constraints[c].Commit(load); err != nil {
+				return fmt.Errorf("sim: cluster %s at %v: %w", cl.Code, at, err)
+			}
+		}
+		u := cl.Utilization(units.HitRate(load))
+		res.MeanUtilization[c] += u
+		en := sc.Energy.Energy(u, cl.Servers, stepHours)
+		// Grid draw = IT draw + battery charging − battery discharging;
+		// everything downstream (bill, demand meter, carbon ledger) is
+		// metered at the grid interconnect.
+		grid := en
+		if e.batteries != nil {
+			b := e.batteries[c]
+			itKW := en.KilowattHours() / stepHours
+			if act := e.dispatch.Action(c, prices.Bill[c], itKW, b); act > 0 {
+				bought := b.Charge(act, stepHours)
+				grid += units.Energy(bought * 1000)
+				res.StorageBoughtKWh += bought
+			} else if act < 0 {
+				want := -act
+				if want > itKW {
+					want = itKW // no grid export
+				}
+				served := b.Discharge(want, stepHours)
+				grid -= units.Energy(served * 1000)
+				res.StorageServedKWh += served
+			}
+		}
+		cost := grid.Cost(units.Price(prices.Bill[c]))
+		res.ClusterEnergy[c] += grid
+		res.ClusterCost[c] += cost
+		res.TotalEnergy += grid
+		res.TotalCost += cost
+		if e.demandMeters != nil {
+			e.demandMeters[c].Record(at, grid.KilowattHours()/stepHours)
+		}
+		if sc.Carbon != nil {
+			kg := grid.KilowattHours() * prices.Carbon[c] / 1000
+			res.ClusterCarbonKg[c] += kg
+			res.TotalCarbonKg += kg
+		}
+	}
+	e.stepsRun++
+	e.lastAt = at
+	return nil
+}
+
+// Finalize closes the books — billable 95th percentiles, burst-budget
+// verification, demand charges, final battery state, the distance
+// distribution — and returns the Result. It is idempotent; Step returns an
+// error after the first call.
+func (e *Engine) Finalize() (*Result, error) {
+	if e.finalized {
+		return e.res, nil
+	}
+	if e.stepsRun == 0 {
+		return nil, errors.New("sim: finalize before any step")
+	}
+	res := e.res
+	for c := range e.meters {
+		p95, err := e.meters[c].Percentile95()
+		if err != nil {
+			return nil, err
+		}
+		res.BillableP95[c] = p95
+		res.MeanUtilization[c] /= float64(e.stepsRun)
+		if e.constraints != nil {
+			if res.BurstsUsed == nil {
+				res.BurstsUsed = make([]int, e.nc)
+			}
+			res.BurstsUsed[c] = e.constraints[c].BurstsUsed()
+			if err := e.constraints[c].Verify(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.Steps = e.stepsRun
+	res.EnergyCost = res.TotalCost
+	if e.demandMeters != nil {
+		res.ClusterDemandCharge = make([]units.Money, e.nc)
+		res.PeakGridKW = make([]float64, e.nc)
+		for c, m := range e.demandMeters {
+			ch := m.Charge(e.sc.DemandChargePerKW)
+			res.ClusterDemandCharge[c] = ch
+			res.PeakGridKW[c] = m.PeakKW()
+			res.ClusterCost[c] += ch
+			res.DemandCharge += ch
+			res.TotalCost += ch
+		}
+	}
+	if e.batteries != nil {
+		res.FinalSoCKWh = make([]float64, e.nc)
+		for c, b := range e.batteries {
+			res.FinalSoCKWh[c] = b.SoCKWh()
+		}
+	}
+	res.MeanDistanceKm = e.distHist.Mean()
+	res.P99DistanceKm = e.distHist.Quantile(0.99)
+	e.finalized = true
+	return res, nil
+}
+
+// Snapshot is a cheap, copy-safe view of the engine's running state for
+// status endpoints: totals so far, the last interval's per-cluster rates,
+// and battery/demand-charge state when those subsystems are active.
+type Snapshot struct {
+	Policy string
+	Steps  int
+	// At is the instant of the last advanced interval (zero before the
+	// first Step); Next is the instant the next Step should cover.
+	At   time.Time
+	Next time.Time
+
+	TotalCost   units.Money
+	TotalEnergy units.Energy
+	// EnergyCost and DemandCharge split TotalCost exactly as in Result;
+	// the demand charge is the bill if every open month ended now.
+	EnergyCost   units.Money
+	DemandCharge units.Money
+
+	ClusterCost []units.Money
+	// ClusterRate is the last interval's per-cluster assigned rate.
+	ClusterRate []float64
+	PeakRate    []float64
+
+	PeakGridKW         []float64 // nil unless a demand-charge tariff is metered
+	SoCKWh             []float64 // nil unless storage is configured
+	StorageBoughtKWh   float64
+	StorageServedKWh   float64
+	TotalCarbonKg      float64
+	OverloadHitSeconds float64
+}
+
+// Snapshot captures the running state. It never mutates the engine and is
+// valid before, during, and after Finalize.
+func (e *Engine) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Policy:             e.res.Policy,
+		Steps:              e.stepsRun,
+		At:                 e.lastAt,
+		Next:               e.Next(),
+		TotalCost:          e.res.TotalCost,
+		TotalEnergy:        e.res.TotalEnergy,
+		EnergyCost:         e.res.TotalCost,
+		ClusterCost:        append([]units.Money(nil), e.res.ClusterCost...),
+		ClusterRate:        append([]float64(nil), e.loads...),
+		PeakRate:           append([]float64(nil), e.res.PeakRate...),
+		StorageBoughtKWh:   e.res.StorageBoughtKWh,
+		StorageServedKWh:   e.res.StorageServedKWh,
+		TotalCarbonKg:      e.res.TotalCarbonKg,
+		OverloadHitSeconds: e.res.OverloadHitSeconds,
+	}
+	if e.finalized {
+		// Result already folded the demand charge into the totals.
+		s.EnergyCost = e.res.EnergyCost
+		s.DemandCharge = e.res.DemandCharge
+	} else if e.demandMeters != nil {
+		for _, m := range e.demandMeters {
+			s.DemandCharge += m.Charge(e.sc.DemandChargePerKW)
+		}
+		s.TotalCost += s.DemandCharge
+	}
+	if e.demandMeters != nil {
+		s.PeakGridKW = make([]float64, e.nc)
+		for c, m := range e.demandMeters {
+			s.PeakGridKW[c] = m.PeakKW()
+		}
+	}
+	if e.batteries != nil {
+		s.SoCKWh = make([]float64, e.nc)
+		for c, b := range e.batteries {
+			s.SoCKWh[c] = b.SoCKWh()
+		}
+	}
+	return s
+}
+
+// Assignments copies the last interval's full state×cluster assignment
+// matrix into dst (allocating when dst is nil or mis-sized) and returns it.
+func (e *Engine) Assignments(dst [][]float64) [][]float64 {
+	if len(dst) != e.ns {
+		dst = make([][]float64, e.ns)
+	}
+	for s := range e.assign {
+		if len(dst[s]) != e.nc {
+			dst[s] = make([]float64, e.nc)
+		}
+		copy(dst[s], e.assign[s])
+	}
+	return dst
+}

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"powerroute/internal/carbon"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/storage"
+	"powerroute/internal/traffic"
+)
+
+// driveEngine replays a scenario through the incremental Engine the way an
+// online caller (the powerrouted daemon) would: explicit per-interval
+// price and demand vectors fed into Step, books closed with Finalize. It
+// mirrors Run's lookup semantics exactly — same delay clamp, same covering
+// sample — so its Result must be bit-for-bit the batch Result.
+func driveEngine(t *testing.T, sc Scenario) *Result {
+	t.Helper()
+	eng, err := NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := eng.PriceSeries()
+	signal := prices
+	if sc.DecisionSeries != nil {
+		signal = sc.DecisionSeries
+	}
+	nc := len(sc.Fleet.Clusters)
+	decision := make([]float64, nc)
+	bill := make([]float64, nc)
+	var carbonVec []float64
+	if sc.Carbon != nil {
+		carbonVec = make([]float64, nc)
+	}
+	var demand []float64
+	marketStart := prices[0].Start
+	for step := 0; step < sc.Steps; step++ {
+		at := eng.Next()
+		demand = sc.Demand.Rates(at, demand)
+		decisionAt := at.Add(-sc.ReactionDelay)
+		if decisionAt.Before(marketStart) {
+			decisionAt = marketStart
+		}
+		for c := range signal {
+			v, err := signal[c].At(decisionAt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decision[c] = v
+		}
+		for c := range prices {
+			v, err := prices[c].At(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bill[c] = v
+		}
+		if sc.Carbon != nil {
+			for c := range sc.Carbon {
+				v, err := sc.Carbon[c].At(at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				carbonVec[c] = v
+			}
+		}
+		if err := eng.Step(at, StepPrices{Decision: decision, Bill: bill, Carbon: carbonVec}, demand); err != nil {
+			t.Fatalf("step %d at %v: %v", step, at, err)
+		}
+	}
+	res, err := eng.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// engineScenarios covers every subsystem the step loop threads state
+// through: plain routing, 95/5 constraints, carbon-aware decision
+// override, and batteries plus a demand-charge tariff.
+func engineScenarios(t *testing.T) map[string]Scenario {
+	t.Helper()
+	fx := fixtures()
+
+	base := shortScenario()
+	opt, err := routing.NewPriceOptimizer(fx.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Policy = opt
+
+	capped := shortScenario()
+	caps, _, err := DeriveCaps(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2, err := routing.NewPriceOptimizer(fx.Fleet, 2500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped.Policy = opt2
+	capped.SoftCaps = caps
+
+	intensity, err := carbon.FleetSeries(1, fx.Fleet, fx.Market.Start, fx.Market.Hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carbonAware := Scenario{
+		Fleet:          fx.Fleet,
+		Policy:         routing.NewBaseline(fx.Fleet),
+		Energy:         energy.OptimisticFuture,
+		Market:         fx.Market,
+		Demand:         fx.LR,
+		Start:          fx.Market.Start,
+		Steps:          10 * 24,
+		Step:           time.Hour,
+		ReactionDelay:  DefaultReactionDelay,
+		Carbon:         intensity,
+		DecisionSeries: intensity,
+	}
+
+	dispatch, err := storage.NewThreshold(25, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored := Scenario{
+		Fleet:         fx.Fleet,
+		Policy:        routing.NewBaseline(fx.Fleet),
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.LR,
+		Start:         fx.Market.Start,
+		Steps:         10 * 24,
+		Step:          time.Hour,
+		ReactionDelay: DefaultReactionDelay,
+		Storage: &storage.Config{
+			Batteries: uniformBatteries(len(fx.Fleet.Clusters)),
+			Policy:    dispatch,
+		},
+		DemandChargePerKW: 3,
+	}
+	stored.Storage.RoutingAware = true
+
+	return map[string]Scenario{
+		"optimizer":    base,
+		"softcaps":     capped,
+		"carbon-aware": carbonAware,
+		"storage":      stored,
+	}
+}
+
+func uniformBatteries(n int) []storage.Battery {
+	bs := make([]storage.Battery, n)
+	for i := range bs {
+		bs[i] = storage.Battery{
+			CapacityKWh:         800,
+			MaxChargeKW:         300,
+			MaxDischargeKW:      200,
+			RoundTripEfficiency: 0.81,
+		}
+	}
+	return bs
+}
+
+// TestEngineMatchesRunExactly: feeding an Engine by hand must reproduce
+// the batch Run bit for bit — same costs, same float residue, same
+// everything — across every subsystem combination.
+func TestEngineMatchesRunExactly(t *testing.T) {
+	for name, sc := range engineScenarios(t) {
+		t.Run(name, func(t *testing.T) {
+			// Policies carry per-run caches, so each side gets its own.
+			batch, err := Run(clonePolicy(t, sc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			stepped := driveEngine(t, clonePolicy(t, sc))
+			if !reflect.DeepEqual(batch, stepped) {
+				t.Fatalf("engine result diverges from batch Run:\nbatch:   %+v\nstepped: %+v", batch, stepped)
+			}
+		})
+	}
+}
+
+// clonePolicy returns sc with a fresh policy instance of the same kind, so
+// two runs never share a PriceOptimizer's order cache.
+func clonePolicy(t *testing.T, sc Scenario) Scenario {
+	t.Helper()
+	switch p := sc.Policy.(type) {
+	case *routing.PriceOptimizer:
+		fresh, err := routing.NewPriceOptimizer(sc.Fleet, p.ThresholdKm(), routing.DefaultPriceThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Policy = fresh
+	case *routing.Baseline:
+		sc.Policy = routing.NewBaseline(sc.Fleet)
+	}
+	return sc
+}
+
+// TestEngineLifecycle pins the incremental API contract: Next advances
+// with the clock, Snapshot tracks running totals without finalizing,
+// Finalize is idempotent, and Step after Finalize fails.
+func TestEngineLifecycle(t *testing.T) {
+	fx := fixtures()
+	sc := shortScenario()
+	sc.Policy = routing.NewBaseline(fx.Fleet)
+	eng, err := NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Next(); !got.Equal(sc.Start) {
+		t.Fatalf("Next before first step = %v, want %v", got, sc.Start)
+	}
+
+	prices := eng.PriceSeries()
+	nc := len(sc.Fleet.Clusters)
+	bill := make([]float64, nc)
+	var demand []float64
+	for step := 0; step < 2*traffic.SamplesPerDay; step++ {
+		at := eng.Next()
+		demand = sc.Demand.Rates(at, demand)
+		for c := range prices {
+			v, err := prices[c].At(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bill[c] = v
+		}
+		if err := eng.Step(at, StepPrices{Decision: bill, Bill: bill}, demand); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.StepsRun(); got != 2*traffic.SamplesPerDay {
+		t.Fatalf("StepsRun = %d, want %d", got, 2*traffic.SamplesPerDay)
+	}
+	if want := sc.Start.Add(time.Duration(2*traffic.SamplesPerDay) * sc.Step); !eng.Next().Equal(want) {
+		t.Fatalf("Next = %v, want %v", eng.Next(), want)
+	}
+
+	snap := eng.Snapshot()
+	if snap.Steps != 2*traffic.SamplesPerDay || snap.TotalCost <= 0 || snap.TotalEnergy <= 0 {
+		t.Fatalf("implausible snapshot: %+v", snap)
+	}
+	var rate float64
+	for _, r := range snap.ClusterRate {
+		rate += r
+	}
+	if rate <= 0 {
+		t.Fatal("snapshot lost the last interval's rates")
+	}
+
+	res, err := eng.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 2*traffic.SamplesPerDay {
+		t.Fatalf("finalized Steps = %d", res.Steps)
+	}
+	again, err := eng.Finalize()
+	if err != nil || again != res {
+		t.Fatalf("Finalize not idempotent: %v, %v", again, err)
+	}
+	if err := eng.Step(eng.Next(), StepPrices{Decision: bill, Bill: bill}, demand); err == nil {
+		t.Fatal("Step after Finalize must fail")
+	}
+	if _, err := eng.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineInputValidation: mis-sized vectors fail fast with the books
+// untouched.
+func TestEngineInputValidation(t *testing.T) {
+	fx := fixtures()
+	sc := shortScenario()
+	sc.Policy = routing.NewBaseline(fx.Fleet)
+	eng, err := NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := len(sc.Fleet.Clusters)
+	ns := len(sc.Fleet.States)
+	good := make([]float64, nc)
+	demand := make([]float64, ns)
+	cases := []struct {
+		name     string
+		decision []float64
+		bill     []float64
+		demand   []float64
+	}{
+		{"short demand", good, good, make([]float64, ns-1)},
+		{"short decision", make([]float64, nc-1), good, demand},
+		{"short bill", good, make([]float64, nc+1), demand},
+	}
+	for _, tc := range cases {
+		if err := eng.Step(eng.Next(), StepPrices{Decision: tc.decision, Bill: tc.bill}, tc.demand); err == nil {
+			t.Errorf("%s: Step accepted bad input", tc.name)
+		}
+	}
+	if eng.StepsRun() != 0 {
+		t.Fatalf("failed steps advanced the engine: %d", eng.StepsRun())
+	}
+	// Finalize with zero steps has no percentiles to report.
+	if _, err := eng.Finalize(); err == nil {
+		t.Fatal("Finalize before any step must fail")
+	}
+}
+
+// TestValidateStepAlignment: steps that do not tile the market hour are
+// rejected instead of silently drifting across hourly price boundaries.
+func TestValidateStepAlignment(t *testing.T) {
+	good := shortScenario()
+	good.Policy = routing.NewBaseline(good.Fleet)
+	for _, step := range []time.Duration{7 * time.Minute, 25 * time.Minute, 90 * time.Minute, time.Hour + time.Nanosecond} {
+		sc := good
+		sc.Step = step
+		if _, err := Run(sc); err == nil {
+			t.Errorf("step %v accepted; misaligned price lookups", step)
+		}
+	}
+	for _, step := range []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour, 2 * time.Hour} {
+		sc := good
+		sc.Step = step
+		if err := sc.validate(); err != nil {
+			t.Errorf("step %v rejected: %v", step, err)
+		}
+	}
+}

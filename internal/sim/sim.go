@@ -15,12 +15,10 @@ import (
 	"math"
 	"time"
 
-	"powerroute/internal/billing"
 	"powerroute/internal/cluster"
 	"powerroute/internal/energy"
 	"powerroute/internal/market"
 	"powerroute/internal/routing"
-	"powerroute/internal/stats"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/traffic"
@@ -97,6 +95,16 @@ func (sc *Scenario) validate() error {
 	}
 	if sc.Step <= 0 {
 		return errors.New("sim: non-positive step duration")
+	}
+	// Market prices are hourly; a step that does not tile the hour (or a
+	// multi-hour step that is not a whole number of hours) drifts across
+	// price boundaries, so each interval would silently be billed at the
+	// price of whichever hour its start happens to land in.
+	if sc.Step < time.Hour && time.Hour%sc.Step != 0 {
+		return fmt.Errorf("sim: step %v does not divide the market hour", sc.Step)
+	}
+	if sc.Step > time.Hour && sc.Step%time.Hour != 0 {
+		return fmt.Errorf("sim: step %v is not a whole number of market hours", sc.Step)
 	}
 	if sc.ReactionDelay < 0 {
 		return errors.New("sim: negative reaction delay")
@@ -250,97 +258,16 @@ func (l *seriesLookup) values(at time.Time, dst []float64) error {
 	return nil
 }
 
-// Run executes the scenario.
+// Run executes the scenario as a batch: a thin loop that looks up each
+// interval's prices, demand, and carbon intensity from the scenario's
+// series and advances an Engine one Step at a time.
 func Run(sc Scenario) (*Result, error) {
-	if err := sc.validate(); err != nil {
+	eng, err := NewEngine(sc)
+	if err != nil {
 		return nil, err
 	}
 	nc := len(sc.Fleet.Clusters)
-	ns := len(sc.Fleet.States)
-	stepHours := sc.Step.Hours()
-
-	// Resolve per-cluster hourly price series once.
-	prices := make([]*timeseries.Series, nc)
-	for c, cl := range sc.Fleet.Clusters {
-		s, err := sc.Market.RT(cl.HubID)
-		if err != nil {
-			return nil, fmt.Errorf("sim: cluster %s: %w", cl.Code, err)
-		}
-		prices[c] = s
-	}
-
-	// 95/5 constraint state.
-	var constraints []*billing.Constraint
-	if sc.SoftCaps != nil {
-		constraints = make([]*billing.Constraint, nc)
-		for c := range constraints {
-			con, err := billing.NewConstraint(sc.SoftCaps[c], sc.Steps)
-			if err != nil {
-				return nil, err
-			}
-			constraints[c] = con
-		}
-	}
-
-	// Battery and demand-charge state. Both stay nil for storage-free,
-	// energy-only scenarios so those runs take the exact code path (and
-	// produce the exact results) they did before this subsystem existed.
-	var batteries []*storage.State
-	var dispatch storage.Policy
-	var priceCapper storage.PriceCapper
-	var priceCaps []float64
-	if sc.Storage != nil {
-		batteries = make([]*storage.State, nc)
-		for c := range batteries {
-			batteries[c] = storage.NewState(sc.Storage.Batteries[c])
-		}
-		dispatch = sc.Storage.Policy
-		if sc.Storage.RoutingAware {
-			if pc, ok := dispatch.(storage.PriceCapper); ok {
-				priceCapper = pc
-				priceCaps = make([]float64, nc)
-			}
-		}
-	}
-	var demandMeters []*billing.DemandMeter
-	if sc.DemandChargePerKW > 0 {
-		demandMeters = make([]*billing.DemandMeter, nc)
-		for c := range demandMeters {
-			demandMeters[c] = new(billing.DemandMeter)
-		}
-	}
-
-	res := &Result{
-		Policy:          sc.Policy.Name(),
-		Steps:           sc.Steps,
-		ClusterCost:     make([]units.Money, nc),
-		ClusterEnergy:   make([]units.Energy, nc),
-		BillableP95:     make([]float64, nc),
-		PeakRate:        make([]float64, nc),
-		MeanUtilization: make([]float64, nc),
-	}
-
-	if sc.Carbon != nil {
-		res.ClusterCarbonKg = make([]float64, nc)
-	}
-	meters := make([]billing.Meter, nc)
-	distHist := stats.NewWeightedHistogram(0, 5500, 1100) // 5 km resolution
-	assign := make([][]float64, ns)
-	for s := range assign {
-		assign[s] = make([]float64, nc)
-	}
-	ctx := &routing.Context{
-		Demand:         make([]float64, ns),
-		DecisionPrices: make([]float64, nc),
-		Room:           make([]float64, nc),
-		BurstRoom:      make([]float64, nc),
-	}
-	loads := make([]float64, nc)
-	billPrices := make([]float64, nc)
-	capacities := make([]float64, nc)
-	for c, cl := range sc.Fleet.Clusters {
-		capacities[c] = float64(cl.Capacity)
-	}
+	prices := eng.PriceSeries()
 
 	signal := prices
 	if sc.DecisionSeries != nil {
@@ -355,23 +282,23 @@ func Run(sc Scenario) (*Result, error) {
 		carbonIntensity = make([]float64, nc)
 	}
 
+	var demand []float64
+	decisionPrices := make([]float64, nc)
+	billPrices := make([]float64, nc)
+
 	marketStart := prices[0].Start
 	for step := 0; step < sc.Steps; step++ {
 		at := sc.Start.Add(time.Duration(step) * sc.Step)
-		ctx.At = at
 
 		// Demand.
-		ctx.Demand = sc.Demand.Rates(at, ctx.Demand)
-		if len(ctx.Demand) != ns {
-			return nil, fmt.Errorf("sim: demand source returned %d states, want %d", len(ctx.Demand), ns)
-		}
+		demand = sc.Demand.Rates(at, demand)
 
 		// Decision signal: delayed, clamped to the start of market data.
 		decisionAt := at.Add(-sc.ReactionDelay)
 		if decisionAt.Before(marketStart) {
 			decisionAt = marketStart
 		}
-		if err := decisionLookup.values(decisionAt, ctx.DecisionPrices); err != nil {
+		if err := decisionLookup.values(decisionAt, decisionPrices); err != nil {
 			return nil, fmt.Errorf("sim: decision signal at %v: %w", decisionAt, err)
 		}
 		// Billing prices for this instant (always real-time dollars).
@@ -383,170 +310,15 @@ func Run(sc Scenario) (*Result, error) {
 				return nil, fmt.Errorf("sim: carbon intensity at %v: %w", at, err)
 			}
 		}
-		// Storage-aware signal: a charged battery caps how expensive its
-		// cluster can look to the router (the battery absorbs anything
-		// above its discharge threshold).
-		if priceCapper != nil {
-			for c := range priceCaps {
-				priceCaps[c] = priceCapper.PriceCap(c, batteries[c])
-			}
-			routing.ApplyPriceCaps(ctx.DecisionPrices, priceCaps)
-		}
-
-		// Room tiers. Burst room above the 95/5 caps is unlocked only when
-		// this interval is infeasible under the caps alone — reserving each
-		// cluster's 5% burst budget for the true peak intervals rather than
-		// letting the router spend it chasing cheap prices.
-		if constraints != nil {
-			var totalDemand, totalRoom float64
-			for _, dem := range ctx.Demand {
-				totalDemand += dem
-			}
-			for c := range sc.Fleet.Clusters {
-				capacity := capacities[c]
-				cap95 := constraints[c].Cap
-				if cap95 > capacity {
-					cap95 = capacity
-				}
-				ctx.Room[c] = cap95
-				ctx.BurstRoom[c] = 0
-				totalRoom += cap95
-			}
-			if totalDemand > totalRoom*0.999 {
-				for c := range sc.Fleet.Clusters {
-					if constraints[c].CanBurst() {
-						ctx.BurstRoom[c] = capacities[c] - ctx.Room[c]
-					}
-				}
-			}
-		} else {
-			for c := range sc.Fleet.Clusters {
-				ctx.Room[c] = capacities[c]
-				ctx.BurstRoom[c] = 0
-			}
-		}
-
-		// Allocate.
-		for s := range assign {
-			row := assign[s]
-			for c := range row {
-				row[c] = 0
-			}
-		}
-		if err := sc.Policy.Allocate(ctx, assign); err != nil {
+		if err := eng.Step(at, StepPrices{
+			Decision: decisionPrices,
+			Bill:     billPrices,
+			Carbon:   carbonIntensity,
+		}, demand); err != nil {
 			return nil, err
 		}
-
-		// Meter.
-		for c := range loads {
-			loads[c] = 0
-		}
-		for s := range assign {
-			row := assign[s]
-			dist := sc.Fleet.DistanceKm[s]
-			for c, rate := range row {
-				if rate <= 0 {
-					continue
-				}
-				loads[c] += rate
-				distHist.Add(dist[c], rate*stepHours)
-			}
-		}
-		for c, cl := range sc.Fleet.Clusters {
-			load := loads[c]
-			meters[c].Record(load)
-			if load > res.PeakRate[c] {
-				res.PeakRate[c] = load
-			}
-			// Epsilon absorbs float residue from the allocator's room
-			// arithmetic; genuine overloads are orders of magnitude larger.
-			if over := load - capacities[c]; over > 1e-6+1e-9*capacities[c] {
-				res.OverloadHitSeconds += over * sc.Step.Seconds()
-			}
-			if constraints != nil {
-				if err := constraints[c].Commit(load); err != nil {
-					return nil, fmt.Errorf("sim: cluster %s at %v: %w", cl.Code, at, err)
-				}
-			}
-			u := cl.Utilization(units.HitRate(load))
-			res.MeanUtilization[c] += u
-			e := sc.Energy.Energy(u, cl.Servers, stepHours)
-			// Grid draw = IT draw + battery charging − battery discharging;
-			// everything downstream (bill, demand meter, carbon ledger) is
-			// metered at the grid interconnect.
-			grid := e
-			if batteries != nil {
-				b := batteries[c]
-				itKW := e.KilowattHours() / stepHours
-				if act := dispatch.Action(c, billPrices[c], itKW, b); act > 0 {
-					bought := b.Charge(act, stepHours)
-					grid += units.Energy(bought * 1000)
-					res.StorageBoughtKWh += bought
-				} else if act < 0 {
-					want := -act
-					if want > itKW {
-						want = itKW // no grid export
-					}
-					served := b.Discharge(want, stepHours)
-					grid -= units.Energy(served * 1000)
-					res.StorageServedKWh += served
-				}
-			}
-			cost := grid.Cost(units.Price(billPrices[c]))
-			res.ClusterEnergy[c] += grid
-			res.ClusterCost[c] += cost
-			res.TotalEnergy += grid
-			res.TotalCost += cost
-			if demandMeters != nil {
-				demandMeters[c].Record(at, grid.KilowattHours()/stepHours)
-			}
-			if sc.Carbon != nil {
-				kg := grid.KilowattHours() * carbonIntensity[c] / 1000
-				res.ClusterCarbonKg[c] += kg
-				res.TotalCarbonKg += kg
-			}
-		}
 	}
-
-	for c := range meters {
-		p95, err := meters[c].Percentile95()
-		if err != nil {
-			return nil, err
-		}
-		res.BillableP95[c] = p95
-		res.MeanUtilization[c] /= float64(sc.Steps)
-		if constraints != nil {
-			if res.BurstsUsed == nil {
-				res.BurstsUsed = make([]int, nc)
-			}
-			res.BurstsUsed[c] = constraints[c].BurstsUsed()
-			if err := constraints[c].Verify(); err != nil {
-				return nil, err
-			}
-		}
-	}
-	res.EnergyCost = res.TotalCost
-	if demandMeters != nil {
-		res.ClusterDemandCharge = make([]units.Money, nc)
-		res.PeakGridKW = make([]float64, nc)
-		for c, m := range demandMeters {
-			ch := m.Charge(sc.DemandChargePerKW)
-			res.ClusterDemandCharge[c] = ch
-			res.PeakGridKW[c] = m.PeakKW()
-			res.ClusterCost[c] += ch
-			res.DemandCharge += ch
-			res.TotalCost += ch
-		}
-	}
-	if batteries != nil {
-		res.FinalSoCKWh = make([]float64, nc)
-		for c, b := range batteries {
-			res.FinalSoCKWh[c] = b.SoCKWh()
-		}
-	}
-	res.MeanDistanceKm = distHist.Mean()
-	res.P99DistanceKm = distHist.Quantile(0.99)
-	return res, nil
+	return eng.Finalize()
 }
 
 // DeriveCaps runs the scenario under the Akamai-like baseline policy with
