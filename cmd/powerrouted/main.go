@@ -11,15 +11,24 @@
 //	powerrouted [-addr HOST:PORT] [-seed N] [-months M] [-days D]
 //	            [-horizon longrun|trace] [-threshold-km KM]
 //	            [-price-threshold D] [-reaction-delay DUR]
+//	            [-state-dir DIR] [-checkpoint-every DUR] [-restore]
 //
 // Feed it with cmd/tracegen's replay mode:
 //
 //	powerrouted -addr 127.0.0.1:7946 &
 //	tracegen -replay http://127.0.0.1:7946
 //
+// With -state-dir the daemon is durable: engine state (billing meters,
+// monthly demand peaks, 95/5 burst budgets, battery state-of-charge, step
+// cursor) is checkpointed to DIR/checkpoint.ckpt periodically and on
+// graceful shutdown, with atomic temp-file+rename writes. After a crash,
+// -restore resumes mid-horizon from the newest checkpoint; the checkpoint
+// carries a hash of the world that produced it, and the daemon refuses to
+// restore into a different one (wrong -seed/-months/-horizon/tariff).
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain, the engine's books are closed, and a final bill summary is
-// printed.
+// drain, a final checkpoint is written (when -state-dir is set), the
+// engine's books are closed, and a final bill summary is printed.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -61,11 +71,22 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	thresholdKm := fs.Float64("threshold-km", 1500, "optimizer distance threshold (paper's elbow)")
 	priceThreshold := fs.Float64("price-threshold", routing.DefaultPriceThreshold, "price differential dead-band ($/MWh)")
 	delay := fs.Duration("reaction-delay", sim.DefaultReactionDelay, "lag between a price taking effect and the router seeing it")
+	stateDir := fs.String("state-dir", "", "directory for durable engine checkpoints (empty = no persistence)")
+	ckptEvery := fs.Duration("checkpoint-every", time.Minute, "periodic checkpoint interval when -state-dir is set (0 = shutdown-only)")
+	restore := fs.Bool("restore", false, "resume from -state-dir's checkpoint instead of starting fresh")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintf(stderr, "powerrouted: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+	if *restore && *stateDir == "" {
+		fmt.Fprintln(stderr, "powerrouted: -restore requires -state-dir")
+		return 2
+	}
+	if *ckptEvery < 0 {
+		fmt.Fprintln(stderr, "powerrouted: negative -checkpoint-every")
 		return 2
 	}
 
@@ -106,10 +127,35 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sc.Policy = opt
-	eng, err := sim.NewEngine(sc)
-	if err != nil {
-		fmt.Fprintln(stderr, "powerrouted:", err)
-		return 1
+
+	var ckptPath string
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		ckptPath = filepath.Join(*stateDir, "checkpoint.ckpt")
+	}
+	var eng *sim.Engine
+	if *restore {
+		cp, err := sim.ReadCheckpointFile(ckptPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "powerrouted: reading checkpoint %s: %v\n", ckptPath, err)
+			return 1
+		}
+		eng, err = sim.Restore(sc, cp)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "powerrouted: restored %s at step %d (next interval %v)\n",
+			ckptPath, cp.StepsRun, eng.Next())
+	} else {
+		eng, err = sim.NewEngine(sc)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
 	}
 	srv, err := server.New(server.Config{Engine: eng})
 	if err != nil {
@@ -129,6 +175,30 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// Periodic checkpointing: each tick snapshots the engine under the
+	// server lock and atomically replaces the state file, so a SIGKILL at
+	// any instant leaves either the previous or the new checkpoint — never
+	// a torn one.
+	var ckptDone chan struct{}
+	if ckptPath != "" && *ckptEvery > 0 {
+		ckptDone = make(chan struct{})
+		go func() {
+			defer close(ckptDone)
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := srv.WriteCheckpointFile(ckptPath); err != nil {
+						fmt.Fprintln(stderr, "powerrouted: checkpoint:", err)
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "powerrouted:", err)
@@ -136,11 +206,22 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: drain in-flight requests, then close the books.
+	// Graceful shutdown: drain in-flight requests, write a final
+	// checkpoint, then close the books.
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(stderr, "powerrouted: shutdown:", err)
+	}
+	if ckptDone != nil {
+		<-ckptDone
+	}
+	if ckptPath != "" {
+		if err := srv.WriteCheckpointFile(ckptPath); err != nil {
+			fmt.Fprintln(stderr, "powerrouted: final checkpoint:", err)
+		} else {
+			fmt.Fprintf(stdout, "powerrouted: checkpoint written to %s\n", ckptPath)
+		}
 	}
 	if res, err := srv.Finalize(); err != nil {
 		// Expected when the daemon is stopped before any traffic arrived.

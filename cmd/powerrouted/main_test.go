@@ -123,6 +123,130 @@ func TestServeRouteShutdown(t *testing.T) {
 	}
 }
 
+// startDaemon boots run() with the given extra args on an ephemeral port
+// and returns the base URL, output buffers, a cancel func, and the exit
+// channel.
+func startDaemon(t *testing.T, extra ...string) (string, *syncBuf, *syncBuf, context.CancelFunc, chan int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	var out, errOut syncBuf
+	done := make(chan int, 1)
+	argv := append([]string{"-addr", "127.0.0.1:0", "-months", "1", "-days", "7"}, extra...)
+	go func() { done <- run(ctx, argv, &out, &errOut) }()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; stdout %q stderr %q", out.String(), errOut.String())
+		}
+		if m := listenLine.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], &out, &errOut, cancel, done
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStateDirRestoreAcrossRestart: a daemon with -state-dir writes a
+// checkpoint on shutdown, and a second invocation with -restore resumes at
+// the routed step instead of zero. A third invocation over a different
+// world must refuse the checkpoint.
+func TestStateDirRestoreAcrossRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	base, out, errOut, cancel, done := startDaemon(t, "-state-dir", stateDir, "-checkpoint-every", "0")
+
+	var world struct {
+		Start    time.Time `json:"start"`
+		States   []string  `json:"states"`
+		Clusters []struct {
+			Hub string `json:"hub"`
+		} `json:"clusters"`
+	}
+	resp, err := http.Get(base + "/v1/world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&world)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := map[string]float64{}
+	for _, cl := range world.Clusters {
+		prices[cl.Hub] = 37
+	}
+	post := func(path string, v any) {
+		t.Helper()
+		body, _ := json.Marshal(v)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, msg)
+		}
+	}
+	post("/v1/prices", map[string]any{"at": world.Start, "prices": prices})
+	rates := make([]float64, len(world.States))
+	for i := range rates {
+		rates[i] = 800
+	}
+	post("/v1/demand", map[string]any{"rates": rates})
+	post("/v1/demand", map[string]any{"rates": rates})
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr %q", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "checkpoint written to") {
+		t.Fatalf("no shutdown checkpoint in %q", out.String())
+	}
+
+	base2, out2, _, cancel2, done2 := startDaemon(t, "-state-dir", stateDir, "-restore")
+	if !strings.Contains(out2.String(), "restored") {
+		t.Errorf("no restore line in %q", out2.String())
+	}
+	resp, err = http.Get(base2 + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var status struct {
+		Steps int `json:"steps"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Steps != 2 {
+		t.Fatalf("restored daemon at step %d, want 2", status.Steps)
+	}
+	cancel2()
+	select {
+	case <-done2:
+	case <-time.After(30 * time.Second):
+		t.Fatal("restored daemon did not shut down")
+	}
+
+	// A different world (2-month market) must refuse the checkpoint.
+	var out3, errOut3 syncBuf
+	ctx3, cancel3 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel3()
+	code := run(ctx3, []string{"-addr", "127.0.0.1:0", "-months", "2", "-days", "7", "-state-dir", stateDir, "-restore"}, &out3, &errOut3)
+	if code != 1 {
+		t.Fatalf("foreign-world restore exited %d, want 1 (stderr %q)", code, errOut3.String())
+	}
+	if s := errOut3.String(); !strings.Contains(s, "mismatch") && !strings.Contains(s, "differs") {
+		t.Errorf("foreign-world restore error unhelpful: %q", s)
+	}
+}
+
 // TestBadInvocations covers flag and startup failures.
 func TestBadInvocations(t *testing.T) {
 	cases := []struct {
@@ -133,6 +257,9 @@ func TestBadInvocations(t *testing.T) {
 		{[]string{"stray-arg"}, 2},
 		{[]string{"-not-a-flag"}, 2},
 		{[]string{"-addr", "256.0.0.1:bad", "-months", "1", "-days", "2"}, 1},
+		{[]string{"-restore"}, 2},
+		{[]string{"-checkpoint-every", "-1s", "-state-dir", "x"}, 2},
+		{[]string{"-state-dir", "/dev/null/nope", "-months", "1", "-days", "2"}, 1},
 	}
 	for _, tc := range cases {
 		var out, errOut syncBuf

@@ -14,11 +14,18 @@
 //
 //	tracegen [-seed N] [-months M] [-days D] -out DIR
 //	tracegen [-seed N] [-months M] [-days D] -replay URL
-//	         [-speedup X] [-batch N] [-loop N]
+//	         [-speedup X] [-batch N] [-loop N] [-kill-after N] [-resume]
 //
 // With -speedup 0 (the default) the replay free-runs as fast as the daemon
 // routes, reporting sustained decision throughput; -speedup 3600 replays
 // one simulated hour per wall second.
+//
+// -kill-after and -resume are the crash-recovery drill: -kill-after N
+// stops the replay after N routed steps (kill the daemon there), and
+// -resume asks the daemon where it stands — e.g. after powerrouted
+// -restore — and finishes the horizon from that step, re-posting the
+// reaction-delay price lookback so the resumed run is bit-identical to an
+// uninterrupted one.
 package main
 
 import (
@@ -43,9 +50,21 @@ func main() {
 	speedup := flag.Float64("speedup", 0, "replay pacing: simulated seconds per wall second (0 = as fast as possible)")
 	batch := flag.Int("batch", 1024, "replay ingest batch size in steps")
 	loops := flag.Int("loop", 1, "replay the price horizon this many times")
+	killAfter := flag.Int("kill-after", 0, "stop the replay after this many routed steps (0 = full horizon; crash-drill mode)")
+	resume := flag.Bool("resume", false, "resume from the daemon's next expected step (after powerrouted -restore)")
 	flag.Parse()
 	if *replayURL != "" {
-		if err := replay(os.Stdout, *replayURL, *seed, *months, *days, *batch, *loops, *speedup); err != nil {
+		opt := replayOptions{
+			Seed:      *seed,
+			Months:    *months,
+			Days:      *days,
+			Batch:     *batch,
+			Loops:     *loops,
+			Speedup:   *speedup,
+			KillAfter: *killAfter,
+			Resume:    *resume,
+		}
+		if err := replay(os.Stdout, *replayURL, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}

@@ -14,28 +14,51 @@ import (
 	"powerroute/internal/traffic"
 )
 
+// replayOptions configures one replay run against a powerrouted daemon.
+type replayOptions struct {
+	Seed         int64
+	Months, Days int
+	Batch, Loops int
+	Speedup      float64
+
+	// KillAfter, when positive, stops the replay after routing that many
+	// steps: the load-generator half of a crash-recovery drill (replay
+	// part of the horizon, kill the daemon, restart it with -restore).
+	KillAfter int
+	// Resume picks up a partially replayed horizon: the replay asks the
+	// daemon which step it expects next and starts there, first re-posting
+	// enough price history to cover the reaction-delay lookback, so a
+	// resumed run's decision prices are bit-identical to an uninterrupted
+	// one's. Use it against a daemon restarted with -restore (or restored
+	// via PUT /v1/checkpoint), whose price feed starts empty.
+	Resume bool
+}
+
 // replay regenerates the synthetic world and streams it through a running
 // powerrouted daemon: the hourly hub price history via POST /v1/prices and
 // the long-run hour-of-week demand via POST /v1/demand, in binary batches
-// of `batch` steps, `loops` passes over the price horizon. Each price
+// of opt.Batch steps, opt.Loops passes over the price horizon. Each price
 // chunk is posted before the demand chunk that references it, so the
 // daemon's decision lookups (reaction delay included) always resolve.
 //
 // With speedup 0 the replay free-runs, which makes it a throughput
 // benchmark: the routed-steps-per-second figure it prints is the daemon's
 // sustained decision rate including ingest parsing and HTTP overhead.
-func replay(stdout io.Writer, baseURL string, seed int64, months, days, batch, loops int, speedup float64) error {
-	if batch <= 0 {
-		return fmt.Errorf("replay: non-positive batch size %d", batch)
+func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
+	if opt.Batch <= 0 {
+		return fmt.Errorf("replay: non-positive batch size %d", opt.Batch)
 	}
-	if loops <= 0 {
-		return fmt.Errorf("replay: non-positive loop count %d", loops)
+	if opt.Loops <= 0 {
+		return fmt.Errorf("replay: non-positive loop count %d", opt.Loops)
 	}
-	mkt, err := market.Generate(market.Config{Seed: seed, Months: months})
+	if opt.KillAfter < 0 {
+		return fmt.Errorf("replay: negative kill-after %d", opt.KillAfter)
+	}
+	mkt, err := market.Generate(market.Config{Seed: opt.Seed, Months: opt.Months})
 	if err != nil {
 		return err
 	}
-	tr, err := traffic.Generate(traffic.Config{Seed: seed + 1, Days: days})
+	tr, err := traffic.Generate(traffic.Config{Seed: opt.Seed + 1, Days: opt.Days})
 	if err != nil {
 		return err
 	}
@@ -56,21 +79,15 @@ func replay(stdout io.Writer, baseURL string, seed int64, months, days, batch, l
 	step := timeseries.Hourly
 	start := mkt.Start
 	horizon := mkt.Hours
-	total := horizon * loops
+	total := horizon * opt.Loops
 
 	client := &http.Client{Timeout: 5 * time.Minute}
-	fmt.Fprintf(stdout, "replay: %d hourly steps (%d-pass %d-month horizon), %d hubs, %d states, batch %d\n",
-		total, loops, months, len(hubs), ns, batch)
 
+	// postPrices sends rows [off, off+n) of the (cyclic) price horizon.
 	priceRow := make([]float64, len(hubIDs))
-	demandRow := make([]float64, ns)
 	rowBuf := make([]byte, 0, 8*max(len(hubIDs), ns))
-	routed := 0
-	t0 := time.Now()
-	for off := 0; off < total; off += batch {
-		n := min(batch, total-off)
+	postPrices := func(off, n int) error {
 		chunkStart := start.Add(time.Duration(off) * step)
-
 		var pb bytes.Buffer
 		if err := server.WriteBatchHeader(&pb, "prices", chunkStart, step, n, len(hubIDs), hubIDs); err != nil {
 			return err
@@ -85,6 +102,59 @@ func replay(stdout io.Writer, baseURL string, seed int64, months, days, batch, l
 		if err := post(client, baseURL+"/v1/prices", server.ContentTypePricesBatch, &pb); err != nil {
 			return fmt.Errorf("replay: price chunk at %v: %w", chunkStart, err)
 		}
+		return nil
+	}
+
+	startOff := 0
+	if opt.Resume {
+		status, err := getStatus(client, baseURL)
+		if err != nil {
+			return err
+		}
+		world, err := getWorld(client, baseURL)
+		if err != nil {
+			return err
+		}
+		if got := time.Duration(world.StepSeconds * float64(time.Second)); got != step {
+			return fmt.Errorf("replay: daemon steps %v, replay generates %v", got, step)
+		}
+		startOff = status.Steps
+		if startOff > total {
+			return fmt.Errorf("replay: daemon already at step %d, beyond the %d-step horizon", startOff, total)
+		}
+		// Re-post the price history the daemon's decision lookups will
+		// reach back into: a restored daemon starts with an empty feed,
+		// and without the lookback rows its first decisions would clamp to
+		// the resume point instead of seeing delay-lagged prices.
+		delay := time.Duration(world.ReactionDelaySeconds * float64(time.Second))
+		lead := int((delay + step - 1) / step)
+		if lead > startOff {
+			lead = startOff
+		}
+		if lead > 0 {
+			if err := postPrices(startOff-lead, lead); err != nil {
+				return err
+			}
+		}
+	}
+	end := total
+	if opt.KillAfter > 0 && startOff+opt.KillAfter < end {
+		end = startOff + opt.KillAfter
+	}
+
+	fmt.Fprintf(stdout, "replay: steps [%d, %d) of %d (%d-pass %d-month horizon), %d hubs, %d states, batch %d\n",
+		startOff, end, total, opt.Loops, opt.Months, len(hubs), ns, opt.Batch)
+
+	demandRow := make([]float64, ns)
+	routed := 0
+	t0 := time.Now()
+	for off := startOff; off < end; off += opt.Batch {
+		n := min(opt.Batch, end-off)
+		chunkStart := start.Add(time.Duration(off) * step)
+
+		if err := postPrices(off, n); err != nil {
+			return err
+		}
 
 		var db bytes.Buffer
 		if err := server.WriteBatchHeader(&db, "demand", chunkStart, step, n, ns, nil); err != nil {
@@ -98,8 +168,8 @@ func replay(stdout io.Writer, baseURL string, seed int64, months, days, batch, l
 			return fmt.Errorf("replay: demand chunk at %v: %w", chunkStart, err)
 		}
 		routed += n
-		if speedup > 0 {
-			time.Sleep(time.Duration(float64(n) * float64(step) / speedup))
+		if opt.Speedup > 0 {
+			time.Sleep(time.Duration(float64(n) * float64(step) / opt.Speedup))
 		}
 	}
 	elapsed := time.Since(t0)
@@ -152,4 +222,27 @@ func getStatus(client *http.Client, baseURL string) (*daemonStatus, error) {
 		return nil, fmt.Errorf("status: decoding response: %w", err)
 	}
 	return status, nil
+}
+
+// daemonWorld is the slice of /v1/world the resume path needs: the step
+// geometry and the reaction delay whose lookback the replay must re-cover.
+type daemonWorld struct {
+	StepSeconds          float64 `json:"step_seconds"`
+	ReactionDelaySeconds float64 `json:"reaction_delay_seconds"`
+}
+
+func getWorld(client *http.Client, baseURL string) (*daemonWorld, error) {
+	resp, err := client.Get(baseURL + "/v1/world")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("world: %s", resp.Status)
+	}
+	world := new(daemonWorld)
+	if err := json.NewDecoder(resp.Body).Decode(world); err != nil {
+		return nil, fmt.Errorf("world: decoding response: %w", err)
+	}
+	return world, nil
 }

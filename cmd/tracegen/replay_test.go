@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -66,7 +69,7 @@ func TestReplayMatchesBatchRun(t *testing.T) {
 	var out strings.Builder
 	// Batch size deliberately misaligned with the horizon so chunk
 	// boundaries land mid-feed.
-	if err := replay(&out, ts.URL, seed, months, days, 100, 1, 0); err != nil {
+	if err := replay(&out, ts.URL, replayOptions{Seed: seed, Months: months, Days: days, Batch: 100, Loops: 1}); err != nil {
 		t.Fatal(err)
 	}
 	online, err := srv.Finalize()
@@ -98,7 +101,7 @@ func TestReplayMatchesBatchRun(t *testing.T) {
 func TestReplayLoops(t *testing.T) {
 	srv, ts, sc := replayWorld(t, 7, 1, 7)
 	var out strings.Builder
-	if err := replay(&out, ts.URL, 7, 1, 7, 512, 2, 0); err != nil {
+	if err := replay(&out, ts.URL, replayOptions{Seed: 7, Months: 1, Days: 7, Batch: 512, Loops: 2}); err != nil {
 		t.Fatal(err)
 	}
 	res, err := srv.Finalize()
@@ -116,10 +119,81 @@ func TestReplayLoops(t *testing.T) {
 // TestReplayArgumentValidation: bad knobs fail before any traffic.
 func TestReplayArgumentValidation(t *testing.T) {
 	var out strings.Builder
-	if err := replay(&out, "http://127.0.0.1:1", 1, 1, 1, 0, 1, 0); err == nil {
+	if err := replay(&out, "http://127.0.0.1:1", replayOptions{Seed: 1, Months: 1, Days: 1, Batch: 0, Loops: 1}); err == nil {
 		t.Error("batch 0 accepted")
 	}
-	if err := replay(&out, "http://127.0.0.1:1", 1, 1, 1, 16, 0, 0); err == nil {
+	if err := replay(&out, "http://127.0.0.1:1", replayOptions{Seed: 1, Months: 1, Days: 1, Batch: 16, Loops: 0}); err == nil {
 		t.Error("loop 0 accepted")
+	}
+	if err := replay(&out, "http://127.0.0.1:1", replayOptions{Seed: 1, Months: 1, Days: 1, Batch: 16, Loops: 1, KillAfter: -1}); err == nil {
+		t.Error("negative kill-after accepted")
+	}
+}
+
+// TestReplayKillRestoreResume is the crash-recovery drill at full system
+// scope, minus the process kill (the CI e2e job does that part in anger):
+// replay half the horizon into daemon A, snapshot it over GET
+// /v1/checkpoint, restore the snapshot into a fresh daemon B over PUT
+// /v1/checkpoint (empty price feed, exactly like a -restore restart), and
+// finish the horizon with -resume. Daemon B's final Result must be
+// bit-for-bit the uninterrupted batch Run's.
+func TestReplayKillRestoreResume(t *testing.T) {
+	const (
+		seed   = int64(42)
+		months = 1
+		days   = 7
+	)
+	_, tsA, sc := replayWorld(t, seed, months, days)
+	half := sc.Steps / 2
+	var out strings.Builder
+	if err := replay(&out, tsA.URL, replayOptions{Seed: seed, Months: months, Days: days, Batch: 100, Loops: 1, KillAfter: half}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(tsA.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/checkpoint: %d: %s", resp.StatusCode, snapshot)
+	}
+
+	srvB, tsB, _ := replayWorld(t, seed, months, days)
+	req, err := http.NewRequest(http.MethodPut, tsB.URL+"/v1/checkpoint", bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", server.ContentTypeCheckpoint)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT /v1/checkpoint: %d: %s", resp.StatusCode, msg)
+	}
+
+	if err := replay(&out, tsB.URL, replayOptions{Seed: seed, Months: months, Days: days, Batch: 100, Loops: 1, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := srvB.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt, err := routing.NewPriceOptimizer(sc.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Policy = opt
+	batch, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, batch) {
+		t.Fatalf("kill/restore/resume replay diverged from batch Run:\nresumed: %+v\nbatch:   %+v", resumed, batch)
 	}
 }

@@ -21,6 +21,7 @@ package billing
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"powerroute/internal/stats"
@@ -43,6 +44,18 @@ func (m *Meter) N() int { return len(m.samples) }
 // intervals. It returns an error when nothing has been recorded.
 func (m *Meter) Percentile95() (float64, error) {
 	return stats.Quantile(m.samples, 0.95)
+}
+
+// Samples returns a copy of the recorded per-interval rates, oldest first
+// (the checkpoint path; the 95th percentile needs every sample).
+func (m *Meter) Samples() []float64 {
+	return append([]float64(nil), m.samples...)
+}
+
+// RestoreSamples replaces the meter's record with a copy of samples (the
+// restore path).
+func (m *Meter) RestoreSamples(samples []float64) {
+	m.samples = append(m.samples[:0:0], samples...)
 }
 
 // Peak returns the maximum recorded rate.
@@ -131,6 +144,50 @@ func (c *Constraint) Verify() error {
 	return nil
 }
 
+// ConstraintState is the serializable dynamic state of a Constraint. Cap
+// and TotalBudget are configuration echoes: a restore target derives them
+// from its own scenario and refuses state that disagrees, so a checkpoint
+// can never smuggle a different billing contract into a run.
+type ConstraintState struct {
+	Cap          float64 `json:"cap"`
+	TotalBudget  int     `json:"total_budget"`
+	BurstsUsed   int     `json:"bursts_used"`
+	IntervalsRun int     `json:"intervals_run"`
+}
+
+// State exports the constraint's dynamic state.
+func (c *Constraint) State() ConstraintState {
+	return ConstraintState{
+		Cap:          c.Cap,
+		TotalBudget:  c.totalBudget,
+		BurstsUsed:   c.burstsUsed,
+		IntervalsRun: c.intervalsRun,
+	}
+}
+
+// RestoreState loads a previously exported state into a freshly built
+// constraint. The configuration must match exactly — same cap (bitwise),
+// same total budget — and the dynamic counters must be internally
+// consistent; anything else is a checkpoint from a different world.
+func (c *Constraint) RestoreState(s ConstraintState) error {
+	if s.Cap != c.Cap {
+		return fmt.Errorf("billing: restored cap %v, constraint built with %v", s.Cap, c.Cap)
+	}
+	if s.TotalBudget != c.totalBudget {
+		return fmt.Errorf("billing: restored burst budget %d, constraint built with %d", s.TotalBudget, c.totalBudget)
+	}
+	if s.BurstsUsed < 0 || s.BurstsUsed > s.TotalBudget {
+		return fmt.Errorf("billing: restored bursts used %d outside budget %d", s.BurstsUsed, s.TotalBudget)
+	}
+	if s.IntervalsRun < s.BurstsUsed {
+		return fmt.Errorf("billing: restored %d intervals with %d bursts used", s.IntervalsRun, s.BurstsUsed)
+	}
+	c.budget = c.totalBudget - s.BurstsUsed
+	c.burstsUsed = s.BurstsUsed
+	c.intervalsRun = s.IntervalsRun
+	return nil
+}
+
 // DemandMeter tracks the billing determinant of a demand-charge tariff for
 // one cluster: the peak interval-average power draw (kW) within each
 // calendar month (UTC). State is O(months), so 39-month hourly runs carry
@@ -178,6 +235,39 @@ func (m *DemandMeter) PeakKW() float64 {
 // order first observed.
 func (m *DemandMeter) MonthlyPeaks() ([]timeseries.MonthKey, []float64) {
 	return append([]timeseries.MonthKey(nil), m.months...), append([]float64(nil), m.peaks...)
+}
+
+// DemandMeterState is the serializable state of a DemandMeter: the
+// observed months and their peak draws, in first-observed order.
+type DemandMeterState struct {
+	Months []timeseries.MonthKey `json:"months"`
+	Peaks  []float64             `json:"peaks"`
+}
+
+// State exports the meter's per-month peaks.
+func (m *DemandMeter) State() DemandMeterState {
+	months, peaks := m.MonthlyPeaks()
+	return DemandMeterState{Months: months, Peaks: peaks}
+}
+
+// RestoreState replaces the meter's record with a copy of s.
+func (m *DemandMeter) RestoreState(s DemandMeterState) error {
+	if len(s.Months) != len(s.Peaks) {
+		return fmt.Errorf("billing: %d months for %d peaks", len(s.Months), len(s.Peaks))
+	}
+	seen := make(map[timeseries.MonthKey]bool, len(s.Months))
+	for i, k := range s.Months {
+		if seen[k] {
+			return fmt.Errorf("billing: duplicate month %v in demand meter state", k)
+		}
+		seen[k] = true
+		if p := s.Peaks[i]; math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("billing: month %v peak %v invalid", k, s.Peaks[i])
+		}
+	}
+	m.months = append(m.months[:0:0], s.Months...)
+	m.peaks = append(m.peaks[:0:0], s.Peaks...)
+	return nil
 }
 
 // Charge bills every month's peak at the tariff's demand rate:

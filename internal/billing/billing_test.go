@@ -2,9 +2,12 @@ package billing
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"powerroute/internal/timeseries"
 )
 
 func TestMeterPercentile95(t *testing.T) {
@@ -239,5 +242,122 @@ func TestDemandMeterEmptyAndOutOfOrder(t *testing.T) {
 	}
 	if peaks[0] != 30 || peaks[1] != 20 {
 		t.Errorf("peaks = %v, want [30 20]", peaks)
+	}
+}
+
+// TestMeterSamplesRoundTrip: Samples/RestoreSamples are a faithful,
+// aliasing-free copy of the meter record.
+func TestMeterSamplesRoundTrip(t *testing.T) {
+	var m Meter
+	for _, r := range []float64{5, 2, 9, 9, 1} {
+		m.Record(r)
+	}
+	samples := m.Samples()
+	samples[0] = 999 // must not alias the meter's internal slice
+	if got := m.Samples()[0]; got != 5 {
+		t.Fatalf("Samples aliases the meter: got %v", got)
+	}
+
+	var restored Meter
+	restored.RestoreSamples(m.Samples())
+	if restored.N() != m.N() || restored.Peak() != m.Peak() {
+		t.Fatalf("restored meter N=%d peak=%v, want N=%d peak=%v", restored.N(), restored.Peak(), m.N(), m.Peak())
+	}
+	p1, err1 := m.Percentile95()
+	p2, err2 := restored.Percentile95()
+	if err1 != nil || err2 != nil || p1 != p2 {
+		t.Fatalf("restored p95 %v (%v), want %v (%v)", p2, err2, p1, err1)
+	}
+}
+
+// TestConstraintStateRoundTrip: State/RestoreState reproduce the budget
+// position exactly and refuse mismatched configuration.
+func TestConstraintStateRoundTrip(t *testing.T) {
+	c, err := NewConstraint(100, 200) // budget 9
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		rate := 50.0
+		if i%10 == 0 {
+			rate = 150 // consume 3 bursts
+		}
+		if err := c.Commit(rate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.State()
+	if st.BurstsUsed != 3 || st.IntervalsRun != 30 {
+		t.Fatalf("state %+v", st)
+	}
+
+	fresh, err := NewConstraint(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.BurstsUsed() != 3 || fresh.IntervalsRun() != 30 || !fresh.CanBurst() {
+		t.Fatalf("restored constraint bursts=%d intervals=%d canBurst=%v", fresh.BurstsUsed(), fresh.IntervalsRun(), fresh.CanBurst())
+	}
+	// Exactly the remaining budget is honored.
+	for i := 0; i < 6; i++ {
+		if err := fresh.Commit(150); err != nil {
+			t.Fatalf("burst %d within budget refused: %v", i, err)
+		}
+	}
+	if err := fresh.Commit(150); err == nil {
+		t.Fatal("restored constraint allowed an over-budget burst")
+	}
+
+	bad := []ConstraintState{
+		{Cap: 99, TotalBudget: st.TotalBudget, BurstsUsed: 0, IntervalsRun: 0},
+		{Cap: 100, TotalBudget: st.TotalBudget + 1, BurstsUsed: 0, IntervalsRun: 0},
+		{Cap: 100, TotalBudget: st.TotalBudget, BurstsUsed: -1, IntervalsRun: 0},
+		{Cap: 100, TotalBudget: st.TotalBudget, BurstsUsed: st.TotalBudget + 1, IntervalsRun: 99},
+		{Cap: 100, TotalBudget: st.TotalBudget, BurstsUsed: 2, IntervalsRun: 1},
+	}
+	for i, s := range bad {
+		target, _ := NewConstraint(100, 200)
+		if err := target.RestoreState(s); err == nil {
+			t.Errorf("case %d: invalid state %+v accepted", i, s)
+		}
+	}
+}
+
+// TestDemandMeterStateRoundTrip: per-month peaks survive State/RestoreState
+// and invalid states are refused.
+func TestDemandMeterStateRoundTrip(t *testing.T) {
+	var m DemandMeter
+	base := time.Date(2008, time.March, 1, 0, 0, 0, 0, time.UTC)
+	m.Record(base, 100)
+	m.Record(base.Add(40*24*time.Hour), 220)
+	m.Record(base.Add(41*24*time.Hour), 180)
+
+	var restored DemandMeter
+	if err := restored.RestoreState(m.State()); err != nil {
+		t.Fatal(err)
+	}
+	gm, gp := restored.MonthlyPeaks()
+	wm, wp := m.MonthlyPeaks()
+	if !reflect.DeepEqual(gm, wm) || !reflect.DeepEqual(gp, wp) {
+		t.Fatalf("restored peaks %v/%v, want %v/%v", gm, gp, wm, wp)
+	}
+	if restored.Charge(10) != m.Charge(10) {
+		t.Fatal("restored demand charge differs")
+	}
+
+	bad := []DemandMeterState{
+		{Months: []timeseries.MonthKey{{Year: 2008, Month: 3}}, Peaks: nil},
+		{Months: []timeseries.MonthKey{{Year: 2008, Month: 3}, {Year: 2008, Month: 3}}, Peaks: []float64{1, 2}},
+		{Months: []timeseries.MonthKey{{Year: 2008, Month: 3}}, Peaks: []float64{math.NaN()}},
+		{Months: []timeseries.MonthKey{{Year: 2008, Month: 3}}, Peaks: []float64{-4}},
+	}
+	for i, s := range bad {
+		var target DemandMeter
+		if err := target.RestoreState(s); err == nil {
+			t.Errorf("case %d: invalid state %+v accepted", i, s)
+		}
 	}
 }

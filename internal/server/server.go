@@ -10,6 +10,8 @@
 //	GET  /v1/assignments  the last interval's routing decision
 //	GET  /v1/status       running cost / peak / state-of-charge totals
 //	GET  /v1/world        static world description (clusters, states, policy)
+//	GET  /v1/checkpoint   operator snapshot: the engine's durable state (versioned encoding)
+//	PUT  /v1/checkpoint   operator restore: resume from a snapshot of this world
 //	GET  /metrics         Prometheus-style text metrics
 //	GET  /healthz         liveness probe
 //
@@ -86,6 +88,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/assignments", s.counted("assignments", s.handleAssignments))
 	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/world", s.counted("world", s.handleWorld))
+	mux.HandleFunc("GET /v1/checkpoint", s.counted("checkpoint", s.handleCheckpointGet))
+	mux.HandleFunc("PUT /v1/checkpoint", s.counted("checkpoint", s.handleCheckpointPut))
 	mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	mux.HandleFunc("GET /healthz", s.counted("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -499,12 +503,14 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	snap := s.eng.Snapshot()
 	start := s.eng.Start()
+	worldHash := s.eng.WorldHash()
 	s.mu.Unlock()
 	writeJSON(w, map[string]any{
 		"policy":                 snap.Policy,
 		"start":                  start,
 		"step_seconds":           s.step.Seconds(),
 		"reaction_delay_seconds": s.delay.Seconds(),
+		"world_hash":             worldHash,
 		"clusters":               clusters,
 		"states":                 states,
 	})

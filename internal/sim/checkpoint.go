@@ -1,0 +1,692 @@
+// Durable engine state: a Checkpoint captures every per-step structure an
+// Engine owns — billing meters (including per-month demand peaks), 95/5
+// burst budgets, battery state-of-charge, the distance histogram, step
+// cursor, and running totals — so a long-horizon run survives a process
+// death. The encoding is versioned and self-describing: a text magic line
+// names the format, a JSON envelope carries the small state plus the
+// declared length and SHA-256 of a binary payload holding the numeric bulk
+// (meter samples, histogram bins, the last assignment matrix). Old or
+// foreign checkpoints fail loudly instead of loading wrong, and a world
+// hash ties every checkpoint to the exact world (fleet, prices, policy,
+// tariffs) that produced it.
+//
+// The restore invariant, enforced by test and by CI's crash-recovery job:
+// replay N steps → Checkpoint → kill → Restore → replay the rest produces
+// the uninterrupted batch Run's Result bit for bit. Everything in the
+// checkpoint round-trips exactly — floats travel as raw bits in the
+// payload and as Go's shortest-round-trip decimals in the envelope.
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"powerroute/internal/billing"
+	"powerroute/internal/stats"
+	"powerroute/internal/storage"
+	"powerroute/internal/timeseries"
+	"powerroute/internal/units"
+)
+
+// CheckpointVersion is the format this build writes and the only one it
+// restores. Bump it whenever the engine grows per-step state the old
+// layout cannot carry; old files then fail with a version error rather
+// than restoring a silently incomplete engine.
+const CheckpointVersion = 1
+
+const (
+	checkpointMagicPrefix = "powerroute-checkpoint v"
+	checkpointMagic       = "powerroute-checkpoint v1"
+
+	// maxCheckpointPayload bounds the declared payload size a decoder will
+	// read: a 39-month hourly world checkpoints in single-digit megabytes,
+	// so anything near this cap is corrupt or hostile.
+	maxCheckpointPayload = 1 << 30
+)
+
+// Totals holds the Result fields that accumulate while stepping. They are
+// restored verbatim; Finalize-only fields (billable p95s, demand charges)
+// are recomputed from the restored meters when the run ends.
+type Totals struct {
+	TotalCost   units.Money  `json:"total_cost_usd"`
+	TotalEnergy units.Energy `json:"total_energy_wh"`
+
+	ClusterCost   []units.Money  `json:"cluster_cost_usd"`
+	ClusterEnergy []units.Energy `json:"cluster_energy_wh"`
+	PeakRate      []float64      `json:"peak_rate"`
+	// MeanUtilizationSum is the running per-cluster utilization sum;
+	// Finalize divides by the step count.
+	MeanUtilizationSum []float64 `json:"mean_utilization_sum"`
+
+	OverloadHitSeconds float64 `json:"overload_hit_seconds"`
+	StorageBoughtKWh   float64 `json:"storage_bought_kwh"`
+	StorageServedKWh   float64 `json:"storage_served_kwh"`
+
+	TotalCarbonKg   float64   `json:"total_carbon_kg,omitempty"`
+	ClusterCarbonKg []float64 `json:"cluster_carbon_kg,omitempty"`
+}
+
+// Checkpoint is a complete, self-contained snapshot of an Engine mid-run.
+// Build one with Engine.Checkpoint, persist it with Encode/WriteFile, and
+// turn it back into a live engine with Restore.
+type Checkpoint struct {
+	Version   int
+	WorldHash string
+
+	// Configuration echoes: Restore refuses a checkpoint whose geometry
+	// disagrees with the target scenario even before the world hash check,
+	// so error messages name the exact mismatch.
+	Policy        string
+	Start         time.Time
+	Step          time.Duration
+	ScenarioSteps int
+	Clusters      int
+	States        int
+
+	StepsRun int
+	LastAt   time.Time
+
+	Totals       Totals
+	Constraints  []billing.ConstraintState
+	Batteries    []storage.Snapshot
+	DemandMeters []billing.DemandMeterState
+
+	// MeterSamples holds each cluster's full per-interval rate record (the
+	// 95/5 bill needs every sample); DistHist the hit-weighted distance
+	// histogram; Loads and Assign the last interval's rates and full
+	// state×cluster assignment matrix (status/assignments endpoints).
+	MeterSamples [][]float64
+	DistHist     *stats.WeightedHistogram
+	Loads        []float64
+	Assign       [][]float64
+}
+
+// Checkpoint captures the engine's complete per-run state. The engine is
+// not mutated and keeps stepping afterwards; a finalized engine cannot be
+// checkpointed (its books are closed — restore targets a live run).
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	if e.finalized {
+		return nil, errors.New("sim: cannot checkpoint a finalized engine")
+	}
+	cp := &Checkpoint{
+		Version:       CheckpointVersion,
+		WorldHash:     e.WorldHash(),
+		Policy:        e.res.Policy,
+		Start:         e.sc.Start,
+		Step:          e.sc.Step,
+		ScenarioSteps: e.sc.Steps,
+		Clusters:      e.nc,
+		States:        e.ns,
+		StepsRun:      e.stepsRun,
+		LastAt:        e.lastAt,
+		Totals: Totals{
+			TotalCost:          e.res.TotalCost,
+			TotalEnergy:        e.res.TotalEnergy,
+			ClusterCost:        append([]units.Money(nil), e.res.ClusterCost...),
+			ClusterEnergy:      append([]units.Energy(nil), e.res.ClusterEnergy...),
+			PeakRate:           append([]float64(nil), e.res.PeakRate...),
+			MeanUtilizationSum: append([]float64(nil), e.res.MeanUtilization...),
+			OverloadHitSeconds: e.res.OverloadHitSeconds,
+			StorageBoughtKWh:   e.res.StorageBoughtKWh,
+			StorageServedKWh:   e.res.StorageServedKWh,
+			TotalCarbonKg:      e.res.TotalCarbonKg,
+			ClusterCarbonKg:    append([]float64(nil), e.res.ClusterCarbonKg...),
+		},
+		MeterSamples: make([][]float64, e.nc),
+		DistHist:     e.distHist.Clone(),
+		Loads:        append([]float64(nil), e.loads...),
+		Assign:       make([][]float64, e.ns),
+	}
+	for c := range e.meters {
+		cp.MeterSamples[c] = e.meters[c].Samples()
+	}
+	for s := range e.assign {
+		cp.Assign[s] = append([]float64(nil), e.assign[s]...)
+	}
+	if e.constraints != nil {
+		cp.Constraints = make([]billing.ConstraintState, e.nc)
+		for c, con := range e.constraints {
+			cp.Constraints[c] = con.State()
+		}
+	}
+	if e.batteries != nil {
+		cp.Batteries = make([]storage.Snapshot, e.nc)
+		for c, b := range e.batteries {
+			cp.Batteries[c] = b.Snapshot()
+		}
+	}
+	if e.demandMeters != nil {
+		cp.DemandMeters = make([]billing.DemandMeterState, e.nc)
+		for c, m := range e.demandMeters {
+			cp.DemandMeters[c] = m.State()
+		}
+	}
+	return cp, nil
+}
+
+// Restore builds a fresh engine for the scenario and loads the checkpoint
+// into it, resuming the run mid-horizon. The scenario must describe the
+// exact world the checkpoint came from: the world hash (fleet, price
+// series, policy, tariffs, storage config) and every configuration echo
+// are verified before any state is applied.
+func Restore(sc Scenario, cp *Checkpoint) (*Engine, error) {
+	eng, err := NewEngine(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.loadCheckpoint(cp); err != nil {
+		return nil, fmt.Errorf("sim: restore: %w", err)
+	}
+	return eng, nil
+}
+
+// Scenario returns the scenario the engine was built from. Slice and
+// pointer fields (fleet, market, policy) are shared with the engine; the
+// intended use is rebuilding an equivalent engine, e.g. Restore after a
+// PUT /v1/checkpoint.
+func (e *Engine) Scenario() Scenario { return e.sc }
+
+// loadCheckpoint validates cp against the freshly built engine and applies
+// it. The engine must not have stepped yet.
+func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
+	if cp == nil {
+		return errors.New("nil checkpoint")
+	}
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("checkpoint version %d, this build restores only v%d", cp.Version, CheckpointVersion)
+	}
+	if e.stepsRun != 0 || e.finalized {
+		return errors.New("restore target engine already advanced")
+	}
+	if cp.Policy != e.res.Policy {
+		return fmt.Errorf("checkpoint from policy %q, scenario runs %q", cp.Policy, e.res.Policy)
+	}
+	if cp.Clusters != e.nc || cp.States != e.ns {
+		return fmt.Errorf("checkpoint geometry %d clusters × %d states, scenario has %d × %d",
+			cp.Clusters, cp.States, e.nc, e.ns)
+	}
+	if !cp.Start.Equal(e.sc.Start) || cp.Step != e.sc.Step || cp.ScenarioSteps != e.sc.Steps {
+		return fmt.Errorf("checkpoint horizon (start %v, step %v, %d steps) differs from scenario (start %v, step %v, %d steps)",
+			cp.Start, cp.Step, cp.ScenarioSteps, e.sc.Start, e.sc.Step, e.sc.Steps)
+	}
+	if got, want := cp.WorldHash, e.WorldHash(); got != want {
+		return fmt.Errorf("world hash mismatch: checkpoint %s, scenario %s (different seed, market, fleet, or tariff)", got, want)
+	}
+	if cp.StepsRun < 0 {
+		return fmt.Errorf("negative step cursor %d", cp.StepsRun)
+	}
+
+	// Per-cluster vectors.
+	for name, n := range map[string]int{
+		"cluster costs":       len(cp.Totals.ClusterCost),
+		"cluster energies":    len(cp.Totals.ClusterEnergy),
+		"peak rates":          len(cp.Totals.PeakRate),
+		"utilization sums":    len(cp.Totals.MeanUtilizationSum),
+		"meter sample lists":  len(cp.MeterSamples),
+		"last-interval rates": len(cp.Loads),
+	} {
+		if n != e.nc {
+			return fmt.Errorf("checkpoint has %d %s for %d clusters", n, name, e.nc)
+		}
+	}
+	for c, samples := range cp.MeterSamples {
+		if len(samples) != cp.StepsRun {
+			return fmt.Errorf("cluster %d meter has %d samples for %d steps", c, len(samples), cp.StepsRun)
+		}
+	}
+	if len(cp.Assign) != e.ns {
+		return fmt.Errorf("assignment matrix has %d state rows, want %d", len(cp.Assign), e.ns)
+	}
+	for s, row := range cp.Assign {
+		if len(row) != e.nc {
+			return fmt.Errorf("assignment row %d has %d clusters, want %d", s, len(row), e.nc)
+		}
+	}
+
+	// Optional subsystems must match the scenario's configuration exactly.
+	if (e.constraints != nil) != (len(cp.Constraints) > 0) {
+		return fmt.Errorf("scenario 95/5 constraints %v, checkpoint carries %d constraint states",
+			e.constraints != nil, len(cp.Constraints))
+	}
+	if e.constraints != nil && len(cp.Constraints) != e.nc {
+		return fmt.Errorf("checkpoint has %d constraint states for %d clusters", len(cp.Constraints), e.nc)
+	}
+	if (e.batteries != nil) != (len(cp.Batteries) > 0) {
+		return fmt.Errorf("scenario storage %v, checkpoint carries %d battery snapshots",
+			e.batteries != nil, len(cp.Batteries))
+	}
+	if e.batteries != nil && len(cp.Batteries) != e.nc {
+		return fmt.Errorf("checkpoint has %d battery snapshots for %d clusters", len(cp.Batteries), e.nc)
+	}
+	if (e.demandMeters != nil) != (len(cp.DemandMeters) > 0) {
+		return fmt.Errorf("scenario demand-charge metering %v, checkpoint carries %d demand meters",
+			e.demandMeters != nil, len(cp.DemandMeters))
+	}
+	if e.demandMeters != nil && len(cp.DemandMeters) != e.nc {
+		return fmt.Errorf("checkpoint has %d demand meters for %d clusters", len(cp.DemandMeters), e.nc)
+	}
+	if (e.res.ClusterCarbonKg != nil) != (len(cp.Totals.ClusterCarbonKg) > 0) && cp.StepsRun > 0 {
+		// Carbon totals can be legitimately absent at step 0 (all zeros).
+		if e.res.ClusterCarbonKg != nil {
+			return errors.New("scenario meters carbon but checkpoint has no carbon ledger")
+		}
+		return errors.New("checkpoint carries a carbon ledger the scenario does not meter")
+	}
+	if len(cp.Totals.ClusterCarbonKg) > 0 && len(cp.Totals.ClusterCarbonKg) != e.nc {
+		return fmt.Errorf("checkpoint has %d carbon ledgers for %d clusters", len(cp.Totals.ClusterCarbonKg), e.nc)
+	}
+
+	// Distance histogram geometry must match the engine's fixed layout.
+	if cp.DistHist == nil {
+		return errors.New("checkpoint missing distance histogram")
+	}
+	gotMin, gotMax := cp.DistHist.Bounds()
+	wantMin, wantMax := e.distHist.Bounds()
+	if gotMin != wantMin || gotMax != wantMax || cp.DistHist.NumBins() != e.distHist.NumBins() {
+		return fmt.Errorf("distance histogram geometry [%v, %v]×%d differs from engine's [%v, %v]×%d",
+			gotMin, gotMax, cp.DistHist.NumBins(), wantMin, wantMax, e.distHist.NumBins())
+	}
+
+	// Validation done — apply. Order mirrors NewEngine's construction.
+	for c, con := range e.constraints {
+		if cp.Constraints[c].IntervalsRun != cp.StepsRun {
+			return fmt.Errorf("cluster %d constraint ran %d intervals, checkpoint at step %d",
+				c, cp.Constraints[c].IntervalsRun, cp.StepsRun)
+		}
+		if err := con.RestoreState(cp.Constraints[c]); err != nil {
+			return fmt.Errorf("cluster %d: %w", c, err)
+		}
+	}
+	for c, b := range e.batteries {
+		if err := b.RestoreSnapshot(cp.Batteries[c]); err != nil {
+			return fmt.Errorf("cluster %d: %w", c, err)
+		}
+	}
+	for c, m := range e.demandMeters {
+		if err := m.RestoreState(cp.DemandMeters[c]); err != nil {
+			return fmt.Errorf("cluster %d: %w", c, err)
+		}
+	}
+	for c := range e.meters {
+		e.meters[c].RestoreSamples(cp.MeterSamples[c])
+	}
+	e.distHist = cp.DistHist.Clone()
+	copy(e.loads, cp.Loads)
+	for s := range e.assign {
+		copy(e.assign[s], cp.Assign[s])
+	}
+
+	res := e.res
+	res.TotalCost = cp.Totals.TotalCost
+	res.TotalEnergy = cp.Totals.TotalEnergy
+	copy(res.ClusterCost, cp.Totals.ClusterCost)
+	copy(res.ClusterEnergy, cp.Totals.ClusterEnergy)
+	copy(res.PeakRate, cp.Totals.PeakRate)
+	copy(res.MeanUtilization, cp.Totals.MeanUtilizationSum)
+	res.OverloadHitSeconds = cp.Totals.OverloadHitSeconds
+	res.StorageBoughtKWh = cp.Totals.StorageBoughtKWh
+	res.StorageServedKWh = cp.Totals.StorageServedKWh
+	res.TotalCarbonKg = cp.Totals.TotalCarbonKg
+	if res.ClusterCarbonKg != nil && len(cp.Totals.ClusterCarbonKg) == e.nc {
+		copy(res.ClusterCarbonKg, cp.Totals.ClusterCarbonKg)
+	}
+
+	e.stepsRun = cp.StepsRun
+	e.lastAt = cp.LastAt
+	return nil
+}
+
+// WorldHash returns a SHA-256 digest ("sha256:…") over everything that
+// defines the engine's world and billing contract: the fleet geometry, the
+// full per-cluster price series (so two different market seeds can never
+// be confused), the routing policy, the reaction delay, soft caps, storage
+// configuration, carbon/decision series, and the demand-charge tariff.
+// Computed once per engine and cached; the step hot path never touches it.
+func (e *Engine) WorldHash() string {
+	if e.worldHash == "" {
+		e.worldHash = worldHash(&e.sc, e.prices)
+	}
+	return e.worldHash
+}
+
+func worldHash(sc *Scenario, prices []*timeseries.Series) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "powerroute-world v1\npolicy=%s\nstart=%d step=%d steps=%d delay=%d demand_charge=%x\nenergy=%+v\n",
+		sc.Policy.Name(), sc.Start.UnixNano(), int64(sc.Step), sc.Steps,
+		int64(sc.ReactionDelay), math.Float64bits(sc.DemandChargePerKW), sc.Energy)
+	for _, cl := range sc.Fleet.Clusters {
+		fmt.Fprintf(h, "cluster %s hub=%s servers=%d capacity=%x\n",
+			cl.Code, cl.HubID, cl.Servers, math.Float64bits(float64(cl.Capacity)))
+	}
+	for _, st := range sc.Fleet.States {
+		fmt.Fprintf(h, "state %s\n", st.Code)
+	}
+	if sc.SoftCaps != nil {
+		fmt.Fprint(h, "softcaps")
+		for _, v := range sc.SoftCaps {
+			fmt.Fprintf(h, " %x", math.Float64bits(v))
+		}
+		fmt.Fprintln(h)
+	}
+	if sc.Storage != nil {
+		fmt.Fprintf(h, "storage policy=%s routing_aware=%v\n", sc.Storage.Policy.Name(), sc.Storage.RoutingAware)
+		for _, b := range sc.Storage.Batteries {
+			fmt.Fprintf(h, "battery %x %x %x %x %x\n",
+				math.Float64bits(b.CapacityKWh), math.Float64bits(b.MaxChargeKW),
+				math.Float64bits(b.MaxDischargeKW), math.Float64bits(b.RoundTripEfficiency),
+				math.Float64bits(b.InitialSoC))
+		}
+	}
+	hashSeries := func(label string, series []*timeseries.Series) {
+		for i, s := range series {
+			fmt.Fprintf(h, "%s %d start=%d step=%d n=%d\n", label, i, s.Start.UnixNano(), int64(s.Step), len(s.Values))
+			_ = binary.Write(h, binary.LittleEndian, s.Values)
+		}
+	}
+	hashSeries("rt", prices)
+	if sc.DecisionSeries != nil {
+		hashSeries("decision", sc.DecisionSeries)
+	}
+	if sc.Carbon != nil {
+		hashSeries("carbon", sc.Carbon)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// --- wire format -----------------------------------------------------------
+
+// checkpointEnvelope is the JSON line after the magic: every small field
+// plus the payload's section lengths and digest. Numeric bulk lives in the
+// binary payload that follows.
+type checkpointEnvelope struct {
+	Version       int       `json:"version"`
+	WorldHash     string    `json:"world_hash"`
+	Policy        string    `json:"policy"`
+	Start         time.Time `json:"start"`
+	StepNS        int64     `json:"step_ns"`
+	ScenarioSteps int       `json:"scenario_steps"`
+	Clusters      int       `json:"clusters"`
+	States        int       `json:"states"`
+	StepsRun      int       `json:"steps_run"`
+	LastAt        time.Time `json:"last_at"`
+
+	Totals       Totals                     `json:"totals"`
+	Constraints  []billing.ConstraintState  `json:"constraints,omitempty"`
+	Batteries    []storage.Snapshot         `json:"batteries,omitempty"`
+	DemandMeters []billing.DemandMeterState `json:"demand_meters,omitempty"`
+
+	// Payload layout: HistBytes of histogram blob, then MeterSamples[c]
+	// float64s per cluster, then Clusters last-interval rates, then the
+	// States×Clusters assignment matrix row-major — all little-endian.
+	HistBytes     int    `json:"hist_bytes"`
+	MeterSamples  []int  `json:"meter_samples"`
+	PayloadBytes  int64  `json:"payload_bytes"`
+	PayloadSHA256 string `json:"payload_sha256"`
+}
+
+// Encode writes the checkpoint: the magic line, the JSON envelope line,
+// then the binary payload.
+func (cp *Checkpoint) Encode(w io.Writer) error {
+	histBlob, err := cp.DistHist.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("sim: encoding distance histogram: %w", err)
+	}
+	var sampleTotal int
+	counts := make([]int, len(cp.MeterSamples))
+	for c, samples := range cp.MeterSamples {
+		counts[c] = len(samples)
+		sampleTotal += len(samples)
+	}
+	payload := make([]byte, 0, len(histBlob)+8*(sampleTotal+len(cp.Loads)+cp.States*cp.Clusters))
+	payload = append(payload, histBlob...)
+	for _, samples := range cp.MeterSamples {
+		payload = appendFloats(payload, samples)
+	}
+	payload = appendFloats(payload, cp.Loads)
+	for _, row := range cp.Assign {
+		payload = appendFloats(payload, row)
+	}
+	digest := sha256.Sum256(payload)
+
+	env := checkpointEnvelope{
+		Version:       cp.Version,
+		WorldHash:     cp.WorldHash,
+		Policy:        cp.Policy,
+		Start:         cp.Start,
+		StepNS:        int64(cp.Step),
+		ScenarioSteps: cp.ScenarioSteps,
+		Clusters:      cp.Clusters,
+		States:        cp.States,
+		StepsRun:      cp.StepsRun,
+		LastAt:        cp.LastAt,
+		Totals:        cp.Totals,
+		Constraints:   cp.Constraints,
+		Batteries:     cp.Batteries,
+		DemandMeters:  cp.DemandMeters,
+		HistBytes:     len(histBlob),
+		MeterSamples:  counts,
+		PayloadBytes:  int64(len(payload)),
+		PayloadSHA256: hex.EncodeToString(digest[:]),
+	}
+	envJSON, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("sim: encoding checkpoint envelope: %w", err)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "%s\n%s\n", checkpointMagic, envJSON); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func appendFloats(b []byte, vals []float64) []byte {
+	for _, v := range vals {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// DecodeCheckpoint parses one encoded checkpoint. Every failure mode is
+// loud and specific: wrong magic, unsupported version, malformed envelope,
+// declared/actual payload length mismatch (truncated file), digest
+// mismatch (corruption), trailing bytes, or internally inconsistent
+// section lengths.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading checkpoint magic: %w", err)
+	}
+	magic = strings.TrimSuffix(magic, "\n")
+	if magic != checkpointMagic {
+		if strings.HasPrefix(magic, checkpointMagicPrefix) {
+			return nil, fmt.Errorf("sim: unsupported checkpoint format %q (this build reads %q)", magic, checkpointMagic)
+		}
+		return nil, errors.New("sim: not a powerroute checkpoint")
+	}
+	envLine, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading checkpoint envelope: %w", err)
+	}
+	var env checkpointEnvelope
+	if err := json.Unmarshal([]byte(envLine), &env); err != nil {
+		return nil, fmt.Errorf("sim: decoding checkpoint envelope: %w", err)
+	}
+	if env.Version != CheckpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, this build reads v%d", env.Version, CheckpointVersion)
+	}
+	if env.Clusters <= 0 || env.Clusters > 1<<20 || env.States <= 0 || env.States > 1<<20 {
+		return nil, fmt.Errorf("sim: checkpoint geometry %d clusters × %d states out of range", env.Clusters, env.States)
+	}
+	if env.StepsRun < 0 {
+		return nil, fmt.Errorf("sim: negative step cursor %d", env.StepsRun)
+	}
+	if len(env.MeterSamples) != env.Clusters {
+		return nil, fmt.Errorf("sim: %d meter sample counts for %d clusters", len(env.MeterSamples), env.Clusters)
+	}
+	if env.HistBytes < 0 || env.HistBytes > maxCheckpointPayload {
+		return nil, fmt.Errorf("sim: histogram length %d out of range", env.HistBytes)
+	}
+	var sampleTotal int64
+	for c, n := range env.MeterSamples {
+		// Per-count bound before summing: without it a pair of huge counts
+		// overflows sampleTotal and the consistency check below compares
+		// wrapped garbage, letting a crafted envelope drive the section
+		// parser into an absurd allocation instead of an error.
+		if n < 0 || n > maxCheckpointPayload/8 {
+			return nil, fmt.Errorf("sim: cluster %d declares %d meter samples", c, n)
+		}
+		sampleTotal += int64(n)
+	}
+	if sampleTotal > maxCheckpointPayload/8 {
+		return nil, fmt.Errorf("sim: %d total meter samples exceed the payload cap", sampleTotal)
+	}
+	want := int64(env.HistBytes) + 8*(sampleTotal+int64(env.Clusters)+int64(env.States)*int64(env.Clusters))
+	if env.PayloadBytes != want {
+		return nil, fmt.Errorf("sim: declared payload %d bytes, sections sum to %d", env.PayloadBytes, want)
+	}
+	if env.PayloadBytes > maxCheckpointPayload {
+		return nil, fmt.Errorf("sim: payload %d bytes exceeds the %d-byte cap", env.PayloadBytes, maxCheckpointPayload)
+	}
+
+	// Read the payload through a limit so a truncated file surfaces as a
+	// short read (memory use tracks the bytes actually present).
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, io.LimitReader(br, env.PayloadBytes))
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading checkpoint payload: %w", err)
+	}
+	if n != env.PayloadBytes {
+		return nil, fmt.Errorf("sim: checkpoint truncated: payload has %d of %d declared bytes", n, env.PayloadBytes)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, errors.New("sim: trailing bytes after checkpoint payload")
+	}
+	payload := buf.Bytes()
+	digest := sha256.Sum256(payload)
+	if got := hex.EncodeToString(digest[:]); got != strings.ToLower(env.PayloadSHA256) {
+		return nil, fmt.Errorf("sim: checkpoint payload digest %s does not match declared %s (corrupt file)", got, env.PayloadSHA256)
+	}
+
+	// The envelope's optional sections use omitempty, so an empty slice in
+	// a hand-crafted file would not survive a re-encode; normalize to nil
+	// (absent) so decode(encode(decode(x))) is a fixed point.
+	if len(env.Constraints) == 0 {
+		env.Constraints = nil
+	}
+	if len(env.Batteries) == 0 {
+		env.Batteries = nil
+	}
+	if len(env.DemandMeters) == 0 {
+		env.DemandMeters = nil
+	}
+	if len(env.Totals.ClusterCarbonKg) == 0 {
+		env.Totals.ClusterCarbonKg = nil
+	}
+	cp := &Checkpoint{
+		Version:       env.Version,
+		WorldHash:     env.WorldHash,
+		Policy:        env.Policy,
+		Start:         env.Start,
+		Step:          time.Duration(env.StepNS),
+		ScenarioSteps: env.ScenarioSteps,
+		Clusters:      env.Clusters,
+		States:        env.States,
+		StepsRun:      env.StepsRun,
+		LastAt:        env.LastAt,
+		Totals:        env.Totals,
+		Constraints:   env.Constraints,
+		Batteries:     env.Batteries,
+		DemandMeters:  env.DemandMeters,
+		DistHist:      new(stats.WeightedHistogram),
+	}
+	off := 0
+	take := func(n int) []byte {
+		b := payload[off : off+n]
+		off += n
+		return b
+	}
+	if err := cp.DistHist.UnmarshalBinary(take(env.HistBytes)); err != nil {
+		return nil, fmt.Errorf("sim: decoding distance histogram: %w", err)
+	}
+	cp.MeterSamples = make([][]float64, env.Clusters)
+	for c, cnt := range env.MeterSamples {
+		cp.MeterSamples[c] = readFloats(take(8*cnt), cnt)
+	}
+	cp.Loads = readFloats(take(8*env.Clusters), env.Clusters)
+	cp.Assign = make([][]float64, env.States)
+	for s := range cp.Assign {
+		cp.Assign[s] = readFloats(take(8*env.Clusters), env.Clusters)
+	}
+	return cp, nil
+}
+
+func readFloats(b []byte, n int) []float64 {
+	if n == 0 {
+		// A zero-step meter serializes as nil; keep decode(encode(x)) == x.
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// WriteCheckpointFile encodes cp to path atomically: the bytes land in a
+// temp file in the same directory, are synced, and replace path with one
+// rename — a crash mid-write can never leave a half-written checkpoint
+// under the real name.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err := cp.Encode(f); err != nil {
+		return fmt.Errorf("sim: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("sim: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sim: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sim: publishing checkpoint: %w", err)
+	}
+	tmp = "" // renamed away; nothing to clean up
+	return nil
+}
+
+// ReadCheckpointFile decodes the checkpoint at path.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

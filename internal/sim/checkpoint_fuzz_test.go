@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeCheckpoint hammers the checkpoint decoder with arbitrary
+// bytes. The decoder must never panic or over-allocate, and anything it
+// does accept must re-encode and re-decode to the same value (a decoded
+// checkpoint is always a well-formed one).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	sc := engineScenarios(f)["storage"]
+	for _, k := range []int{0, 7} {
+		_, cp := checkpointAt(f, clonePolicy(f, sc), k)
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		mutated := append([]byte(nil), buf.Bytes()...)
+		mutated[len(mutated)/3] ^= 0xff
+		f.Add(mutated)
+	}
+	f.Add([]byte("powerroute-checkpoint v1\n{}\n"))
+	f.Add([]byte("powerroute-checkpoint v2\n"))
+	f.Add([]byte(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatalf("accepted checkpoint fails to re-encode: %v", err)
+		}
+		again, err := DecodeCheckpoint(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(cp, again) {
+			t.Fatal("decode(encode(decode(data))) != decode(data)")
+		}
+	})
+}

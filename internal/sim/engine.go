@@ -64,6 +64,10 @@ type Engine struct {
 	stepsRun  int
 	lastAt    time.Time
 	finalized bool
+
+	// worldHash is computed lazily by WorldHash (checkpoint.go) and cached;
+	// the step hot path never reads it.
+	worldHash string
 }
 
 // NewEngine validates the scenario and builds the per-run state. The

@@ -12,17 +12,14 @@ import (
 	"powerroute/internal/traffic"
 )
 
-// driveEngine replays a scenario through the incremental Engine the way an
+// driveSteps advances eng through the next `steps` intervals the way an
 // online caller (the powerrouted daemon) would: explicit per-interval
-// price and demand vectors fed into Step, books closed with Finalize. It
-// mirrors Run's lookup semantics exactly — same delay clamp, same covering
-// sample — so its Result must be bit-for-bit the batch Result.
-func driveEngine(t *testing.T, sc Scenario) *Result {
+// price and demand vectors fed into Step, picking up from wherever the
+// engine's cursor stands. It mirrors Run's lookup semantics exactly —
+// same delay clamp, same covering sample — so driving a full scenario
+// must be bit-for-bit the batch Result.
+func driveSteps(t testing.TB, eng *Engine, sc Scenario, steps int) {
 	t.Helper()
-	eng, err := NewEngine(sc)
-	if err != nil {
-		t.Fatal(err)
-	}
 	prices := eng.PriceSeries()
 	signal := prices
 	if sc.DecisionSeries != nil {
@@ -37,7 +34,7 @@ func driveEngine(t *testing.T, sc Scenario) *Result {
 	}
 	var demand []float64
 	marketStart := prices[0].Start
-	for step := 0; step < sc.Steps; step++ {
+	for step := 0; step < steps; step++ {
 		at := eng.Next()
 		demand = sc.Demand.Rates(at, demand)
 		decisionAt := at.Add(-sc.ReactionDelay)
@@ -71,6 +68,17 @@ func driveEngine(t *testing.T, sc Scenario) *Result {
 			t.Fatalf("step %d at %v: %v", step, at, err)
 		}
 	}
+}
+
+// driveEngine replays the whole scenario through a fresh Engine and closes
+// the books.
+func driveEngine(t testing.TB, sc Scenario) *Result {
+	t.Helper()
+	eng, err := NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, eng, sc, sc.Steps)
 	res, err := eng.Finalize()
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +89,7 @@ func driveEngine(t *testing.T, sc Scenario) *Result {
 // engineScenarios covers every subsystem the step loop threads state
 // through: plain routing, 95/5 constraints, carbon-aware decision
 // override, and batteries plus a demand-charge tariff.
-func engineScenarios(t *testing.T) map[string]Scenario {
+func engineScenarios(t testing.TB) map[string]Scenario {
 	t.Helper()
 	fx := fixtures()
 
@@ -186,7 +194,7 @@ func TestEngineMatchesRunExactly(t *testing.T) {
 
 // clonePolicy returns sc with a fresh policy instance of the same kind, so
 // two runs never share a PriceOptimizer's order cache.
-func clonePolicy(t *testing.T, sc Scenario) Scenario {
+func clonePolicy(t testing.TB, sc Scenario) Scenario {
 	t.Helper()
 	switch p := sc.Policy.(type) {
 	case *routing.PriceOptimizer:

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -351,5 +353,59 @@ func TestWeightedHistogramNonFinite(t *testing.T) {
 	}
 	if got := w.Quantile(0.5); got < 50 || got > 60 {
 		t.Errorf("Quantile(0.5) = %v, want within bin of 50", got)
+	}
+}
+
+// TestWeightedHistogramBinaryRoundTrip: MarshalBinary/UnmarshalBinary are
+// a bit-exact round trip, and corrupted blobs are rejected.
+func TestWeightedHistogramBinaryRoundTrip(t *testing.T) {
+	w := NewWeightedHistogram(0, 5500, 1100)
+	w.Add(120, 3.5)
+	w.Add(4800, 0.25)
+	w.Add(-10, 1)           // clamps into bin 0
+	w.Add(math.NaN(), 2)    // non-finite tally
+	w.Add(math.Inf(1), 0.5) // non-finite tally
+
+	blob, err := w.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got WeightedHistogram
+	if err := got.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, w) {
+		t.Fatalf("round trip changed histogram: %+v vs %+v", got, *w)
+	}
+	if got.Mean() != w.Mean() || got.Quantile(0.99) != w.Quantile(0.99) ||
+		got.Total() != w.Total() || got.NonFinite() != w.NonFinite() {
+		t.Fatal("round trip changed derived statistics")
+	}
+
+	clone := w.Clone()
+	clone.Add(100, 1)
+	if clone.Total() == w.Total() {
+		t.Fatal("Clone shares bins with the original")
+	}
+
+	corrupt := [][]byte{
+		nil,
+		blob[:8],
+		blob[:len(blob)-1],
+		append(append([]byte(nil), blob...), 0),
+		append([]byte("XXXXXXXX"), blob[8:]...),
+	}
+	for i, b := range corrupt {
+		var h WeightedHistogram
+		if err := h.UnmarshalBinary(b); err == nil {
+			t.Errorf("case %d: corrupt blob accepted", i)
+		}
+	}
+	// Oversized bin count must be rejected before allocation.
+	huge := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint64(huge[8:], 1<<40)
+	var h WeightedHistogram
+	if err := h.UnmarshalBinary(huge); err == nil {
+		t.Error("absurd bin count accepted")
 	}
 }

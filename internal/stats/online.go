@@ -221,3 +221,16 @@ func (w *WeightedHistogram) Total() float64 { return w.total }
 
 // NonFinite returns the weight offered with NaN/±Inf values.
 func (w *WeightedHistogram) NonFinite() float64 { return w.nonFinite }
+
+// Bounds returns the histogram's [min, max] value range.
+func (w *WeightedHistogram) Bounds() (min, max float64) { return w.min, w.max }
+
+// NumBins returns the number of bins.
+func (w *WeightedHistogram) NumBins() int { return len(w.bins) }
+
+// Clone returns an independent deep copy.
+func (w *WeightedHistogram) Clone() *WeightedHistogram {
+	c := *w
+	c.bins = append([]float64(nil), w.bins...)
+	return &c
+}

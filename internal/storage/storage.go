@@ -108,6 +108,37 @@ func (s *State) BoughtKWh() float64 { return s.boughtKWh }
 // ServedKWh returns the cumulative load energy served from the battery.
 func (s *State) ServedKWh() float64 { return s.servedKWh }
 
+// Snapshot is the serializable dynamic state of one battery.
+type Snapshot struct {
+	SoCKWh    float64 `json:"soc_kwh"`
+	BoughtKWh float64 `json:"bought_kwh"`
+	ServedKWh float64 `json:"served_kwh"`
+}
+
+// Snapshot exports the battery's charge state and cumulative totals.
+func (s *State) Snapshot() Snapshot {
+	return Snapshot{SoCKWh: s.socKWh, BoughtKWh: s.boughtKWh, ServedKWh: s.servedKWh}
+}
+
+// RestoreSnapshot loads a previously exported snapshot into a state built
+// for the same battery spec. The charge must physically fit the spec —
+// non-finite or negative values, or more stored energy than the capacity
+// holds, mean the snapshot belongs to a different installation.
+func (s *State) RestoreSnapshot(v Snapshot) error {
+	for _, x := range []float64{v.SoCKWh, v.BoughtKWh, v.ServedKWh} {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return fmt.Errorf("storage: battery snapshot %+v has non-finite or negative state", v)
+		}
+	}
+	if v.SoCKWh > s.spec.CapacityKWh {
+		return fmt.Errorf("storage: snapshot SoC %v kWh exceeds capacity %v kWh", v.SoCKWh, s.spec.CapacityKWh)
+	}
+	s.socKWh = v.SoCKWh
+	s.boughtKWh = v.BoughtKWh
+	s.servedKWh = v.ServedKWh
+	return nil
+}
+
 // Charge draws up to requestKW from the grid for hours, limited by the
 // charge rate and the remaining headroom (after the charge-leg loss). It
 // returns the grid energy actually drawn in kWh.

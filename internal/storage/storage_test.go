@@ -268,3 +268,39 @@ func TestPeakShaver(t *testing.T) {
 		t.Errorf("cluster 1 over-target action = %v, want -50", got)
 	}
 }
+
+// TestStateSnapshotRoundTrip: Snapshot/RestoreSnapshot reproduce the
+// charge state exactly and refuse physically impossible snapshots.
+func TestStateSnapshotRoundTrip(t *testing.T) {
+	b := Battery{CapacityKWh: 100, MaxChargeKW: 40, MaxDischargeKW: 30, RoundTripEfficiency: 0.81}
+	s := NewState(b)
+	s.Charge(40, 1)
+	s.Discharge(10, 1)
+	snap := s.Snapshot()
+
+	restored := NewState(b)
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.SoCKWh() != s.SoCKWh() || restored.BoughtKWh() != s.BoughtKWh() || restored.ServedKWh() != s.ServedKWh() {
+		t.Fatalf("restored %+v, want %+v", restored.Snapshot(), snap)
+	}
+	// Continuation behaves identically: same charge acceptance.
+	if g, w := restored.Charge(40, 1), s.Charge(40, 1); g != w {
+		t.Fatalf("restored battery accepted %v kWh, original %v", g, w)
+	}
+
+	bad := []Snapshot{
+		{SoCKWh: 101},
+		{SoCKWh: -1},
+		{SoCKWh: math.NaN()},
+		{BoughtKWh: math.Inf(1)},
+		{ServedKWh: -0.5},
+	}
+	for i, v := range bad {
+		target := NewState(b)
+		if err := target.RestoreSnapshot(v); err == nil {
+			t.Errorf("case %d: impossible snapshot %+v accepted", i, v)
+		}
+	}
+}
