@@ -74,6 +74,8 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	stateDir := fs.String("state-dir", "", "directory for durable engine checkpoints (empty = no persistence)")
 	ckptEvery := fs.Duration("checkpoint-every", time.Minute, "periodic checkpoint interval when -state-dir is set (0 = shutdown-only)")
 	restore := fs.Bool("restore", false, "resume from -state-dir's checkpoint instead of starting fresh")
+	shardCount := fs.Int("shard-count", 1, "serve one shard of the world split into this many market regions (1 = the whole world)")
+	shardIndex := fs.Int("shard-index", 0, "which shard to serve when -shard-count > 1 (0-based)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -128,6 +130,39 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	sc.Policy = opt
 
+	// Multi-region sharding: this instance serves one routing-closed
+	// region of the world. The partition is derived deterministically from
+	// the fleet and the optimizer's reach, so every shard (and the
+	// coordinator) computes the same split from the same flags.
+	if *shardCount < 1 || *shardIndex < 0 || *shardIndex >= *shardCount {
+		fmt.Fprintf(stderr, "powerrouted: -shard-index %d out of range for -shard-count %d\n", *shardIndex, *shardCount)
+		return 2
+	}
+	if *shardCount > 1 {
+		partition, err := sim.PartitionByRouting(opt, sys.Fleet)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		if got := partition.Shards(); got != *shardCount {
+			fmt.Fprintf(stderr, "powerrouted: the world splits into %d market regions at -threshold-km %g, not %d (the paper's 1500 km reach spans one region; try 1000 for 2 or 600 for 3)\n",
+				got, *thresholdKm, *shardCount)
+			return 2
+		}
+		subs, err := sc.Shard(partition)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		sc = subs[*shardIndex]
+		codes := make([]string, len(sc.Fleet.Clusters))
+		for i, cl := range sc.Fleet.Clusters {
+			codes[i] = cl.Code
+		}
+		fmt.Fprintf(stdout, "powerrouted: serving shard %d/%d: clusters %v, %d states\n",
+			*shardIndex, *shardCount, codes, len(sc.Fleet.States))
+	}
+
 	var ckptPath string
 	if *stateDir != "" {
 		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
@@ -170,7 +205,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(stdout, "powerrouted: listening on %s (policy %s, step %v, %d clusters, %d states)\n",
-		ln.Addr(), opt.Name(), sc.Step, len(sys.Fleet.Clusters), len(sys.Fleet.States))
+		ln.Addr(), sc.Policy.Name(), sc.Step, len(sc.Fleet.Clusters), len(sc.Fleet.States))
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

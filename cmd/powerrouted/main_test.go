@@ -271,3 +271,70 @@ func TestBadInvocations(t *testing.T) {
 		}
 	}
 }
+
+// TestShardServing: -shard-count/-shard-index serve one routing-closed
+// market region — the shard's world lists only its own clusters and
+// states — and invalid shard invocations fail with usage errors.
+func TestShardServing(t *testing.T) {
+	base, out, _, cancel, done := startDaemon(t, "-threshold-km", "1000", "-shard-count", "2", "-shard-index", "1")
+	defer cancel()
+
+	if !strings.Contains(out.String(), "serving shard 1/2") {
+		t.Errorf("missing shard banner in %q", out.String())
+	}
+	var world struct {
+		States   []string `json:"states"`
+		Clusters []struct {
+			Code string `json:"code"`
+		} `json:"clusters"`
+	}
+	resp, err := http.Get(base + "/v1/world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&world)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 1000 km the second region is the California markets.
+	if len(world.Clusters) != 2 {
+		t.Fatalf("shard 1 serves %d clusters, want 2 (CA1, CA2): %+v", len(world.Clusters), world.Clusters)
+	}
+	for _, cl := range world.Clusters {
+		if !strings.HasPrefix(cl.Code, "CA") {
+			t.Errorf("shard 1 serves cluster %s, want only California", cl.Code)
+		}
+	}
+	if len(world.States) == 0 || len(world.States) >= 51 {
+		t.Errorf("shard 1 serves %d states, want a strict non-empty subset", len(world.States))
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shard daemon did not shut down")
+	}
+}
+
+// TestShardBadInvocations: out-of-range shard indices and component
+// counts the world cannot satisfy are usage errors.
+func TestShardBadInvocations(t *testing.T) {
+	cases := [][]string{
+		{"-months", "1", "-days", "7", "-shard-count", "2", "-shard-index", "2"},
+		{"-months", "1", "-days", "7", "-shard-count", "0"},
+		{"-months", "1", "-days", "7", "-shard-index", "-1"},
+		// The paper's 1500 km reach spans one region; a 2-way split must
+		// name the achievable component count.
+		{"-months", "1", "-days", "7", "-shard-count", "2"},
+	}
+	for _, argv := range cases {
+		var out, errOut syncBuf
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		code := run(ctx, append([]string{"-addr", "127.0.0.1:0"}, argv...), &out, &errOut)
+		cancel()
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr %q)", argv, code, errOut.String())
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"powerroute/internal/market"
 	"powerroute/internal/timeseries"
@@ -52,6 +53,7 @@ func main() {
 	loops := flag.Int("loop", 1, "replay the price horizon this many times")
 	killAfter := flag.Int("kill-after", 0, "stop the replay after this many routed steps (0 = full horizon; crash-drill mode)")
 	resume := flag.Bool("resume", false, "resume from the daemon's next expected step (after powerrouted -restore)")
+	shards := flag.String("shards", "", "comma-separated powerrouted shard URLs: ingest goes to the shards directly and concurrently, -replay names the coordinator (status only)")
 	flag.Parse()
 	if *replayURL != "" {
 		opt := replayOptions{
@@ -63,6 +65,12 @@ func main() {
 			Speedup:   *speedup,
 			KillAfter: *killAfter,
 			Resume:    *resume,
+		}
+		for _, u := range strings.Split(*shards, ",") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u != "" {
+				opt.Shards = append(opt.Shards, u)
+			}
 		}
 		if err := replay(os.Stdout, *replayURL, opt); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"powerroute/internal/market"
@@ -32,6 +34,14 @@ type replayOptions struct {
 	// one's. Use it against a daemon restarted with -restore (or restored
 	// via PUT /v1/checkpoint), whose price feed starts empty.
 	Resume bool
+
+	// Shards, when non-empty, bypasses the replay target for ingest and
+	// drives these powerrouted shard instances directly and concurrently:
+	// each price chunk goes to every shard verbatim (shards ignore foreign
+	// hubs), each demand chunk is split by state ownership discovered from
+	// the shards' /v1/world. The -replay URL is then the coordinator,
+	// queried only for the merged fleet-wide status.
+	Shards []string
 }
 
 // replay regenerates the synthetic world and streams it through a running
@@ -83,10 +93,65 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 
 	client := &http.Client{Timeout: 5 * time.Minute}
 
-	// postPrices sends rows [off, off+n) of the (cyclic) price horizon.
+	// Ingest targets: the replay URL itself, or — sharded mode — every
+	// powerrouted shard directly, each receiving only its own states'
+	// demand columns. Shards ingest concurrently; within one shard the
+	// price chunk always lands before the demand chunk that references it.
+	type ingestTarget struct {
+		url  string
+		cols []int // demand columns (nil = the full state vector)
+	}
+	targets := []ingestTarget{{url: baseURL}}
+	if len(opt.Shards) > 0 {
+		if opt.Resume || opt.KillAfter > 0 {
+			return fmt.Errorf("replay: -resume/-kill-after are not supported with -shards (drive shards individually instead)")
+		}
+		stateIdx := make(map[string]int, ns)
+		for i, sd := range tr.States {
+			stateIdx[sd.State.Code] = i
+		}
+		owner := make([]int, ns)
+		for i := range owner {
+			owner[i] = -1
+		}
+		targets = targets[:0]
+		for si, url := range opt.Shards {
+			world, err := getWorld(client, url)
+			if err != nil {
+				return fmt.Errorf("replay: shard %s: %w", url, err)
+			}
+			if got := time.Duration(world.StepSeconds * float64(time.Second)); got != step {
+				return fmt.Errorf("replay: shard %s steps %v, replay generates %v", url, got, step)
+			}
+			cols := make([]int, 0, len(world.States))
+			for _, code := range world.States {
+				s, ok := stateIdx[code]
+				if !ok {
+					return fmt.Errorf("replay: shard %s serves unknown state %q", url, code)
+				}
+				if owner[s] != -1 {
+					return fmt.Errorf("replay: state %q claimed by two shards", code)
+				}
+				owner[s] = si
+				cols = append(cols, s)
+			}
+			targets = append(targets, ingestTarget{url: url, cols: cols})
+		}
+		for s, o := range owner {
+			if o == -1 {
+				return fmt.Errorf("replay: no shard serves state %q", tr.States[s].State.Code)
+			}
+		}
+	}
+
+	// postChunk streams rows [off, off+n) of the (cyclic) price horizon
+	// and, when withDemand is set, the matching demand rows — to every
+	// target concurrently.
 	priceRow := make([]float64, len(hubIDs))
 	rowBuf := make([]byte, 0, 8*max(len(hubIDs), ns))
-	postPrices := func(off, n int) error {
+	demandRow := make([]float64, ns)
+	subRow := make([]float64, ns)
+	postChunk := func(off, n int, withDemand bool) error {
 		chunkStart := start.Add(time.Duration(off) * step)
 		var pb bytes.Buffer
 		if err := server.WriteBatchHeader(&pb, "prices", chunkStart, step, n, len(hubIDs), hubIDs); err != nil {
@@ -99,10 +164,58 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 			}
 			pb.Write(server.AppendRow(rowBuf[:0], priceRow))
 		}
-		if err := post(client, baseURL+"/v1/prices", server.ContentTypePricesBatch, &pb); err != nil {
-			return fmt.Errorf("replay: price chunk at %v: %w", chunkStart, err)
+		prices := pb.Bytes()
+
+		demands := make([][]byte, len(targets))
+		if withDemand {
+			bufs := make([]*bytes.Buffer, len(targets))
+			for ti, tg := range targets {
+				cols := ns
+				if tg.cols != nil {
+					cols = len(tg.cols)
+				}
+				bufs[ti] = &bytes.Buffer{}
+				if err := server.WriteBatchHeader(bufs[ti], "demand", chunkStart, step, n, cols, nil); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < n; i++ {
+				demandRow = lr.Rates(chunkStart.Add(time.Duration(i)*step), demandRow)
+				for ti, tg := range targets {
+					row := demandRow
+					if tg.cols != nil {
+						row = subRow[:len(tg.cols)]
+						for k, s := range tg.cols {
+							row[k] = demandRow[s]
+						}
+					}
+					bufs[ti].Write(server.AppendRow(rowBuf[:0], row))
+				}
+			}
+			for ti, b := range bufs {
+				demands[ti] = b.Bytes()
+			}
 		}
-		return nil
+
+		errs := make([]error, len(targets))
+		var wg sync.WaitGroup
+		for ti, tg := range targets {
+			wg.Add(1)
+			go func(ti int, tg ingestTarget) {
+				defer wg.Done()
+				if err := post(client, tg.url+"/v1/prices", server.ContentTypePricesBatch, bytes.NewReader(prices)); err != nil {
+					errs[ti] = fmt.Errorf("replay: price chunk at %v to %s: %w", chunkStart, tg.url, err)
+					return
+				}
+				if withDemand {
+					if err := post(client, tg.url+"/v1/demand", server.ContentTypeDemandBatch, bytes.NewReader(demands[ti])); err != nil {
+						errs[ti] = fmt.Errorf("replay: demand chunk at %v to %s: %w", chunkStart, tg.url, err)
+					}
+				}
+			}(ti, tg)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
 	}
 
 	startOff := 0
@@ -132,7 +245,7 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 			lead = startOff
 		}
 		if lead > 0 {
-			if err := postPrices(startOff-lead, lead); err != nil {
+			if err := postChunk(startOff-lead, lead, false); err != nil {
 				return err
 			}
 		}
@@ -145,27 +258,12 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 	fmt.Fprintf(stdout, "replay: steps [%d, %d) of %d (%d-pass %d-month horizon), %d hubs, %d states, batch %d\n",
 		startOff, end, total, opt.Loops, opt.Months, len(hubs), ns, opt.Batch)
 
-	demandRow := make([]float64, ns)
 	routed := 0
 	t0 := time.Now()
 	for off := startOff; off < end; off += opt.Batch {
 		n := min(opt.Batch, end-off)
-		chunkStart := start.Add(time.Duration(off) * step)
-
-		if err := postPrices(off, n); err != nil {
+		if err := postChunk(off, n, true); err != nil {
 			return err
-		}
-
-		var db bytes.Buffer
-		if err := server.WriteBatchHeader(&db, "demand", chunkStart, step, n, ns, nil); err != nil {
-			return err
-		}
-		for i := 0; i < n; i++ {
-			demandRow = lr.Rates(chunkStart.Add(time.Duration(i)*step), demandRow)
-			db.Write(server.AppendRow(rowBuf[:0], demandRow))
-		}
-		if err := post(client, baseURL+"/v1/demand", server.ContentTypeDemandBatch, &db); err != nil {
-			return fmt.Errorf("replay: demand chunk at %v: %w", chunkStart, err)
 		}
 		routed += n
 		if opt.Speedup > 0 {
@@ -174,7 +272,14 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 	}
 	elapsed := time.Since(t0)
 
-	status, err := getStatus(client, baseURL)
+	statusURL := baseURL + "/v1/status"
+	if len(opt.Shards) > 0 {
+		// The coordinator's status is a merged view of the shards' durable
+		// checkpoints; force a fresh pull so the summary reflects the steps
+		// just routed.
+		statusURL += "?refresh=1"
+	}
+	status, err := getStatusFrom(client, statusURL)
 	if err != nil {
 		return err
 	}
@@ -209,7 +314,11 @@ type daemonStatus struct {
 }
 
 func getStatus(client *http.Client, baseURL string) (*daemonStatus, error) {
-	resp, err := client.Get(baseURL + "/v1/status")
+	return getStatusFrom(client, baseURL+"/v1/status")
+}
+
+func getStatusFrom(client *http.Client, url string) (*daemonStatus, error) {
+	resp, err := client.Get(url)
 	if err != nil {
 		return nil, err
 	}
@@ -224,11 +333,13 @@ func getStatus(client *http.Client, baseURL string) (*daemonStatus, error) {
 	return status, nil
 }
 
-// daemonWorld is the slice of /v1/world the resume path needs: the step
-// geometry and the reaction delay whose lookback the replay must re-cover.
+// daemonWorld is the slice of /v1/world the replay needs: the step
+// geometry, the reaction delay whose lookback the resume path must
+// re-cover, and — for sharded ingest — the states the daemon serves.
 type daemonWorld struct {
-	StepSeconds          float64 `json:"step_seconds"`
-	ReactionDelaySeconds float64 `json:"reaction_delay_seconds"`
+	StepSeconds          float64  `json:"step_seconds"`
+	ReactionDelaySeconds float64  `json:"reaction_delay_seconds"`
+	States               []string `json:"states"`
 }
 
 func getWorld(client *http.Client, baseURL string) (*daemonWorld, error) {

@@ -86,6 +86,52 @@ func NewFleet(clusters []Cluster) (*Fleet, error) {
 	return f, nil
 }
 
+// Subfleet carves out the sub-deployment a shard owns: the clusters at
+// clusterIdx serving the client states at stateIdx, both in fleet order.
+// Distances are sliced from the parent's precomputed matrix, so a
+// subfleet's geometry is bit-identical to the corresponding rows and
+// columns of the parent's — the property the shard-merge invariant rests
+// on. Indices must be strictly increasing (preserving fleet order keeps
+// allocation loops deterministic across the split) and non-empty.
+func (f *Fleet) Subfleet(clusterIdx, stateIdx []int) (*Fleet, error) {
+	if len(clusterIdx) == 0 || len(stateIdx) == 0 {
+		return nil, errors.New("cluster: empty subfleet")
+	}
+	for i, c := range clusterIdx {
+		if c < 0 || c >= len(f.Clusters) {
+			return nil, fmt.Errorf("cluster: subfleet cluster index %d out of range", c)
+		}
+		if i > 0 && c <= clusterIdx[i-1] {
+			return nil, fmt.Errorf("cluster: subfleet cluster indices not strictly increasing at %d", c)
+		}
+	}
+	for i, s := range stateIdx {
+		if s < 0 || s >= len(f.States) {
+			return nil, fmt.Errorf("cluster: subfleet state index %d out of range", s)
+		}
+		if i > 0 && s <= stateIdx[i-1] {
+			return nil, fmt.Errorf("cluster: subfleet state indices not strictly increasing at %d", s)
+		}
+	}
+	sub := &Fleet{
+		Clusters:   make([]Cluster, len(clusterIdx)),
+		States:     make([]geo.State, len(stateIdx)),
+		DistanceKm: make([][]float64, len(stateIdx)),
+	}
+	for i, c := range clusterIdx {
+		sub.Clusters[i] = f.Clusters[c]
+	}
+	for i, s := range stateIdx {
+		sub.States[i] = f.States[s]
+		row := make([]float64, len(clusterIdx))
+		for j, c := range clusterIdx {
+			row[j] = f.DistanceKm[s][c]
+		}
+		sub.DistanceKm[i] = row
+	}
+	return sub, nil
+}
+
 // StateCount returns the number of client states.
 func (f *Fleet) StateCount() int { return len(f.States) }
 

@@ -275,3 +275,48 @@ func names(f *Fleet, idx []int) []string {
 	}
 	return out
 }
+
+// TestSubfleet: a subfleet's clusters, states, and distances are the
+// parent's rows and columns bit for bit; bad index lists are rejected.
+func TestSubfleet(t *testing.T) {
+	f, err := DeriveFleet(testPeaks(t), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := f.Subfleet([]int{0, 2}, []int{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Clusters) != 2 || len(sub.States) != 3 {
+		t.Fatalf("subfleet is %d×%d, want 2×3", len(sub.Clusters), len(sub.States))
+	}
+	for i, c := range []int{0, 2} {
+		if sub.Clusters[i].Code != f.Clusters[c].Code {
+			t.Errorf("cluster %d is %s, want %s", i, sub.Clusters[i].Code, f.Clusters[c].Code)
+		}
+	}
+	for i, s := range []int{1, 3, 4} {
+		if sub.States[i].Code != f.States[s].Code {
+			t.Errorf("state %d is %s, want %s", i, sub.States[i].Code, f.States[s].Code)
+		}
+		for j, c := range []int{0, 2} {
+			if sub.DistanceKm[i][j] != f.DistanceKm[s][c] {
+				t.Errorf("distance [%d][%d] = %v, want parent's %v", i, j, sub.DistanceKm[i][j], f.DistanceKm[s][c])
+			}
+		}
+	}
+
+	for _, tc := range [][2][]int{
+		{{}, {0}},        // empty clusters
+		{{0}, {}},        // empty states
+		{{2, 0}, {0}},    // not increasing
+		{{0, 0}, {0}},    // duplicate
+		{{0, 99}, {0}},   // cluster out of range
+		{{0}, {-1}},      // state out of range
+		{{0}, {0, 9999}}, // state out of range high
+	} {
+		if _, err := f.Subfleet(tc[0], tc[1]); err == nil {
+			t.Errorf("Subfleet(%v, %v) accepted", tc[0], tc[1])
+		}
+	}
+}

@@ -1,0 +1,609 @@
+// Package coord is the multi-region shard coordinator: the fleet-wide
+// face of N powerrouted instances, one per electricity market region
+// (a routing-closed shard of the joint world, see sim.PartitionByRouting).
+//
+// Ingest fans out. A price post is forwarded verbatim to every shard —
+// each shard ignores hubs it hosts no cluster on — and a demand post
+// (JSON or binary batch) is split by state ownership, each shard
+// receiving exactly its own states' columns. Reads fan in: the
+// coordinator pulls every shard's durable checkpoint, merges them with
+// sim.MergeCheckpoints under the parent world hash, restores the merged
+// state into a joint-world engine, and serves the fleet-wide /v1/status
+// and /metrics from that snapshot — the same payloads a single
+// powerrouted serving the whole world would produce, bit for bit.
+//
+//	POST /v1/prices      forward a price vector or batch to every shard
+//	POST /v1/demand      split demand by state ownership and fan out
+//	GET  /v1/status      fleet-wide status from the last merged snapshot (?refresh=1 re-pulls)
+//	GET  /v1/checkpoint  pull, merge, and stream the joint-world checkpoint
+//	GET  /v1/world       the joint world description
+//	GET  /metrics        fleet-wide Prometheus metrics
+//	GET  /healthz        liveness probe
+package coord
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/server"
+	"powerroute/internal/sim"
+)
+
+// Config assembles a Coordinator.
+type Config struct {
+	// Scenario is the joint world the shards partition. The coordinator
+	// never steps it; it is the restore target for merged checkpoints and
+	// the source of the parent world hash shards must belong to.
+	Scenario sim.Scenario
+	// ShardURLs are the powerrouted base URLs, one per shard.
+	ShardURLs []string
+	// Client overrides the HTTP client used to reach shards.
+	Client *http.Client
+}
+
+// shardInfo is one shard's discovered ownership.
+type shardInfo struct {
+	url      string
+	clusters []int // fleet cluster indices, ascending
+	states   []int // fleet state indices, ascending
+}
+
+// Coordinator fans ingest out to shards and merges their state back into
+// fleet-wide views.
+type Coordinator struct {
+	sc        sim.Scenario
+	fleet     *cluster.Fleet
+	worldHash string
+	client    *http.Client
+	shards    []shardInfo
+
+	// Cached merged snapshot, refreshed periodically (Run) or on demand.
+	mu   sync.Mutex
+	snap *sim.Snapshot
+
+	reqMu    sync.Mutex
+	requests map[string]uint64
+}
+
+// New builds a coordinator for the joint world and discovers each shard's
+// cluster/state ownership from its /v1/world. The shards must partition
+// the world exactly: disjoint cluster and state sets whose union is the
+// whole fleet, same policy, same step.
+func New(ctx context.Context, cfg Config) (*Coordinator, error) {
+	if len(cfg.ShardURLs) == 0 {
+		return nil, errors.New("coord: no shard URLs")
+	}
+	hash, err := cfg.Scenario.WorldHash()
+	if err != nil {
+		return nil, fmt.Errorf("coord: joint world: %w", err)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	co := &Coordinator{
+		sc:        cfg.Scenario,
+		fleet:     cfg.Scenario.Fleet,
+		worldHash: hash,
+		client:    client,
+		requests:  make(map[string]uint64),
+	}
+	if err := co.discover(ctx, cfg.ShardURLs); err != nil {
+		return nil, err
+	}
+	return co, nil
+}
+
+// shardWorld is the slice of a shard's /v1/world the coordinator needs.
+type shardWorld struct {
+	Policy      string  `json:"policy"`
+	StepSeconds float64 `json:"step_seconds"`
+	Clusters    []struct {
+		Code string `json:"code"`
+	} `json:"clusters"`
+	States []string `json:"states"`
+}
+
+func (co *Coordinator) discover(ctx context.Context, urls []string) error {
+	clusterIdx := make(map[string]int, len(co.fleet.Clusters))
+	for c, cl := range co.fleet.Clusters {
+		clusterIdx[cl.Code] = c
+	}
+	stateIdx := make(map[string]int, len(co.fleet.States))
+	for s, st := range co.fleet.States {
+		stateIdx[st.Code] = s
+	}
+	clusterOwner := make([]int, len(co.fleet.Clusters))
+	stateOwner := make([]int, len(co.fleet.States))
+	for i := range clusterOwner {
+		clusterOwner[i] = -1
+	}
+	for i := range stateOwner {
+		stateOwner[i] = -1
+	}
+
+	co.shards = make([]shardInfo, len(urls))
+	for i, url := range urls {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/world", nil)
+		if err != nil {
+			return fmt.Errorf("coord: shard %s: %w", url, err)
+		}
+		resp, err := co.client.Do(req)
+		if err != nil {
+			return fmt.Errorf("coord: shard %s: %w", url, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return fmt.Errorf("coord: shard %s world: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+		}
+		var world shardWorld
+		err = json.NewDecoder(resp.Body).Decode(&world)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("coord: shard %s world: %w", url, err)
+		}
+		if world.Policy != co.sc.Policy.Name() {
+			return fmt.Errorf("coord: shard %s runs policy %q, joint world runs %q", url, world.Policy, co.sc.Policy.Name())
+		}
+		if got := time.Duration(world.StepSeconds * float64(time.Second)); got != co.sc.Step {
+			return fmt.Errorf("coord: shard %s steps %v, joint world steps %v", url, got, co.sc.Step)
+		}
+		info := shardInfo{url: url}
+		for _, cl := range world.Clusters {
+			c, ok := clusterIdx[cl.Code]
+			if !ok {
+				return fmt.Errorf("coord: shard %s serves unknown cluster %q", url, cl.Code)
+			}
+			if prev := clusterOwner[c]; prev != -1 {
+				return fmt.Errorf("coord: cluster %q claimed by shards %s and %s", cl.Code, urls[prev], url)
+			}
+			clusterOwner[c] = i
+			info.clusters = append(info.clusters, c)
+		}
+		for _, code := range world.States {
+			s, ok := stateIdx[code]
+			if !ok {
+				return fmt.Errorf("coord: shard %s serves unknown state %q", url, code)
+			}
+			if prev := stateOwner[s]; prev != -1 {
+				return fmt.Errorf("coord: state %q claimed by shards %s and %s", code, urls[prev], url)
+			}
+			stateOwner[s] = i
+			info.states = append(info.states, s)
+		}
+		co.shards[i] = info
+	}
+	for c, owner := range clusterOwner {
+		if owner == -1 {
+			return fmt.Errorf("coord: no shard serves cluster %q", co.fleet.Clusters[c].Code)
+		}
+	}
+	for s, owner := range stateOwner {
+		if owner == -1 {
+			return fmt.Errorf("coord: no shard serves state %q", co.fleet.States[s].Code)
+		}
+	}
+	return nil
+}
+
+// Shards returns the discovered shard URLs in configuration order.
+func (co *Coordinator) Shards() []string {
+	urls := make([]string, len(co.shards))
+	for i, sh := range co.shards {
+		urls[i] = sh.url
+	}
+	return urls
+}
+
+// WorldHash returns the joint world's hash.
+func (co *Coordinator) WorldHash() string { return co.worldHash }
+
+// Handler returns the coordinator's HTTP routes.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/prices", co.counted("prices", co.handlePrices))
+	mux.HandleFunc("POST /v1/demand", co.counted("demand", co.handleDemand))
+	mux.HandleFunc("GET /v1/status", co.counted("status", co.handleStatus))
+	mux.HandleFunc("GET /v1/checkpoint", co.counted("checkpoint", co.handleCheckpoint))
+	mux.HandleFunc("GET /v1/world", co.counted("world", co.handleWorld))
+	mux.HandleFunc("GET /metrics", co.counted("metrics", co.handleMetrics))
+	mux.HandleFunc("GET /healthz", co.counted("healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	}))
+	return mux
+}
+
+// Run refreshes the merged snapshot every `every` until ctx is cancelled,
+// reporting pull/merge failures to errw. With every <= 0 it returns
+// immediately (status is then refreshed only on demand).
+func (co *Coordinator) Run(ctx context.Context, every time.Duration, errw io.Writer) {
+	if every <= 0 {
+		return
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			// A cursor mismatch here just means the fleet is mid-ingest;
+			// the next tick will land on a settled instant. Only real
+			// failures are worth the operator's attention.
+			if _, err := co.refresh(ctx); err != nil && !errors.Is(err, sim.ErrShardCursorMismatch) {
+				fmt.Fprintln(errw, "coord: refresh:", err)
+			}
+		}
+	}
+}
+
+func (co *Coordinator) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		co.reqMu.Lock()
+		co.requests[name]++
+		co.reqMu.Unlock()
+		h(w, r)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// fanOut posts one body per shard concurrently and collects the failures.
+// A nil body skips that shard. Shards commit independently: when some
+// fail, the others have still ingested — exactly like a mid-batch error
+// on a single daemon — and the caller reports which shards diverged so
+// the feeder can resync them.
+func (co *Coordinator) fanOut(ctx context.Context, path, contentType string, bodies [][]byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(co.shards))
+	for i, sh := range co.shards {
+		if bodies[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, url string, body []byte) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+path, bytes.NewReader(body))
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				return
+			}
+			req.Header.Set("Content-Type", contentType)
+			resp, err := co.client.Do(req)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode/100 != 2 {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				errs[i] = fmt.Errorf("shard %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+		}(i, sh.url, bodies[i])
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// handlePrices forwards the price post — JSON or binary batch — verbatim
+// to every shard. Each shard overlays the hubs it hosts and ignores the
+// rest, so no column surgery is needed on the price path.
+func (co *Coordinator) handlePrices(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<30))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading price post: %v", err)
+		return
+	}
+	bodies := make([][]byte, len(co.shards))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	if err := co.fanOut(r.Context(), "/v1/prices", r.Header.Get("Content-Type"), bodies); err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"shards": len(co.shards)})
+}
+
+// demandPost mirrors the shard daemon's JSON demand body.
+type demandPost struct {
+	At    time.Time `json:"at"`
+	Rates []float64 `json:"rates"`
+}
+
+func (co *Coordinator) handleDemand(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get("Content-Type") == server.ContentTypeDemandBatch {
+		co.handleDemandBatch(w, r)
+		return
+	}
+	var post demandPost
+	if err := json.NewDecoder(r.Body).Decode(&post); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding demand post: %v", err)
+		return
+	}
+	if len(post.Rates) != len(co.fleet.States) {
+		httpError(w, http.StatusBadRequest, "%d rates for %d states", len(post.Rates), len(co.fleet.States))
+		return
+	}
+	bodies := make([][]byte, len(co.shards))
+	for i, sh := range co.shards {
+		sub := demandPost{At: post.At, Rates: make([]float64, len(sh.states))}
+		for j, s := range sh.states {
+			sub.Rates[j] = post.Rates[s]
+		}
+		b, err := json.Marshal(sub)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		bodies[i] = b
+	}
+	if err := co.fanOut(r.Context(), "/v1/demand", "application/json", bodies); err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"routed": 1, "shards": len(co.shards)})
+}
+
+// handleDemandBatch splits a binary demand batch by state ownership: each
+// shard receives a batch with the same horizon but only its own states'
+// columns, posted concurrently.
+func (co *Coordinator) handleDemandBatch(w http.ResponseWriter, r *http.Request) {
+	br := bufio.NewReaderSize(r.Body, 1<<16)
+	h, err := server.ParseBatchHeader(br)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if h.Kind != "demand" {
+		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/demand", h.Kind)
+		return
+	}
+	ns := len(co.fleet.States)
+	if h.Cols != ns {
+		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.Cols, ns)
+		return
+	}
+	bufs := make([]*bytes.Buffer, len(co.shards))
+	subRows := make([][]float64, len(co.shards))
+	for i, sh := range co.shards {
+		bufs[i] = &bytes.Buffer{}
+		if err := server.WriteBatchHeader(bufs[i], "demand", h.Start, h.Step, h.Rows, len(sh.states), nil); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		subRows[i] = make([]float64, len(sh.states))
+	}
+	row := make([]float64, ns)
+	rowBytes := make([]byte, 8*ns)
+	scratch := make([]byte, 0, 8*ns)
+	for i := 0; i < h.Rows; i++ {
+		if _, err := io.ReadFull(br, rowBytes); err != nil {
+			httpError(w, http.StatusBadRequest, "demand row %d: batch body truncated: %v", i, err)
+			return
+		}
+		if err := server.DecodeRow(rowBytes, row); err != nil {
+			httpError(w, http.StatusBadRequest, "demand row %d: %v", i, err)
+			return
+		}
+		for j, sh := range co.shards {
+			sub := subRows[j]
+			for k, s := range sh.states {
+				sub[k] = row[s]
+			}
+			bufs[j].Write(server.AppendRow(scratch[:0], sub))
+		}
+	}
+	bodies := make([][]byte, len(co.shards))
+	for i, b := range bufs {
+		bodies[i] = b.Bytes()
+	}
+	if err := co.fanOut(r.Context(), "/v1/demand", server.ContentTypeDemandBatch, bodies); err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"routed": h.Rows, "shards": len(co.shards)})
+}
+
+// pullMerge fetches every shard's checkpoint and merges them into the
+// joint world's.
+func (co *Coordinator) pullMerge(ctx context.Context) (*sim.Checkpoint, error) {
+	parts := make([]*sim.Checkpoint, len(co.shards))
+	errs := make([]error, len(co.shards))
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, url string) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/checkpoint", nil)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				return
+			}
+			resp, err := co.client.Do(req)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+				errs[i] = fmt.Errorf("shard %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+				return
+			}
+			cp, err := sim.DecodeCheckpoint(resp.Body)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				return
+			}
+			parts[i] = cp
+		}(i, sh.url)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	merged, err := sim.MergeCheckpoints(parts)
+	if err != nil {
+		return nil, err
+	}
+	if merged.WorldHash != co.worldHash {
+		return nil, fmt.Errorf("coord: shards belong to world %s, coordinator runs %s (flag mismatch?)", merged.WorldHash, co.worldHash)
+	}
+	return merged, nil
+}
+
+// pullMergeSettled is pullMerge with a few retries when the shards are
+// mid-ingest: concurrent demand fan-out commits shard batches at slightly
+// different instants, so two pulls can catch them one batch apart. That
+// state is transient (sim.ErrShardCursorMismatch), not a topology error —
+// re-pull instead of failing the read.
+func (co *Coordinator) pullMergeSettled(ctx context.Context) (*sim.Checkpoint, error) {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 50 * time.Millisecond):
+			}
+		}
+		var merged *sim.Checkpoint
+		if merged, err = co.pullMerge(ctx); err == nil {
+			return merged, nil
+		}
+		if !errors.Is(err, sim.ErrShardCursorMismatch) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// refresh pulls, merges, restores into a joint engine, and caches the
+// fleet-wide snapshot.
+func (co *Coordinator) refresh(ctx context.Context) (*sim.Snapshot, error) {
+	merged, err := co.pullMergeSettled(ctx)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.Restore(co.sc, merged)
+	if err != nil {
+		return nil, err
+	}
+	snap := eng.Snapshot()
+	co.mu.Lock()
+	co.snap = snap
+	co.mu.Unlock()
+	return snap, nil
+}
+
+// cachedSnapshot returns the last merged snapshot, refreshing first when
+// none exists yet or the caller forces it.
+func (co *Coordinator) cachedSnapshot(ctx context.Context, force bool) (*sim.Snapshot, error) {
+	co.mu.Lock()
+	snap := co.snap
+	co.mu.Unlock()
+	if snap != nil && !force {
+		return snap, nil
+	}
+	return co.refresh(ctx)
+}
+
+func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	snap, err := co.cachedSnapshot(r.Context(), r.URL.Query().Get("refresh") == "1")
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	writeJSON(w, server.StatusPayload(co.fleet, snap, 0))
+}
+
+func (co *Coordinator) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	merged, err := co.pullMergeSettled(r.Context())
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := merged.Encode(&buf); err != nil {
+		httpError(w, http.StatusInternalServerError, "encoding merged checkpoint: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", server.ContentTypeCheckpoint)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (co *Coordinator) handleWorld(w http.ResponseWriter, r *http.Request) {
+	type clusterInfo struct {
+		Code     string  `json:"code"`
+		Hub      string  `json:"hub"`
+		Servers  int     `json:"servers"`
+		Capacity float64 `json:"capacity_hits_per_s"`
+		Shard    string  `json:"shard"`
+	}
+	owner := make(map[int]string)
+	for _, sh := range co.shards {
+		for _, c := range sh.clusters {
+			owner[c] = sh.url
+		}
+	}
+	clusters := make([]clusterInfo, len(co.fleet.Clusters))
+	for c, cl := range co.fleet.Clusters {
+		clusters[c] = clusterInfo{Code: cl.Code, Hub: cl.HubID, Servers: cl.Servers,
+			Capacity: float64(cl.Capacity), Shard: owner[c]}
+	}
+	states := make([]string, len(co.fleet.States))
+	for i, st := range co.fleet.States {
+		states[i] = st.Code
+	}
+	writeJSON(w, map[string]any{
+		"policy":                 co.sc.Policy.Name(),
+		"start":                  co.sc.Start,
+		"step_seconds":           co.sc.Step.Seconds(),
+		"reaction_delay_seconds": co.sc.ReactionDelay.Seconds(),
+		"world_hash":             co.worldHash,
+		"shards":                 co.Shards(),
+		"clusters":               clusters,
+		"states":                 states,
+	})
+}
+
+func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap, err := co.cachedSnapshot(r.Context(), false)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return
+	}
+	co.reqMu.Lock()
+	requests := make(map[string]uint64, len(co.requests))
+	for name, n := range co.requests {
+		requests[name] = n
+	}
+	co.reqMu.Unlock()
+	w.Header().Set("Content-Type", server.MetricsContentType)
+	_, _ = w.Write([]byte(server.MetricsText(co.fleet, snap, 0, requests)))
+}

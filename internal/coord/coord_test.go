@@ -1,0 +1,278 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"powerroute/internal/core"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/server"
+	"powerroute/internal/sim"
+)
+
+// testWorld builds the small deterministic world (1-month market, 7-day
+// trace) with an optimizer reach of 1000 km, which splits the fleet into
+// two market regions (California vs everything east).
+func testWorld(t testing.TB) (*core.System, sim.Scenario) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{Seed: 42, MarketMonths: 1, TraceDays: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, 1000, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, sim.Scenario{
+		Fleet:         sys.Fleet,
+		Policy:        opt,
+		Energy:        energy.OptimisticFuture,
+		Market:        sys.Market,
+		Demand:        sys.LongRun,
+		Start:         sys.Market.Start,
+		Steps:         sys.Market.Hours,
+		Step:          time.Hour,
+		ReactionDelay: sim.DefaultReactionDelay,
+	}
+}
+
+// newShards splits sc into its routing components and serves each from a
+// real server.Server behind httptest.
+func newShards(t testing.TB, sc sim.Scenario) []string {
+	t.Helper()
+	p, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := sc.Shard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(subs))
+	for i, sub := range subs {
+		eng, err := sim.NewEngine(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func newCoordinator(t testing.TB, sc sim.Scenario, urls []string) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	co, err := New(context.Background(), Config{Scenario: sc, ShardURLs: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(co.Handler())
+	t.Cleanup(ts.Close)
+	return co, ts
+}
+
+func postBody(t *testing.T, url, contentType string, body []byte, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("POST %s: got %d want %d: %s", url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+func get(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: got %d want %d: %s", url, resp.StatusCode, wantCode, out)
+	}
+	return out
+}
+
+// feedWorld streams `hours` of generated prices and long-run demand into
+// baseURL as binary batches, exactly as the replay load generator does.
+func feedWorld(t *testing.T, sys *core.System, sc sim.Scenario, baseURL string, hours int) {
+	t.Helper()
+	hubs := sys.Market.Hubs()
+	hubIDs := make([]string, len(hubs))
+	for i, h := range hubs {
+		hubIDs[i] = h.ID
+	}
+	var pb bytes.Buffer
+	if err := server.WriteBatchHeader(&pb, "prices", sc.Start, sc.Step, hours, len(hubIDs), hubIDs); err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, len(hubIDs))
+	for i := 0; i < hours; i++ {
+		at := sc.Start.Add(time.Duration(i) * sc.Step)
+		for j, h := range hubs {
+			rt, err := sys.Market.RT(h.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := rt.At(at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row[j] = v
+		}
+		pb.Write(server.AppendRow(nil, row))
+	}
+	postBody(t, baseURL+"/v1/prices", server.ContentTypePricesBatch, pb.Bytes(), http.StatusOK)
+
+	ns := len(sc.Fleet.States)
+	var db bytes.Buffer
+	if err := server.WriteBatchHeader(&db, "demand", sc.Start, sc.Step, hours, ns, nil); err != nil {
+		t.Fatal(err)
+	}
+	var demand []float64
+	for i := 0; i < hours; i++ {
+		demand = sc.Demand.Rates(sc.Start.Add(time.Duration(i)*sc.Step), demand)
+		db.Write(server.AppendRow(nil, demand))
+	}
+	postBody(t, baseURL+"/v1/demand", server.ContentTypeDemandBatch, db.Bytes(), http.StatusOK)
+}
+
+// TestCoordinatorMatchesSingleInstance feeds the same price and demand
+// batches through the coordinator (fanning out to two real shard daemons)
+// and through one single-instance daemon serving the unsplit world, then
+// requires the fleet-wide /v1/status to match bit for bit (modulo the
+// price_feed_entries bookkeeping, which is per-process).
+func TestCoordinatorMatchesSingleInstance(t *testing.T) {
+	sys, sc := testWorld(t)
+	const hours = 14 * 24
+
+	// Single instance.
+	singleEng, err := sim.NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleSrv, err := server.New(server.Config{Engine: singleEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(singleSrv.Handler())
+	defer single.Close()
+	feedWorld(t, sys, sc, single.URL, hours)
+
+	// Coordinator over two shards.
+	_, scForShards := testWorld(t)
+	urls := newShards(t, scForShards)
+	if len(urls) != 2 {
+		t.Fatalf("expected 2 shards, got %d", len(urls))
+	}
+	_, coordTS := newCoordinator(t, sc, urls)
+	feedWorld(t, sys, sc, coordTS.URL, hours)
+
+	normalize := func(raw []byte) map[string]any {
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "price_feed_entries")
+		return m
+	}
+	want := normalize(get(t, single.URL+"/v1/status", http.StatusOK))
+	got := normalize(get(t, coordTS.URL+"/v1/status?refresh=1", http.StatusOK))
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("coordinator status differs from single instance:\ncoord  %s\nsingle %s", gotJSON, wantJSON)
+	}
+
+	// The merged checkpoint restores into the joint world at the same
+	// cursor.
+	raw := get(t, coordTS.URL+"/v1/checkpoint", http.StatusOK)
+	cp, err := sim.DecodeCheckpoint(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.StepsRun != hours {
+		t.Fatalf("merged checkpoint at step %d, want %d", cp.StepsRun, hours)
+	}
+	if _, err := sim.Restore(sc, cp); err != nil {
+		t.Fatalf("merged checkpoint does not restore into the joint world: %v", err)
+	}
+
+	// Metrics render from the merged snapshot.
+	metrics := string(get(t, coordTS.URL+"/metrics", http.StatusOK))
+	if !bytes.Contains([]byte(metrics), []byte("powerrouted_steps_total")) {
+		t.Fatalf("metrics missing steps counter:\n%s", metrics)
+	}
+
+	// JSON single-step demand also fans out (after one more price post the
+	// shards can cover the next hour).
+	at := sc.Start.Add(time.Duration(hours) * sc.Step)
+	var demand []float64
+	demand = sc.Demand.Rates(at, demand)
+	post := map[string]any{"at": at, "rates": demand}
+	body, _ := json.Marshal(post)
+	postBody(t, coordTS.URL+"/v1/demand", "application/json", body, http.StatusOK)
+}
+
+// TestCoordinatorDiscoveryRejectsBadTopologies: shards that overlap, miss
+// clusters, or disagree on the policy must fail New loudly.
+func TestCoordinatorDiscoveryRejectsBadTopologies(t *testing.T) {
+	_, sc := testWorld(t)
+	urls := newShards(t, sc)
+
+	ctx := context.Background()
+	if _, err := New(ctx, Config{Scenario: sc}); err == nil {
+		t.Error("no shard URLs accepted")
+	}
+	if _, err := New(ctx, Config{Scenario: sc, ShardURLs: urls[:1]}); err == nil {
+		t.Error("incomplete shard cover accepted")
+	}
+	if _, err := New(ctx, Config{Scenario: sc, ShardURLs: []string{urls[0], urls[0]}}); err == nil {
+		t.Error("duplicated shard accepted")
+	}
+
+	// A shard serving the whole world overlaps any real shard.
+	wholeEng, err := sim.NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wholeSrv, err := server.New(server.Config{Engine: wholeEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := httptest.NewServer(wholeSrv.Handler())
+	defer whole.Close()
+	if _, err := New(ctx, Config{Scenario: sc, ShardURLs: []string{whole.URL, urls[1]}}); err == nil {
+		t.Error("overlapping shards accepted")
+	}
+
+	// Policy mismatch: shards run a different optimizer reach.
+	_, sc600 := testWorld(t)
+	opt600, err := routing.NewPriceOptimizer(sc600.Fleet, 600, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc600.Policy = opt600
+	urls600 := newShards(t, sc600)
+	if _, err := New(ctx, Config{Scenario: sc, ShardURLs: urls600}); err == nil {
+		t.Error("shards with a different policy accepted")
+	}
+}

@@ -58,6 +58,23 @@ type Policy interface {
 	Allocate(ctx *Context, assign [][]float64) error
 }
 
+// Sharder is a Policy that can be split across disjoint cluster regions
+// (one powerrouted instance per electricity market region). Candidates
+// names the clusters a state is assigned to in normal operation; a
+// partition is routing-closed when every state's candidates live in the
+// same shard as the state, so the shard's allocations reproduce the joint
+// run's exactly. ShardPolicy rebuilds the equivalent policy over a
+// sub-fleet carved out by cluster.Fleet.Subfleet.
+type Sharder interface {
+	Policy
+	// Candidates returns the clusters state s may be assigned to in
+	// normal (non-saturated) operation, in no particular order. Callers
+	// must not mutate the returned slice.
+	Candidates(s int) []int
+	// ShardPolicy builds this policy's equivalent over a sub-fleet.
+	ShardPolicy(sub *cluster.Fleet) (Policy, error)
+}
+
 // validate sanity-checks dimensions shared by all policies.
 func validate(f *cluster.Fleet, ctx *Context, assign [][]float64) error {
 	ns, nc := len(f.States), len(f.Clusters)
@@ -182,6 +199,26 @@ func (b *Baseline) Weights(state int) []float64 {
 	return b.weights[state]
 }
 
+// Candidates implements Sharder: the clusters carrying nonzero affinity
+// weight for the state (its normal-operation assignment support).
+func (b *Baseline) Candidates(s int) []int {
+	var out []int
+	for c, w := range b.weights[s] {
+		if w > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ShardPolicy implements Sharder. The sub-fleet's affinity weights equal
+// the full fleet's restricted to its clusters exactly when each owned
+// state's weight support is owned — the routing-closure condition the
+// shard split validates.
+func (b *Baseline) ShardPolicy(sub *cluster.Fleet) (Policy, error) {
+	return NewBaseline(sub), nil
+}
+
 // PriceOptimizer is the paper's distance-constrained electricity price
 // optimizer (§6.1).
 type PriceOptimizer struct {
@@ -232,6 +269,18 @@ func (p *PriceOptimizer) Name() string {
 
 // ThresholdKm returns the distance threshold.
 func (p *PriceOptimizer) ThresholdKm() float64 { return p.thresholdKm }
+
+// Candidates implements Sharder: the state's distance-constrained
+// candidate set (with the paper's <50km nearest-cluster fallback). The
+// outward walk past the candidates only fires when every candidate is
+// full, which in a routing-closed partition stays inside the shard until
+// the whole region saturates.
+func (p *PriceOptimizer) Candidates(s int) []int { return p.candidates[s] }
+
+// ShardPolicy implements Sharder: the same thresholds over the sub-fleet.
+func (p *PriceOptimizer) ShardPolicy(sub *cluster.Fleet) (Policy, error) {
+	return NewPriceOptimizer(sub, p.thresholdKm, p.priceThreshold)
+}
 
 // Allocate implements Policy. For each state it prefers the cheapest
 // in-range cluster; differentials below the price threshold are ignored in

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -67,6 +68,13 @@ func (f *priceFeed) prune(oldest time.Time) {
 	}
 	f.at = append(f.at[:0], f.at[i-1:]...)
 	f.vec = append(f.vec[:0], f.vec[i-1:]...)
+	// The compaction shifted the live entries down but left the dropped
+	// tail slots pointing at their old per-cluster vectors, reachable
+	// through the backing array — a steady leak of one vector per pruned
+	// entry on a long-running feed. Clear [len, oldLen) so the garbage
+	// collector can actually take them.
+	clear(f.at[len(f.at):n])
+	clear(f.vec[len(f.vec):n])
 }
 
 // lookup returns the vector covering instant at, clamped to the first
@@ -109,17 +117,20 @@ const (
 	maxBatchRows = 1 << 20
 )
 
-// batchHeader is the parsed first line of a binary batch body.
-type batchHeader struct {
-	kind  string
-	start time.Time
-	step  time.Duration
-	rows  int
-	cols  int
-	hubs  []string // kind=prices only
+// BatchHeader is the parsed first line of a binary batch body. It is
+// exported, with ParseBatchHeader, for the shard coordinator and the load
+// generator, which split and re-emit batches along shard boundaries.
+type BatchHeader struct {
+	Kind  string
+	Start time.Time
+	Step  time.Duration
+	Rows  int
+	Cols  int
+	Hubs  []string // Kind == "prices" only
 }
 
-func parseBatchHeader(r *bufio.Reader) (*batchHeader, error) {
+// ParseBatchHeader reads and validates one batch header line.
+func ParseBatchHeader(r *bufio.Reader) (*BatchHeader, error) {
 	line, err := r.ReadString('\n')
 	if err != nil {
 		return nil, fmt.Errorf("server: reading batch header: %w", err)
@@ -128,7 +139,7 @@ func parseBatchHeader(r *bufio.Reader) (*batchHeader, error) {
 	if !strings.HasPrefix(line, batchMagic+" ") {
 		return nil, fmt.Errorf("server: batch header missing %q magic", batchMagic)
 	}
-	h := &batchHeader{}
+	h := &BatchHeader{}
 	for _, field := range strings.Fields(line[len(batchMagic)+1:]) {
 		key, val, ok := strings.Cut(field, "=")
 		if !ok {
@@ -136,59 +147,80 @@ func parseBatchHeader(r *bufio.Reader) (*batchHeader, error) {
 		}
 		switch key {
 		case "kind":
-			h.kind = val
+			h.Kind = val
 		case "start":
 			ns, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("server: batch start: %w", err)
 			}
-			h.start = time.Unix(0, ns).UTC()
+			h.Start = time.Unix(0, ns).UTC()
 		case "step":
 			ns, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("server: batch step: %w", err)
 			}
-			h.step = time.Duration(ns)
+			h.Step = time.Duration(ns)
 		case "rows":
 			n, err := strconv.Atoi(val)
 			if err != nil {
 				return nil, fmt.Errorf("server: batch rows: %w", err)
 			}
-			h.rows = n
+			h.Rows = n
 		case "cols":
 			n, err := strconv.Atoi(val)
 			if err != nil {
 				return nil, fmt.Errorf("server: batch cols: %w", err)
 			}
-			h.cols = n
+			h.Cols = n
 		case "hubs":
-			h.hubs = strings.Split(val, ",")
+			h.Hubs = strings.Split(val, ",")
 		default:
 			return nil, fmt.Errorf("server: unknown batch header field %q", key)
 		}
 	}
-	if h.kind != "demand" && h.kind != "prices" {
-		return nil, fmt.Errorf("server: batch kind %q", h.kind)
+	if h.Kind != "demand" && h.Kind != "prices" {
+		return nil, fmt.Errorf("server: batch kind %q", h.Kind)
 	}
 	// A missing start would silently anchor the batch at the Unix epoch —
 	// and for prices there is no downstream alignment check to catch it.
-	if h.start.IsZero() {
+	if h.Start.IsZero() {
 		return nil, fmt.Errorf("server: batch header missing start")
 	}
-	if h.rows <= 0 || h.rows > maxBatchRows || h.cols <= 0 {
-		return nil, fmt.Errorf("server: batch dimensions %dx%d out of range", h.rows, h.cols)
+	if h.Rows <= 0 || h.Rows > maxBatchRows || h.Cols <= 0 {
+		return nil, fmt.Errorf("server: batch dimensions %dx%d out of range", h.Rows, h.Cols)
 	}
-	if h.step <= 0 {
-		return nil, fmt.Errorf("server: non-positive batch step %v", h.step)
+	if h.Step <= 0 {
+		return nil, fmt.Errorf("server: non-positive batch step %v", h.Step)
 	}
-	if h.kind == "prices" && len(h.hubs) != h.cols {
-		return nil, fmt.Errorf("server: %d hub names for %d price columns", len(h.hubs), h.cols)
+	if h.Kind == "demand" && h.Hubs != nil {
+		return nil, errors.New("server: demand batch must not name hubs")
+	}
+	if h.Kind == "prices" {
+		if len(h.Hubs) != h.Cols {
+			return nil, fmt.Errorf("server: %d hub names for %d price columns", len(h.Hubs), h.Cols)
+		}
+		// strings.Split never returns an empty slice, so "hubs=" yields
+		// one empty name; and a duplicated hub (hubs=MISO,MISO) would let
+		// the last column silently win the cluster assignment.
+		seen := make(map[string]bool, len(h.Hubs))
+		for _, hub := range h.Hubs {
+			if hub == "" {
+				return nil, errors.New("server: batch header has an empty hub name")
+			}
+			if seen[hub] {
+				return nil, fmt.Errorf("server: batch header names hub %q twice", hub)
+			}
+			seen[hub] = true
+		}
 	}
 	return h, nil
 }
 
 // readRow fills dst (len = header cols) with the next row of the batch
-// body, reusing buf as the byte scratch (grown as needed).
+// body, reusing buf as the byte scratch (grown as needed). Rows carrying
+// NaN or ±Inf are rejected: the JSON ingest path cannot even express
+// them, and one non-finite price or demand sample would poison meters,
+// p95 bills, and every checkpoint downstream.
 func readRow(r *bufio.Reader, dst []float64, buf []byte) ([]byte, error) {
 	need := len(dst) * 8
 	if cap(buf) < need {
@@ -198,10 +230,24 @@ func readRow(r *bufio.Reader, dst []float64, buf []byte) ([]byte, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return buf, fmt.Errorf("server: batch body truncated: %w", err)
 	}
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	return buf, DecodeRow(buf, dst)
+}
+
+// DecodeRow decodes one batch row of little-endian float64s from b into
+// dst, rejecting NaN and ±Inf. Exported for the shard coordinator, which
+// re-splits demand rows along shard boundaries.
+func DecodeRow(b []byte, dst []float64) error {
+	if len(b) != 8*len(dst) {
+		return fmt.Errorf("server: batch row is %d bytes for %d columns", len(b), len(dst))
 	}
-	return buf, nil
+	for i := range dst {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("server: batch row has non-finite value in column %d", i)
+		}
+		dst[i] = v
+	}
+	return nil
 }
 
 // WriteBatchHeader writes the batch header line for a binary batch body.

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBatchIngestRejectsNonFinite: a NaN or ±Inf price/demand row in a
+// binary batch must be rejected with a 400 before it reaches the engine or
+// the price feed — the JSON ingest path cannot even express non-finite
+// numbers, and one poisoned sample would corrupt meters, p95 bills, and
+// every checkpoint downstream.
+func TestBatchIngestRejectsNonFinite(t *testing.T) {
+	srv, ts, sys := testServer(t)
+	start := srv.eng.Start()
+	hubIDs := make([]string, len(sys.Fleet.Clusters))
+	for i, cl := range sys.Fleet.Clusters {
+		hubIDs[i] = cl.HubID
+	}
+	ns := len(sys.Fleet.States)
+
+	postBatch := func(t *testing.T, path, contentType string, body *bytes.Buffer, wantCode int) []byte {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, contentType, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		_, _ = out.ReadFrom(resp.Body)
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST %s: got %d want %d: %s", path, resp.StatusCode, wantCode, out.String())
+		}
+		return out.Bytes()
+	}
+
+	for _, tc := range []struct {
+		name string
+		bad  float64
+	}{
+		{"nan", math.NaN()},
+		{"+inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+	} {
+		t.Run("prices-"+tc.name, func(t *testing.T) {
+			row := make([]float64, len(hubIDs))
+			for i := range row {
+				row[i] = 30
+			}
+			row[len(row)/2] = tc.bad
+			var b bytes.Buffer
+			if err := WriteBatchHeader(&b, "prices", start, time.Hour, 1, len(hubIDs), hubIDs); err != nil {
+				t.Fatal(err)
+			}
+			b.Write(AppendRow(nil, row))
+			out := postBatch(t, "/v1/prices", ContentTypePricesBatch, &b, http.StatusBadRequest)
+			if !strings.Contains(string(out), "non-finite") {
+				t.Fatalf("rejected for the wrong reason: %s", out)
+			}
+			if srv.feed.len() != 0 {
+				t.Fatalf("poisoned price row entered the feed (%d entries)", srv.feed.len())
+			}
+		})
+	}
+
+	// Demand: good prices in, then a batch whose second row carries a NaN.
+	var pb bytes.Buffer
+	if err := WriteBatchHeader(&pb, "prices", start, time.Hour, 4, len(hubIDs), hubIDs); err != nil {
+		t.Fatal(err)
+	}
+	priceRow := make([]float64, len(hubIDs))
+	for i := range priceRow {
+		priceRow[i] = 25
+	}
+	for i := 0; i < 4; i++ {
+		pb.Write(AppendRow(nil, priceRow))
+	}
+	postBatch(t, "/v1/prices", ContentTypePricesBatch, &pb, http.StatusOK)
+
+	rows := [][]float64{flatDemand(ns, 500), flatDemand(ns, 500)}
+	rows[1][ns/2] = math.NaN()
+	var db bytes.Buffer
+	if err := WriteBatchHeader(&db, "demand", start, time.Hour, len(rows), ns, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		db.Write(AppendRow(nil, row))
+	}
+	out := postBatch(t, "/v1/demand", ContentTypeDemandBatch, &db, http.StatusBadRequest)
+	var errResp struct {
+		Error  string `json:"error"`
+		Routed int    `json:"routed"`
+	}
+	if err := json.Unmarshal(out, &errResp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errResp.Error, "non-finite") {
+		t.Fatalf("rejected for the wrong reason: %s", out)
+	}
+	// The clean first row committed; the poisoned one must not have.
+	if got := srv.eng.StepsRun(); got != 1 {
+		t.Fatalf("engine advanced %d steps, want 1 (rows before the NaN commit, the NaN row must not)", got)
+	}
+	for _, s := range srv.eng.Snapshot().ClusterRate {
+		if math.IsNaN(s) {
+			t.Fatal("NaN reached the engine's cluster rates")
+		}
+	}
+}
+
+// TestPruneReleasesDroppedVectors: prune compacts the feed in place, and
+// the vacated tail of the backing array must actually drop its references
+// — otherwise every pruned per-cluster vector stays reachable and a
+// long-running daemon leaks one vector per feed entry.
+func TestPruneReleasesDroppedVectors(t *testing.T) {
+	var f priceFeed
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := f.add(start.Add(time.Duration(i)*time.Hour), []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Alias the backing arrays before pruning.
+	vecTail := f.vec[:n]
+	atTail := f.at[:n]
+
+	f.prune(start.Add(10 * time.Hour)) // keeps entries 10..15
+	if got := f.len(); got != 6 {
+		t.Fatalf("feed holds %d entries after prune, want 6", got)
+	}
+	if got := f.lookup(start.Add(10 * time.Hour))[0]; got != 10 {
+		t.Fatalf("lookup after prune returned vector %v, want 10", got)
+	}
+	for i := f.len(); i < n; i++ {
+		if vecTail[i] != nil {
+			t.Errorf("backing array slot %d still references a pruned vector %v", i, vecTail[i])
+		}
+		if !atTail[i].IsZero() {
+			t.Errorf("backing array slot %d still holds a pruned timestamp %v", i, atTail[i])
+		}
+	}
+}
+
+// TestParseBatchHeaderRejectsBadHubs: duplicate hub names would let the
+// last column silently win a cluster's price assignment, and "hubs="
+// splits to one empty name; both must be 400s, end to end included.
+func TestParseBatchHeaderRejectsBadHubs(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	header := func(hubs string, cols int) string {
+		return fmt.Sprintf("%s kind=prices start=%d step=%d rows=1 cols=%d hubs=%s\n",
+			batchMagic, start.UnixNano(), int64(time.Hour), cols, hubs)
+	}
+	for _, tc := range []struct {
+		name    string
+		header  string
+		wantErr string
+	}{
+		{"duplicate-hub", header("MISO,MISO", 2), "twice"},
+		{"empty-hub-list", header("", 1), "empty hub name"},
+		{"empty-hub-mid", header("A,,B", 3), "empty hub name"},
+		{"trailing-empty", header("A,B,", 3), "empty hub name"},
+		{"ok", header("A,B", 2), ""},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := ParseBatchHeader(bufio.NewReader(strings.NewReader(tc.header)))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid header rejected: %v", err)
+				}
+				if len(h.Hubs) != h.Cols {
+					t.Fatalf("parsed %d hubs for %d cols", len(h.Hubs), h.Cols)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// End to end: the handler must 400 a duplicated hub before any row is
+	// ingested.
+	srv, ts, sys := testServer(t)
+	hub := sys.Fleet.Clusters[0].HubID
+	body := header(hub+","+hub, 2) + string(AppendRow(nil, []float64{1, 2}))
+	resp, err := http.Post(ts.URL+"/v1/prices", ContentTypePricesBatch, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate hub batch: got %d want 400", resp.StatusCode)
+	}
+	if srv.feed.len() != 0 {
+		t.Fatal("duplicate hub batch entered the feed")
+	}
+}
+
+// FuzzParseBatchHeader hammers the batch header parser with arbitrary
+// header lines: it must never panic, and anything it accepts must satisfy
+// the documented invariants (known kind, positive dimensions under the
+// row cap, positive step, non-zero start, and — for prices — exactly cols
+// unique non-empty hub names).
+func FuzzParseBatchHeader(f *testing.F) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	f.Add(fmt.Sprintf("%s kind=demand start=%d step=%d rows=4 cols=9\n", batchMagic, start.UnixNano(), int64(time.Hour)))
+	f.Add(fmt.Sprintf("%s kind=prices start=%d step=%d rows=1 cols=2 hubs=A,B\n", batchMagic, start.UnixNano(), int64(time.Hour)))
+	f.Add(batchMagic + " kind=prices start=1 step=1 rows=1 cols=2 hubs=MISO,MISO\n")
+	f.Add(batchMagic + " kind=demand start=0 step=3600000000000 rows=1048577 cols=1\n")
+	f.Add(batchMagic + " kind=demand start=1 step=-1 rows=-1 cols=-1\n")
+	f.Add(batchMagic + " kind=demand start=-9223372036854775808 step=1 rows=1 cols=1\n")
+	f.Add(batchMagic + " kind=demand start=1 step=1 rows=9223372036854775807 cols=9223372036854775807\n")
+	f.Add(batchMagic + " kind= start= step= rows= cols= hubs=\n")
+	f.Add(batchMagic + " kind=prices start=1 step=1 rows=1 cols=1 hubs=A kind=demand\n")
+	f.Add("not a batch\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		h, err := ParseBatchHeader(bufio.NewReader(strings.NewReader(line)))
+		if err != nil {
+			return
+		}
+		if h.Kind != "demand" && h.Kind != "prices" {
+			t.Fatalf("accepted kind %q", h.Kind)
+		}
+		if h.Rows <= 0 || h.Rows > maxBatchRows || h.Cols <= 0 {
+			t.Fatalf("accepted dimensions %dx%d", h.Rows, h.Cols)
+		}
+		if h.Step <= 0 {
+			t.Fatalf("accepted step %v", h.Step)
+		}
+		if h.Start.IsZero() {
+			t.Fatal("accepted zero start")
+		}
+		if h.Kind == "prices" {
+			if len(h.Hubs) != h.Cols {
+				t.Fatalf("accepted %d hubs for %d cols", len(h.Hubs), h.Cols)
+			}
+			seen := map[string]bool{}
+			for _, hub := range h.Hubs {
+				if hub == "" || seen[hub] {
+					t.Fatalf("accepted empty or duplicate hub in %v", h.Hubs)
+				}
+				seen[hub] = true
+			}
+		} else if h.Hubs != nil {
+			t.Fatalf("demand batch accepted hubs %v", h.Hubs)
+		}
+	})
+}

@@ -5,6 +5,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"powerroute/internal/cluster"
+	"powerroute/internal/sim"
 )
 
 // handleMetrics renders the daemon's state in the Prometheus text
@@ -16,6 +19,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	feedEntries := s.feed.len()
 	s.mu.Unlock()
 
+	s.reqMu.Lock()
+	requests := make(map[string]uint64, len(s.requests))
+	for name, n := range s.requests {
+		requests[name] = n
+	}
+	s.reqMu.Unlock()
+
+	w.Header().Set("Content-Type", MetricsContentType)
+	_, _ = w.Write([]byte(MetricsText(s.fleet, snap, feedEntries, requests)))
+}
+
+// MetricsContentType is the Prometheus text exposition media type.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsText renders the powerrouted metric families for an engine
+// snapshot. Exported for the shard coordinator, which exposes the merged
+// fleet-wide snapshot under the same metric names.
+func MetricsText(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int, requests map[string]uint64) string {
 	var b strings.Builder
 	metric := func(name, typ, help string) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -43,24 +64,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "powerrouted_price_feed_entries %d\n", feedEntries)
 
 	metric("powerrouted_cluster_rate_hits", "gauge", "Last interval's assigned rate per cluster (hits/s).")
-	for c, cl := range s.fleet.Clusters {
+	for c, cl := range fleet.Clusters {
 		fmt.Fprintf(&b, "powerrouted_cluster_rate_hits{cluster=%q} %g\n", cl.Code, snap.ClusterRate[c])
 	}
 
 	metric("powerrouted_cluster_cost_dollars_total", "counter", "Cumulative bill per cluster.")
-	for c, cl := range s.fleet.Clusters {
+	for c, cl := range fleet.Clusters {
 		fmt.Fprintf(&b, "powerrouted_cluster_cost_dollars_total{cluster=%q} %g\n", cl.Code, float64(snap.ClusterCost[c]))
 	}
 
 	if snap.SoCKWh != nil {
 		metric("powerrouted_battery_soc_kwh", "gauge", "Battery state of charge per cluster.")
-		for c, cl := range s.fleet.Clusters {
+		for c, cl := range fleet.Clusters {
 			fmt.Fprintf(&b, "powerrouted_battery_soc_kwh{cluster=%q} %g\n", cl.Code, snap.SoCKWh[c])
 		}
 	}
 	if snap.PeakGridKW != nil {
 		metric("powerrouted_peak_grid_kw", "gauge", "Highest metered grid draw per cluster.")
-		for c, cl := range s.fleet.Clusters {
+		for c, cl := range fleet.Clusters {
 			fmt.Fprintf(&b, "powerrouted_peak_grid_kw{cluster=%q} %g\n", cl.Code, snap.PeakGridKW[c])
 		}
 	}
@@ -69,18 +90,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "powerrouted_carbon_kg_total %g\n", snap.TotalCarbonKg)
 	}
 
-	s.reqMu.Lock()
-	handlers := make([]string, 0, len(s.requests))
-	for name := range s.requests {
+	handlers := make([]string, 0, len(requests))
+	for name := range requests {
 		handlers = append(handlers, name)
 	}
 	sort.Strings(handlers)
 	metric("powerrouted_http_requests_total", "counter", "HTTP requests served per handler.")
 	for _, name := range handlers {
-		fmt.Fprintf(&b, "powerrouted_http_requests_total{handler=%q} %d\n", name, s.requests[name])
+		fmt.Fprintf(&b, "powerrouted_http_requests_total{handler=%q} %d\n", name, requests[name])
 	}
-	s.reqMu.Unlock()
 
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(b.String()))
+	return b.String()
 }

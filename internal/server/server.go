@@ -216,27 +216,27 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
 	br := bufio.NewReaderSize(r.Body, 1<<16)
-	h, err := parseBatchHeader(br)
+	h, err := ParseBatchHeader(br)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if h.kind != "prices" {
-		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/prices", h.kind)
+	if h.Kind != "prices" {
+		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/prices", h.Kind)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// Resolve hub columns to cluster indices once per batch.
 	nc := len(s.fleet.Clusters)
-	colClusters := make([][]int, h.cols)
+	colClusters := make([][]int, h.Cols)
 	covered := make([]bool, nc)
 	if s.feed.last() != nil {
 		for c := range covered {
 			covered[c] = true
 		}
 	}
-	for i, hub := range h.hubs {
+	for i, hub := range h.Hubs {
 		colClusters[i] = s.hubClusters[hub]
 		for _, c := range colClusters[i] {
 			covered[c] = true
@@ -249,9 +249,9 @@ func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	row := make([]float64, h.cols)
+	row := make([]float64, h.Cols)
 	prev := s.feed.last()
-	for i := 0; i < h.rows; i++ {
+	for i := 0; i < h.Rows; i++ {
 		if s.byteBuf, err = readRow(br, row, s.byteBuf); err != nil {
 			httpError(w, http.StatusBadRequest, "price row %d: %v", i, err)
 			return
@@ -265,14 +265,14 @@ func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
 				vec[c] = price
 			}
 		}
-		if err := s.feed.add(h.start.Add(time.Duration(i)*h.step), vec); err != nil {
+		if err := s.feed.add(h.Start.Add(time.Duration(i)*h.Step), vec); err != nil {
 			httpError(w, http.StatusConflict, "price row %d: %v", i, err)
 			return
 		}
 		prev = vec
 	}
 	writeJSON(w, map[string]any{
-		"ingested":     h.rows,
+		"ingested":     h.Rows,
 		"feed_entries": s.feed.len(),
 	})
 }
@@ -337,35 +337,35 @@ func (s *Server) routeOne(at time.Time, rates []float64) (int, error) {
 
 func (s *Server) handleDemandBatch(w http.ResponseWriter, r *http.Request) {
 	br := bufio.NewReaderSize(r.Body, 1<<16)
-	h, err := parseBatchHeader(br)
+	h, err := ParseBatchHeader(br)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if h.kind != "demand" {
-		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/demand", h.kind)
+	if h.Kind != "demand" {
+		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/demand", h.Kind)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if h.cols != len(s.fleet.States) {
-		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.cols, len(s.fleet.States))
+	if h.Cols != len(s.fleet.States) {
+		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.Cols, len(s.fleet.States))
 		return
 	}
-	if h.step != s.step {
-		httpError(w, http.StatusBadRequest, "batch step %v, engine step %v", h.step, s.step)
+	if h.Step != s.step {
+		httpError(w, http.StatusBadRequest, "batch step %v, engine step %v", h.Step, s.step)
 		return
 	}
-	if next := s.eng.Next(); !h.start.Equal(next) {
-		httpError(w, http.StatusConflict, "batch starts %v, engine expects %v", h.start, next)
+	if next := s.eng.Next(); !h.Start.Equal(next) {
+		httpError(w, http.StatusConflict, "batch starts %v, engine expects %v", h.Start, next)
 		return
 	}
-	for i := 0; i < h.rows; i++ {
+	for i := 0; i < h.Rows; i++ {
 		if s.byteBuf, err = readRow(br, s.rowBuf, s.byteBuf); err != nil {
 			s.batchError(w, http.StatusBadRequest, i, "demand row %d: %v", i, err)
 			return
 		}
-		at := h.start.Add(time.Duration(i) * h.step)
+		at := h.Start.Add(time.Duration(i) * h.Step)
 		if code, err := s.routeOne(at, s.rowBuf); err != nil {
 			s.batchError(w, code, i, "demand row %d: %v", i, err)
 			return
@@ -374,7 +374,7 @@ func (s *Server) handleDemandBatch(w http.ResponseWriter, r *http.Request) {
 	s.feed.prune(s.eng.Next().Add(-s.delay))
 	snap := s.eng.Snapshot()
 	writeJSON(w, map[string]any{
-		"routed":         h.rows,
+		"routed":         h.Rows,
 		"steps":          snap.Steps,
 		"total_cost_usd": float64(snap.TotalCost),
 	})
@@ -397,9 +397,16 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
 	feedEntries := s.feed.len()
 	s.mu.Unlock()
+	writeJSON(w, StatusPayload(s.fleet, snap, feedEntries))
+}
 
-	clusters := make([]clusterStatus, len(s.fleet.Clusters))
-	for c, cl := range s.fleet.Clusters {
+// StatusPayload renders the /v1/status response body for an engine
+// snapshot. Exported for the shard coordinator, which serves the exact
+// same payload from a merged fleet-wide snapshot — the byte-for-byte
+// comparison the shard-merge CI gate rests on.
+func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) map[string]any {
+	clusters := make([]clusterStatus, len(fleet.Clusters))
+	for c, cl := range fleet.Clusters {
 		cs := clusterStatus{
 			Code:         cl.Code,
 			Hub:          cl.HubID,
@@ -437,7 +444,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if snap.TotalCarbonKg != 0 {
 		resp["carbon_kg"] = snap.TotalCarbonKg
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {

@@ -44,11 +44,18 @@ import (
 // restores. Bump it whenever the engine grows per-step state the old
 // layout cannot carry; old files then fail with a version error rather
 // than restoring a silently incomplete engine.
-const CheckpointVersion = 1
+//
+// v2 made checkpoints mergeable across shards: fleet-wide scalars
+// (total cost/energy, overload, storage totals, carbon) became
+// per-cluster vectors, and the envelope gained the cluster/state codes
+// plus the shard identity (parent world hash and fleet positions). A v1
+// file cannot express per-cluster overload or storage totals, so it
+// refuses to load instead of restoring zeros silently.
+const CheckpointVersion = 2
 
 const (
 	checkpointMagicPrefix = "powerroute-checkpoint v"
-	checkpointMagic       = "powerroute-checkpoint v1"
+	checkpointMagic       = "powerroute-checkpoint v2"
 
 	// maxCheckpointPayload bounds the declared payload size a decoder will
 	// read: a 39-month hourly world checkpoints in single-digit megabytes,
@@ -56,25 +63,29 @@ const (
 	maxCheckpointPayload = 1 << 30
 )
 
-// Totals holds the Result fields that accumulate while stepping. They are
-// restored verbatim; Finalize-only fields (billable p95s, demand charges)
-// are recomputed from the restored meters when the run ends.
+// Totals holds the running sums that accumulate while stepping — all of
+// them per cluster. Fleet-wide figures (the Result's TotalCost,
+// TotalEnergy, overload seconds, storage totals, carbon) are derived from
+// these in fleet order at Snapshot/Finalize time, never accumulated across
+// clusters, which is what lets a shard merge scatter each cluster's sums
+// into fleet positions and reproduce the joint run's figures bit for bit.
+// Finalize-only fields (billable p95s, demand charges) are recomputed from
+// the restored meters when the run ends.
 type Totals struct {
-	TotalCost   units.Money  `json:"total_cost_usd"`
-	TotalEnergy units.Energy `json:"total_energy_wh"`
-
 	ClusterCost   []units.Money  `json:"cluster_cost_usd"`
 	ClusterEnergy []units.Energy `json:"cluster_energy_wh"`
 	PeakRate      []float64      `json:"peak_rate"`
 	// MeanUtilizationSum is the running per-cluster utilization sum;
 	// Finalize divides by the step count.
 	MeanUtilizationSum []float64 `json:"mean_utilization_sum"`
+	// OverloadSec is each cluster's demand-beyond-capacity seconds.
+	OverloadSec []float64 `json:"overload_sec"`
 
-	OverloadHitSeconds float64 `json:"overload_hit_seconds"`
-	StorageBoughtKWh   float64 `json:"storage_bought_kwh"`
-	StorageServedKWh   float64 `json:"storage_served_kwh"`
+	// StorageBoughtKWh and StorageServedKWh are per-cluster storage
+	// totals, present exactly when the scenario configures storage.
+	StorageBoughtKWh []float64 `json:"storage_bought_kwh,omitempty"`
+	StorageServedKWh []float64 `json:"storage_served_kwh,omitempty"`
 
-	TotalCarbonKg   float64   `json:"total_carbon_kg,omitempty"`
 	ClusterCarbonKg []float64 `json:"cluster_carbon_kg,omitempty"`
 }
 
@@ -85,6 +96,14 @@ type Checkpoint struct {
 	Version   int
 	WorldHash string
 
+	// ShardOf carries the parent world's hash when this checkpoint was
+	// taken by a shard engine (a scenario built by Scenario.Shard), and is
+	// empty for whole-world checkpoints. MergeCheckpoints requires every
+	// part to name the same parent — that is the shard-compatibility
+	// guard — and stamps the merged checkpoint's WorldHash with it, so
+	// the merge restores only into the exact joint world.
+	ShardOf string
+
 	// Configuration echoes: Restore refuses a checkpoint whose geometry
 	// disagrees with the target scenario even before the world hash check,
 	// so error messages name the exact mismatch.
@@ -94,6 +113,15 @@ type Checkpoint struct {
 	ScenarioSteps int
 	Clusters      int
 	States        int
+
+	// ClusterCodes and StateCodes name the engine's fleet slots in order;
+	// ClusterIndex and StateIndex give each slot's position in the parent
+	// fleet when sharded (nil otherwise). Codes make restore mismatches
+	// nameable; indices are what MergeCheckpoints scatters by.
+	ClusterCodes []string
+	StateCodes   []string
+	ClusterIndex []int
+	StateIndex   []int
 
 	StepsRun int
 	LastAt   time.Time
@@ -123,31 +151,39 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	cp := &Checkpoint{
 		Version:       CheckpointVersion,
 		WorldHash:     e.WorldHash(),
+		ShardOf:       e.sc.shardOf,
 		Policy:        e.res.Policy,
 		Start:         e.sc.Start,
 		Step:          e.sc.Step,
 		ScenarioSteps: e.sc.Steps,
 		Clusters:      e.nc,
 		States:        e.ns,
+		ClusterCodes:  make([]string, e.nc),
+		StateCodes:    make([]string, e.ns),
+		ClusterIndex:  append([]int(nil), e.sc.shardClusters...),
+		StateIndex:    append([]int(nil), e.sc.shardStates...),
 		StepsRun:      e.stepsRun,
 		LastAt:        e.lastAt,
 		Totals: Totals{
-			TotalCost:          e.res.TotalCost,
-			TotalEnergy:        e.res.TotalEnergy,
 			ClusterCost:        append([]units.Money(nil), e.res.ClusterCost...),
 			ClusterEnergy:      append([]units.Energy(nil), e.res.ClusterEnergy...),
 			PeakRate:           append([]float64(nil), e.res.PeakRate...),
 			MeanUtilizationSum: append([]float64(nil), e.res.MeanUtilization...),
-			OverloadHitSeconds: e.res.OverloadHitSeconds,
-			StorageBoughtKWh:   e.res.StorageBoughtKWh,
-			StorageServedKWh:   e.res.StorageServedKWh,
-			TotalCarbonKg:      e.res.TotalCarbonKg,
+			OverloadSec:        append([]float64(nil), e.overloadSec...),
+			StorageBoughtKWh:   append([]float64(nil), e.storageBought...),
+			StorageServedKWh:   append([]float64(nil), e.storageServed...),
 			ClusterCarbonKg:    append([]float64(nil), e.res.ClusterCarbonKg...),
 		},
 		MeterSamples: make([][]float64, e.nc),
 		DistHist:     e.distHist.Clone(),
 		Loads:        append([]float64(nil), e.loads...),
 		Assign:       make([][]float64, e.ns),
+	}
+	for c, cl := range e.sc.Fleet.Clusters {
+		cp.ClusterCodes[c] = cl.Code
+	}
+	for s, st := range e.sc.Fleet.States {
+		cp.StateCodes[s] = st.Code
 	}
 	for c := range e.meters {
 		cp.MeterSamples[c] = e.meters[c].Samples()
@@ -224,8 +260,28 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	if got, want := cp.WorldHash, e.WorldHash(); got != want {
 		return fmt.Errorf("world hash mismatch: checkpoint %s, scenario %s (different seed, market, fleet, or tariff)", got, want)
 	}
+	if cp.ShardOf != e.sc.shardOf {
+		return fmt.Errorf("checkpoint shard parent %q, scenario's is %q", cp.ShardOf, e.sc.shardOf)
+	}
+	if !equalInts(cp.ClusterIndex, e.sc.shardClusters) || !equalInts(cp.StateIndex, e.sc.shardStates) {
+		return errors.New("checkpoint shard positions differ from the scenario's partition")
+	}
 	if cp.StepsRun < 0 {
 		return fmt.Errorf("negative step cursor %d", cp.StepsRun)
+	}
+	if len(cp.ClusterCodes) != e.nc || len(cp.StateCodes) != e.ns {
+		return fmt.Errorf("checkpoint names %d clusters and %d states, scenario has %d and %d",
+			len(cp.ClusterCodes), len(cp.StateCodes), e.nc, e.ns)
+	}
+	for c, cl := range e.sc.Fleet.Clusters {
+		if cp.ClusterCodes[c] != cl.Code {
+			return fmt.Errorf("checkpoint cluster %d is %q, scenario's is %q", c, cp.ClusterCodes[c], cl.Code)
+		}
+	}
+	for s, st := range e.sc.Fleet.States {
+		if cp.StateCodes[s] != st.Code {
+			return fmt.Errorf("checkpoint state %d is %q, scenario's is %q", s, cp.StateCodes[s], st.Code)
+		}
 	}
 
 	// Per-cluster vectors.
@@ -234,6 +290,7 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 		"cluster energies":    len(cp.Totals.ClusterEnergy),
 		"peak rates":          len(cp.Totals.PeakRate),
 		"utilization sums":    len(cp.Totals.MeanUtilizationSum),
+		"overload ledgers":    len(cp.Totals.OverloadSec),
 		"meter sample lists":  len(cp.MeterSamples),
 		"last-interval rates": len(cp.Loads),
 	} {
@@ -269,6 +326,13 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	}
 	if e.batteries != nil && len(cp.Batteries) != e.nc {
 		return fmt.Errorf("checkpoint has %d battery snapshots for %d clusters", len(cp.Batteries), e.nc)
+	}
+	if e.batteries != nil && (len(cp.Totals.StorageBoughtKWh) != e.nc || len(cp.Totals.StorageServedKWh) != e.nc) {
+		return fmt.Errorf("checkpoint has %d/%d storage total ledgers for %d clusters",
+			len(cp.Totals.StorageBoughtKWh), len(cp.Totals.StorageServedKWh), e.nc)
+	}
+	if e.batteries == nil && (len(cp.Totals.StorageBoughtKWh) > 0 || len(cp.Totals.StorageServedKWh) > 0) {
+		return errors.New("checkpoint carries storage totals the scenario does not configure")
 	}
 	if (e.demandMeters != nil) != (len(cp.DemandMeters) > 0) {
 		return fmt.Errorf("scenario demand-charge metering %v, checkpoint carries %d demand meters",
@@ -329,16 +393,15 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	}
 
 	res := e.res
-	res.TotalCost = cp.Totals.TotalCost
-	res.TotalEnergy = cp.Totals.TotalEnergy
 	copy(res.ClusterCost, cp.Totals.ClusterCost)
 	copy(res.ClusterEnergy, cp.Totals.ClusterEnergy)
 	copy(res.PeakRate, cp.Totals.PeakRate)
 	copy(res.MeanUtilization, cp.Totals.MeanUtilizationSum)
-	res.OverloadHitSeconds = cp.Totals.OverloadHitSeconds
-	res.StorageBoughtKWh = cp.Totals.StorageBoughtKWh
-	res.StorageServedKWh = cp.Totals.StorageServedKWh
-	res.TotalCarbonKg = cp.Totals.TotalCarbonKg
+	copy(e.overloadSec, cp.Totals.OverloadSec)
+	if e.batteries != nil {
+		copy(e.storageBought, cp.Totals.StorageBoughtKWh)
+		copy(e.storageServed, cp.Totals.StorageServedKWh)
+	}
 	if res.ClusterCarbonKg != nil && len(cp.Totals.ClusterCarbonKg) == e.nc {
 		copy(res.ClusterCarbonKg, cp.Totals.ClusterCarbonKg)
 	}
@@ -346,6 +409,20 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	e.stepsRun = cp.StepsRun
 	e.lastAt = cp.LastAt
 	return nil
+}
+
+// equalInts reports whether a and b hold the same values (nil equals nil
+// and the empty slice).
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // WorldHash returns a SHA-256 digest ("sha256:…") over everything that
@@ -413,12 +490,17 @@ func worldHash(sc *Scenario, prices []*timeseries.Series) string {
 type checkpointEnvelope struct {
 	Version       int       `json:"version"`
 	WorldHash     string    `json:"world_hash"`
+	ShardOf       string    `json:"shard_of,omitempty"`
 	Policy        string    `json:"policy"`
 	Start         time.Time `json:"start"`
 	StepNS        int64     `json:"step_ns"`
 	ScenarioSteps int       `json:"scenario_steps"`
 	Clusters      int       `json:"clusters"`
 	States        int       `json:"states"`
+	ClusterCodes  []string  `json:"cluster_codes"`
+	StateCodes    []string  `json:"state_codes"`
+	ClusterIndex  []int     `json:"cluster_index,omitempty"`
+	StateIndex    []int     `json:"state_index,omitempty"`
 	StepsRun      int       `json:"steps_run"`
 	LastAt        time.Time `json:"last_at"`
 
@@ -463,12 +545,17 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 	env := checkpointEnvelope{
 		Version:       cp.Version,
 		WorldHash:     cp.WorldHash,
+		ShardOf:       cp.ShardOf,
 		Policy:        cp.Policy,
 		Start:         cp.Start,
 		StepNS:        int64(cp.Step),
 		ScenarioSteps: cp.ScenarioSteps,
 		Clusters:      cp.Clusters,
 		States:        cp.States,
+		ClusterCodes:  cp.ClusterCodes,
+		StateCodes:    cp.StateCodes,
+		ClusterIndex:  cp.ClusterIndex,
+		StateIndex:    cp.StateIndex,
 		StepsRun:      cp.StepsRun,
 		LastAt:        cp.LastAt,
 		Totals:        cp.Totals,
@@ -536,6 +623,17 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if env.StepsRun < 0 {
 		return nil, fmt.Errorf("sim: negative step cursor %d", env.StepsRun)
 	}
+	if len(env.ClusterCodes) != env.Clusters || len(env.StateCodes) != env.States {
+		return nil, fmt.Errorf("sim: checkpoint names %d clusters and %d states for geometry %d × %d",
+			len(env.ClusterCodes), len(env.StateCodes), env.Clusters, env.States)
+	}
+	if (len(env.ClusterIndex) > 0) != (len(env.StateIndex) > 0) || (env.ShardOf == "") != (len(env.ClusterIndex) == 0) {
+		return nil, errors.New("sim: checkpoint shard identity is incomplete (needs shard_of, cluster_index, and state_index together)")
+	}
+	if len(env.ClusterIndex) > 0 && (len(env.ClusterIndex) != env.Clusters || len(env.StateIndex) != env.States) {
+		return nil, fmt.Errorf("sim: checkpoint shard positions cover %d clusters and %d states for geometry %d × %d",
+			len(env.ClusterIndex), len(env.StateIndex), env.Clusters, env.States)
+	}
 	if len(env.MeterSamples) != env.Clusters {
 		return nil, fmt.Errorf("sim: %d meter sample counts for %d clusters", len(env.MeterSamples), env.Clusters)
 	}
@@ -598,15 +696,32 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if len(env.Totals.ClusterCarbonKg) == 0 {
 		env.Totals.ClusterCarbonKg = nil
 	}
+	if len(env.Totals.StorageBoughtKWh) == 0 {
+		env.Totals.StorageBoughtKWh = nil
+	}
+	if len(env.Totals.StorageServedKWh) == 0 {
+		env.Totals.StorageServedKWh = nil
+	}
+	if len(env.ClusterIndex) == 0 {
+		env.ClusterIndex = nil
+	}
+	if len(env.StateIndex) == 0 {
+		env.StateIndex = nil
+	}
 	cp := &Checkpoint{
 		Version:       env.Version,
 		WorldHash:     env.WorldHash,
+		ShardOf:       env.ShardOf,
 		Policy:        env.Policy,
 		Start:         env.Start,
 		Step:          time.Duration(env.StepNS),
 		ScenarioSteps: env.ScenarioSteps,
 		Clusters:      env.Clusters,
 		States:        env.States,
+		ClusterCodes:  env.ClusterCodes,
+		StateCodes:    env.StateCodes,
+		ClusterIndex:  env.ClusterIndex,
+		StateIndex:    env.StateIndex,
 		StepsRun:      env.StepsRun,
 		LastAt:        env.LastAt,
 		Totals:        env.Totals,

@@ -25,7 +25,8 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		f.Add(mutated)
 	}
 	f.Add([]byte("powerroute-checkpoint v1\n{}\n"))
-	f.Add([]byte("powerroute-checkpoint v2\n"))
+	f.Add([]byte("powerroute-checkpoint v2\n{}\n"))
+	f.Add([]byte("powerroute-checkpoint v3\n"))
 	f.Add([]byte(nil))
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -170,7 +170,7 @@ func TestCheckpointRejectsCorruption(t *testing.T) {
 	}
 
 	future := append([]byte(nil), good...)
-	future = bytes.Replace(future, []byte("powerroute-checkpoint v1"), []byte("powerroute-checkpoint v9"), 1)
+	future = bytes.Replace(future, []byte(checkpointMagic), []byte("powerroute-checkpoint v9"), 1)
 	if _, err := DecodeCheckpoint(bytes.NewReader(future)); err == nil {
 		t.Error("future-version checkpoint accepted")
 	} else if !strings.Contains(err.Error(), "unsupported") {
@@ -204,6 +204,8 @@ func TestDecodeRejectsOverflowingSampleCounts(t *testing.T) {
 		Version:       CheckpointVersion,
 		Clusters:      2,
 		States:        1,
+		ClusterCodes:  []string{"A", "B"},
+		StateCodes:    []string{"XX"},
 		StepsRun:      1,
 		MeterSamples:  []int{1 << 62, 1 << 62},
 		HistBytes:     len(blob),

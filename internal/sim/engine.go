@@ -61,6 +61,17 @@ type Engine struct {
 	loads      []float64
 	capacities []float64
 
+	// Fleet-wide scalars (total cost/energy, overload seconds, storage
+	// totals, carbon) are never accumulated across clusters during Step:
+	// each cluster owns its running sum and the fleet figures are derived
+	// in fleet order at Snapshot/Finalize time. That makes every number a
+	// shard merge produces bit-identical to the joint run's — a shard
+	// scatters its per-cluster sums into fleet positions and the same
+	// fleet-order summation runs over them.
+	overloadSec   []float64
+	storageBought []float64 // nil unless storage is configured
+	storageServed []float64 // nil unless storage is configured
+
 	stepsRun  int
 	lastAt    time.Time
 	finalized bool
@@ -119,6 +130,8 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		for c := range e.batteries {
 			e.batteries[c] = storage.NewState(sc.Storage.Batteries[c])
 		}
+		e.storageBought = make([]float64, nc)
+		e.storageServed = make([]float64, nc)
 		e.dispatch = sc.Storage.Policy
 		if sc.Storage.RoutingAware {
 			if pc, ok := e.dispatch.(storage.PriceCapper); ok {
@@ -159,6 +172,7 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		BurstRoom:      make([]float64, nc),
 	}
 	e.loads = make([]float64, nc)
+	e.overloadSec = make([]float64, nc)
 	e.capacities = make([]float64, nc)
 	for c, cl := range sc.Fleet.Clusters {
 		e.capacities[c] = float64(cl.Capacity)
@@ -303,7 +317,7 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 		// Epsilon absorbs float residue from the allocator's room
 		// arithmetic; genuine overloads are orders of magnitude larger.
 		if over := load - e.capacities[c]; over > 1e-6+1e-9*e.capacities[c] {
-			res.OverloadHitSeconds += over * sc.Step.Seconds()
+			e.overloadSec[c] += over * sc.Step.Seconds()
 		}
 		if e.constraints != nil {
 			if err := e.constraints[c].Commit(load); err != nil {
@@ -323,7 +337,7 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 			if act := e.dispatch.Action(c, prices.Bill[c], itKW, b); act > 0 {
 				bought := b.Charge(act, stepHours)
 				grid += units.Energy(bought * 1000)
-				res.StorageBoughtKWh += bought
+				e.storageBought[c] += bought
 			} else if act < 0 {
 				want := -act
 				if want > itKW {
@@ -331,26 +345,44 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 				}
 				served := b.Discharge(want, stepHours)
 				grid -= units.Energy(served * 1000)
-				res.StorageServedKWh += served
+				e.storageServed[c] += served
 			}
 		}
 		cost := grid.Cost(units.Price(prices.Bill[c]))
 		res.ClusterEnergy[c] += grid
 		res.ClusterCost[c] += cost
-		res.TotalEnergy += grid
-		res.TotalCost += cost
 		if e.demandMeters != nil {
 			e.demandMeters[c].Record(at, grid.KilowattHours()/stepHours)
 		}
 		if sc.Carbon != nil {
-			kg := grid.KilowattHours() * prices.Carbon[c] / 1000
-			res.ClusterCarbonKg[c] += kg
-			res.TotalCarbonKg += kg
+			res.ClusterCarbonKg[c] += grid.KilowattHours() * prices.Carbon[c] / 1000
 		}
 	}
 	e.stepsRun++
 	e.lastAt = at
 	return nil
+}
+
+// totals derives the fleet-wide running sums from the per-cluster
+// accumulators, always in fleet order. Snapshot and Finalize both go
+// through here, so a merged shard checkpoint — whose per-cluster values
+// are scattered back into their fleet positions — reproduces the joint
+// run's fleet figures bit for bit.
+func (e *Engine) totals() (cost units.Money, energy units.Energy, overload, bought, served, carbon float64) {
+	res := e.res
+	for c := range res.ClusterCost {
+		cost += res.ClusterCost[c]
+		energy += res.ClusterEnergy[c]
+		overload += e.overloadSec[c]
+	}
+	for c := range e.storageBought {
+		bought += e.storageBought[c]
+		served += e.storageServed[c]
+	}
+	for _, kg := range res.ClusterCarbonKg {
+		carbon += kg
+	}
+	return cost, energy, overload, bought, served, carbon
 }
 
 // Finalize closes the books — billable 95th percentiles, burst-budget
@@ -382,6 +414,8 @@ func (e *Engine) Finalize() (*Result, error) {
 			}
 		}
 	}
+	res.TotalCost, res.TotalEnergy, res.OverloadHitSeconds,
+		res.StorageBoughtKWh, res.StorageServedKWh, res.TotalCarbonKg = e.totals()
 	res.Steps = e.stepsRun
 	res.EnergyCost = res.TotalCost
 	if e.demandMeters != nil {
@@ -443,30 +477,38 @@ type Snapshot struct {
 // valid before, during, and after Finalize.
 func (e *Engine) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Policy:             e.res.Policy,
-		Steps:              e.stepsRun,
-		At:                 e.lastAt,
-		Next:               e.Next(),
-		TotalCost:          e.res.TotalCost,
-		TotalEnergy:        e.res.TotalEnergy,
-		EnergyCost:         e.res.TotalCost,
-		ClusterCost:        append([]units.Money(nil), e.res.ClusterCost...),
-		ClusterRate:        append([]float64(nil), e.loads...),
-		PeakRate:           append([]float64(nil), e.res.PeakRate...),
-		StorageBoughtKWh:   e.res.StorageBoughtKWh,
-		StorageServedKWh:   e.res.StorageServedKWh,
-		TotalCarbonKg:      e.res.TotalCarbonKg,
-		OverloadHitSeconds: e.res.OverloadHitSeconds,
+		Policy:      e.res.Policy,
+		Steps:       e.stepsRun,
+		At:          e.lastAt,
+		Next:        e.Next(),
+		ClusterCost: append([]units.Money(nil), e.res.ClusterCost...),
+		ClusterRate: append([]float64(nil), e.loads...),
+		PeakRate:    append([]float64(nil), e.res.PeakRate...),
 	}
 	if e.finalized {
 		// Result already folded the demand charge into the totals.
+		s.TotalCost = e.res.TotalCost
+		s.TotalEnergy = e.res.TotalEnergy
 		s.EnergyCost = e.res.EnergyCost
 		s.DemandCharge = e.res.DemandCharge
-	} else if e.demandMeters != nil {
-		for _, m := range e.demandMeters {
-			s.DemandCharge += m.Charge(e.sc.DemandChargePerKW)
+		s.OverloadHitSeconds = e.res.OverloadHitSeconds
+		s.StorageBoughtKWh = e.res.StorageBoughtKWh
+		s.StorageServedKWh = e.res.StorageServedKWh
+		s.TotalCarbonKg = e.res.TotalCarbonKg
+	} else {
+		cost, energy, overload, bought, served, carbon := e.totals()
+		s.TotalCost, s.EnergyCost = cost, cost
+		s.TotalEnergy = energy
+		s.OverloadHitSeconds = overload
+		s.StorageBoughtKWh = bought
+		s.StorageServedKWh = served
+		s.TotalCarbonKg = carbon
+		if e.demandMeters != nil {
+			for _, m := range e.demandMeters {
+				s.DemandCharge += m.Charge(e.sc.DemandChargePerKW)
+			}
+			s.TotalCost += s.DemandCharge
 		}
-		s.TotalCost += s.DemandCharge
 	}
 	if e.demandMeters != nil {
 		s.PeakGridKW = make([]float64, e.nc)

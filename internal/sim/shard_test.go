@@ -1,0 +1,406 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"powerroute/internal/carbon"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/storage"
+	"powerroute/internal/timeseries"
+)
+
+// longRunScenario is the full synthetic price horizon at hourly steps —
+// the world powerrouted serves — under a price optimizer with the given
+// distance threshold.
+func longRunScenario(t testing.TB, thresholdKm float64) Scenario {
+	t.Helper()
+	fx := fixtures()
+	opt, err := routing.NewPriceOptimizer(fx.Fleet, thresholdKm, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scenario{
+		Fleet:         fx.Fleet,
+		Policy:        opt,
+		Energy:        energy.OptimisticFuture,
+		Market:        fx.Market,
+		Demand:        fx.LR,
+		Start:         fx.Market.Start,
+		Steps:         fx.Market.Hours,
+		Step:          time.Hour,
+		ReactionDelay: DefaultReactionDelay,
+	}
+}
+
+// shardEngines splits sc by its policy's routing components and drives
+// every shard engine k steps.
+func shardEngines(t testing.TB, sc Scenario, k int) ([]*Engine, []Scenario) {
+	t.Helper()
+	p, err := PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := sc.Shard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*Engine, len(subs))
+	for i, sub := range subs {
+		eng, err := NewEngine(sub)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		driveSteps(t, eng, sub, k)
+		engines[i] = eng
+	}
+	return engines, subs
+}
+
+// mergeThroughWire checkpoints every shard engine, pushes each checkpoint
+// through the full encode/decode cycle, and merges.
+func mergeThroughWire(t testing.TB, engines []*Engine) *Checkpoint {
+	t.Helper()
+	parts := make([]*Checkpoint, len(engines))
+	for i, eng := range engines {
+		cp, err := eng.Checkpoint()
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		var buf bytes.Buffer
+		if err := cp.Encode(&buf); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		decoded, err := DecodeCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		parts[i] = decoded
+	}
+	merged, err := MergeCheckpoints(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// requireResultsMatch compares two Results bit for bit, except the
+// distance distribution: histogram bins add in a different order across a
+// shard merge, so the mean and p99 carry float-associativity noise.
+func requireResultsMatch(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	gd, wd := *got, *want
+	if math.Abs(gd.MeanDistanceKm-wd.MeanDistanceKm) > 1e-6*(1+math.Abs(wd.MeanDistanceKm)) {
+		t.Errorf("%s: mean distance %v, want %v", label, gd.MeanDistanceKm, wd.MeanDistanceKm)
+	}
+	if math.Abs(gd.P99DistanceKm-wd.P99DistanceKm) > 1e-6*(1+math.Abs(wd.P99DistanceKm)) {
+		t.Errorf("%s: p99 distance %v, want %v", label, gd.P99DistanceKm, wd.P99DistanceKm)
+	}
+	gd.MeanDistanceKm, wd.MeanDistanceKm = 0, 0
+	gd.P99DistanceKm, wd.P99DistanceKm = 0, 0
+	if !reflect.DeepEqual(&gd, &wd) {
+		t.Errorf("%s: merged result differs from the joint run's:\ngot  %+v\nwant %+v", label, gd, wd)
+	}
+}
+
+// TestShardMergeMatchesJointRun is the headline invariant: the full
+// synthetic horizon split across 2 shards (threshold 1000 km: the
+// California markets vs everything east) and 3 shards (600 km: CA, Texas,
+// East), replayed independently, merges to the single-engine batch run's
+// final bill bit for bit. The merge is exercised both at the end of the
+// horizon and mid-run (merge, restore into the joint world, finish
+// jointly).
+func TestShardMergeMatchesJointRun(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		thresholdKm float64
+		shards      int
+	}{
+		{"2-shard-1000km", 1000, 2},
+		{"3-shard-600km", 600, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := longRunScenario(t, tc.thresholdKm)
+			if testing.Short() {
+				sc.Steps = 90 * 24
+			}
+			want, err := Run(clonePolicy(t, sc))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Full-horizon shard replay, merged and finalized jointly.
+			engines, subs := shardEngines(t, clonePolicy(t, sc), sc.Steps)
+			if len(subs) != tc.shards {
+				t.Fatalf("partition has %d shards, want %d", len(subs), tc.shards)
+			}
+			merged := mergeThroughWire(t, engines)
+			joint, err := Restore(clonePolicy(t, sc), merged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := joint.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireResultsMatch(t, "full-horizon merge", got, want)
+
+			// Mid-run merge: shards pause at half the horizon, the merged
+			// checkpoint restores into the joint world, and the joint
+			// engine finishes the rest.
+			half := sc.Steps / 2
+			midEngines, _ := shardEngines(t, clonePolicy(t, sc), half)
+			midMerged := mergeThroughWire(t, midEngines)
+			resumed, err := Restore(clonePolicy(t, sc), midMerged)
+			if err != nil {
+				t.Fatal(err)
+			}
+			driveSteps(t, resumed, sc, sc.Steps-half)
+			got2, err := resumed.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireResultsMatch(t, "mid-run merge", got2, want)
+		})
+	}
+}
+
+// TestShardMergePerStructure exercises every optional per-cluster
+// structure through a split-and-merge: 95/5 constraints (caps generous
+// enough that the burst gate — a fleet-wide coupling — never fires),
+// batteries with a routing-aware percentile dispatch plus a demand-charge
+// tariff, and a carbon ledger.
+func TestShardMergePerStructure(t *testing.T) {
+	fx := fixtures()
+	newScenario := func(t *testing.T) Scenario {
+		sc := longRunScenario(t, 600)
+		sc.Steps = 45 * 24
+		return sc
+	}
+
+	t.Run("softcaps", func(t *testing.T) {
+		sc := newScenario(t)
+		caps := make([]float64, len(fx.Fleet.Clusters))
+		for c, cl := range fx.Fleet.Clusters {
+			caps[c] = 2 * float64(cl.Capacity)
+		}
+		sc.SoftCaps = caps
+		runSplitMerge(t, sc)
+	})
+
+	t.Run("storage-demand-charge", func(t *testing.T) {
+		sc := newScenario(t)
+		rts := make([]*timeseries.Series, len(fx.Fleet.Clusters))
+		for c, cl := range fx.Fleet.Clusters {
+			rt, err := sc.Market.RT(cl.HubID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rts[c] = rt
+		}
+		dispatch, err := storage.NewPercentile(rts, 0.25, 0.85)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Storage = &storage.Config{
+			Batteries:    uniformBatteries(len(fx.Fleet.Clusters)),
+			Policy:       dispatch,
+			RoutingAware: true,
+		}
+		sc.DemandChargePerKW = 4
+		runSplitMerge(t, sc)
+	})
+
+	t.Run("carbon", func(t *testing.T) {
+		sc := newScenario(t)
+		intensity, err := carbon.FleetSeries(3, fx.Fleet, fx.Market.Start, fx.Market.Hours)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Carbon = intensity
+		runSplitMerge(t, sc)
+	})
+}
+
+// runSplitMerge runs sc jointly and as merged shards and requires the
+// results to match.
+func runSplitMerge(t *testing.T, sc Scenario) {
+	t.Helper()
+	want, err := Run(clonePolicy(t, sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines, _ := shardEngines(t, clonePolicy(t, sc), sc.Steps)
+	merged := mergeThroughWire(t, engines)
+	joint, err := Restore(clonePolicy(t, sc), merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := joint.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsMatch(t, "split-merge", got, want)
+}
+
+// TestPartitionByRouting pins the component structure of the synthetic
+// fleet: the paper's 1500 km reach spans one component (unshardable),
+// 1000 km separates the California markets, 600 km also splits Texas off.
+func TestPartitionByRouting(t *testing.T) {
+	fx := fixtures()
+	for _, tc := range []struct {
+		thresholdKm float64
+		shards      int
+	}{
+		{1500, 1},
+		{1000, 2},
+		{600, 3},
+	} {
+		opt, err := routing.NewPriceOptimizer(fx.Fleet, tc.thresholdKm, routing.DefaultPriceThreshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PartitionByRouting(opt, fx.Fleet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Shards() != tc.shards {
+			t.Errorf("threshold %.0f km: %d shards, want %d", tc.thresholdKm, p.Shards(), tc.shards)
+		}
+		nc, ns := 0, 0
+		for i := range p.Clusters {
+			nc += len(p.Clusters[i])
+			ns += len(p.States[i])
+		}
+		if nc != len(fx.Fleet.Clusters) || ns != len(fx.Fleet.States) {
+			t.Errorf("threshold %.0f km: partition covers %d clusters and %d states", tc.thresholdKm, nc, ns)
+		}
+	}
+}
+
+// TestShardRejectsBadPartitions: non-closed, overlapping, or incomplete
+// partitions and unshardable policies must all fail loudly.
+func TestShardRejectsBadPartitions(t *testing.T) {
+	sc := longRunScenario(t, 1000)
+	opt := sc.Policy.(routing.Sharder)
+	good, err := PartitionByRouting(opt, sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swap := func() ShardPartition {
+		p := ShardPartition{
+			Clusters: [][]int{append([]int(nil), good.Clusters[0]...), append([]int(nil), good.Clusters[1]...)},
+			States:   [][]int{append([]int(nil), good.States[0]...), append([]int(nil), good.States[1]...)},
+		}
+		return p
+	}
+
+	notClosed := swap()
+	notClosed.States[0], notClosed.States[1] = notClosed.States[1], notClosed.States[0]
+	if _, err := sc.Shard(notClosed); err == nil || !strings.Contains(err.Error(), "routing-closed") {
+		t.Errorf("non-closed partition: %v", err)
+	}
+
+	overlap := swap()
+	overlap.Clusters[0] = append(overlap.Clusters[0], overlap.Clusters[1][0])
+	if _, err := sc.Shard(SortPartition(overlap)); err == nil {
+		t.Error("overlapping partition accepted")
+	}
+
+	missing := swap()
+	missing.States[1] = missing.States[1][:len(missing.States[1])-1]
+	if _, err := sc.Shard(missing); err == nil {
+		t.Error("incomplete partition accepted")
+	}
+
+	static, err := routing.NewAllToOne(sc.Fleet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unshardable := sc
+	unshardable.Policy = static
+	if _, err := unshardable.Shard(good); err == nil || !strings.Contains(err.Error(), "not shardable") {
+		t.Errorf("unshardable policy: %v", err)
+	}
+
+	if subs, err := sc.Shard(good); err != nil {
+		t.Fatal(err)
+	} else if _, err := subs[0].Shard(good); err == nil {
+		t.Error("re-sharding a shard accepted")
+	}
+}
+
+// TestMergeCheckpointsRejectsIncompatibleParts: merging requires shard
+// checkpoints of one parent world paused at one cursor.
+func TestMergeCheckpointsRejectsIncompatibleParts(t *testing.T) {
+	sc := longRunScenario(t, 1000)
+	sc.Steps = 30 * 24
+	engines, _ := shardEngines(t, clonePolicy(t, sc), sc.Steps)
+
+	parts := make([]*Checkpoint, len(engines))
+	for i, eng := range engines {
+		cp, err := eng.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = cp
+	}
+
+	if _, err := MergeCheckpoints(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+
+	// A whole-world checkpoint is not a shard.
+	joint, err := NewEngine(clonePolicy(t, sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSteps(t, joint, sc, 10)
+	wholeCp, err := joint.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCheckpoints([]*Checkpoint{wholeCp}); err == nil {
+		t.Error("whole-world checkpoint accepted as a shard")
+	}
+
+	// Shards of different worlds (different threshold → different parent
+	// hash).
+	other := longRunScenario(t, 600)
+	other.Steps = sc.Steps
+	otherEngines, _ := shardEngines(t, other, sc.Steps)
+	otherCp, err := otherEngines[0].Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCheckpoints([]*Checkpoint{parts[0], otherCp}); err == nil {
+		t.Error("shards of different parent worlds merged")
+	}
+
+	// Cursor mismatch.
+	behindEngines, _ := shardEngines(t, clonePolicy(t, sc), sc.Steps-1)
+	behindCp, err := behindEngines[1].Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCheckpoints([]*Checkpoint{parts[0], behindCp}); err == nil {
+		t.Error("shards at different cursors merged")
+	}
+
+	// Duplicated shard.
+	if _, err := MergeCheckpoints([]*Checkpoint{parts[0], parts[0]}); err == nil {
+		t.Error("duplicate shard merged")
+	}
+
+	// Incomplete cover: a lone shard's positions cannot tile the parent
+	// fleet, so the merge itself refuses.
+	if _, err := MergeCheckpoints(parts[:1]); err == nil {
+		t.Error("partial merge accepted")
+	}
+}

@@ -81,6 +81,15 @@ type Scenario struct {
 	// of energy billing: each cluster pays its monthly peak grid draw (kW)
 	// times this rate ($/kW-month). Zero keeps pure energy billing.
 	DemandChargePerKW float64
+
+	// Shard identity, set by Scenario.Shard: the parent world's hash and
+	// this shard's cluster/state positions in the parent fleet. Zero for
+	// ordinary (whole-world) scenarios. Checkpoints echo these so
+	// MergeCheckpoints can scatter per-cluster state back into fleet
+	// positions and verify every part came from the same parent world.
+	shardOf       string
+	shardClusters []int
+	shardStates   []int
 }
 
 func (sc *Scenario) validate() error {

@@ -409,3 +409,47 @@ func TestWeightedHistogramBinaryRoundTrip(t *testing.T) {
 		t.Error("absurd bin count accepted")
 	}
 }
+
+// TestWeightedHistogramMerge: merging adds bins, totals, sums, and
+// non-finite tallies; mismatched geometry and nil are rejected.
+func TestWeightedHistogramMerge(t *testing.T) {
+	a := NewWeightedHistogram(0, 100, 10)
+	b := NewWeightedHistogram(0, 100, 10)
+	a.Add(5, 2)
+	a.Add(95, 1)
+	a.Add(math.NaN(), 3)
+	b.Add(5, 1)
+	b.Add(55, 4)
+
+	joint := NewWeightedHistogram(0, 100, 10)
+	for _, add := range [][2]float64{{5, 2}, {95, 1}, {5, 1}, {55, 4}} {
+		joint.Add(add[0], add[1])
+	}
+	joint.Add(math.NaN(), 3)
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a.Total(), joint.Total(); got != want {
+		t.Errorf("merged total %v, want %v", got, want)
+	}
+	if got, want := a.Mean(), joint.Mean(); got != want {
+		t.Errorf("merged mean %v, want %v", got, want)
+	}
+	if got, want := a.NonFinite(), joint.NonFinite(); got != want {
+		t.Errorf("merged non-finite %v, want %v", got, want)
+	}
+	if got, want := a.Quantile(0.5), joint.Quantile(0.5); got != want {
+		t.Errorf("merged median %v, want %v", got, want)
+	}
+
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	if err := a.Merge(NewWeightedHistogram(0, 100, 11)); err == nil {
+		t.Error("bin-count mismatch accepted")
+	}
+	if err := a.Merge(NewWeightedHistogram(0, 200, 10)); err == nil {
+		t.Error("bounds mismatch accepted")
+	}
+}

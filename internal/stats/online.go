@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -233,4 +235,25 @@ func (w *WeightedHistogram) Clone() *WeightedHistogram {
 	c := *w
 	c.bins = append([]float64(nil), w.bins...)
 	return &c
+}
+
+// Merge folds another histogram with identical geometry into this one:
+// per-bin weights, totals, value sums, and non-finite tallies all add.
+// The simulation engine's shard merge uses it to combine per-region
+// distance distributions into the fleet-wide one.
+func (w *WeightedHistogram) Merge(o *WeightedHistogram) error {
+	if o == nil {
+		return errors.New("stats: merging nil histogram")
+	}
+	if w.min != o.min || w.max != o.max || len(w.bins) != len(o.bins) {
+		return fmt.Errorf("stats: merging histogram [%v, %v]×%d into [%v, %v]×%d",
+			o.min, o.max, len(o.bins), w.min, w.max, len(w.bins))
+	}
+	for i, b := range o.bins {
+		w.bins[i] += b
+	}
+	w.total += o.total
+	w.sum += o.sum
+	w.nonFinite += o.nonFinite
+	return nil
 }
