@@ -30,6 +30,8 @@ import (
 )
 
 // Meter records per-interval rates for one cluster.
+//
+// ckpt:state Samples,RestoreSamples
 type Meter struct {
 	samples []float64
 }
@@ -72,9 +74,11 @@ func (m *Meter) Peak() float64 {
 // Constraint enforces a per-cluster 95/5 cap over a known number of
 // intervals: the cluster may exceed Cap during at most 5% of intervals
 // (its burst budget); once the budget is spent the cap is hard.
+//
+// ckpt:state State,RestoreState
 type Constraint struct {
 	Cap          float64 // baseline billable rate (p95)
-	budget       int     // remaining over-cap intervals
+	budget       int     // ckpt:derived remaining over-cap intervals, rebuilt as totalBudget-burstsUsed by RestoreState
 	totalBudget  int
 	burstsUsed   int
 	intervalsRun int
@@ -148,6 +152,8 @@ func (c *Constraint) Verify() error {
 // and TotalBudget are configuration echoes: a restore target derives them
 // from its own scenario and refuses state that disagrees, so a checkpoint
 // can never smuggle a different billing contract into a run.
+//
+// ckpt:state State,RestoreState
 type ConstraintState struct {
 	Cap          float64 `json:"cap"`
 	TotalBudget  int     `json:"total_budget"`
@@ -192,6 +198,8 @@ func (c *Constraint) RestoreState(s ConstraintState) error {
 // one cluster: the peak interval-average power draw (kW) within each
 // calendar month (UTC). State is O(months), so 39-month hourly runs carry
 // no per-interval storage.
+//
+// ckpt:state State,RestoreState
 type DemandMeter struct {
 	months []timeseries.MonthKey
 	peaks  []float64 // parallel to months
@@ -239,6 +247,8 @@ func (m *DemandMeter) MonthlyPeaks() ([]timeseries.MonthKey, []float64) {
 
 // DemandMeterState is the serializable state of a DemandMeter: the
 // observed months and their peak draws, in first-observed order.
+//
+// ckpt:state State,RestoreState
 type DemandMeterState struct {
 	Months []timeseries.MonthKey `json:"months"`
 	Peaks  []float64             `json:"peaks"`

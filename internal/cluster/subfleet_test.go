@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestNewFleetEmpty: a fleet with no clusters is a configuration error,
+// not a degenerate-but-valid deployment — every consumer (routing,
+// sharding, the vet fixtures' miniature worlds) assumes at least one
+// cluster exists.
+func TestNewFleetEmpty(t *testing.T) {
+	if _, err := NewFleet(nil); err == nil {
+		t.Fatal("NewFleet(nil) accepted an empty fleet")
+	}
+	if _, err := NewFleet([]Cluster{}); err == nil {
+		t.Fatal("NewFleet([]) accepted an empty fleet")
+	}
+}
+
+// TestSubfleetSingleClusterPartition: the finest shard split — one
+// cluster per shard, every shard seeing every client state — must
+// reproduce the parent's geometry exactly: each subfleet is a single
+// column of the parent's distance matrix, and the shards' capacities
+// and server counts sum back to the fleet's.
+func TestSubfleetSingleClusterPartition(t *testing.T) {
+	f, err := DeriveFleet(testPeaks(t), 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allStates := make([]int, f.StateCount())
+	for i := range allStates {
+		allStates[i] = i
+	}
+	var capSum float64
+	var serverSum int
+	for c := range f.Clusters {
+		sub, err := f.Subfleet([]int{c}, allStates)
+		if err != nil {
+			t.Fatalf("cluster %d: %v", c, err)
+		}
+		if sub.ClusterCount() != 1 || sub.StateCount() != f.StateCount() {
+			t.Fatalf("cluster %d: subfleet is %d×%d, want 1×%d",
+				c, sub.ClusterCount(), sub.StateCount(), f.StateCount())
+		}
+		if sub.Clusters[0].Code != f.Clusters[c].Code {
+			t.Fatalf("cluster %d: subfleet holds %s, want %s", c, sub.Clusters[0].Code, f.Clusters[c].Code)
+		}
+		for s := range allStates {
+			if sub.DistanceKm[s][0] != f.DistanceKm[s][c] {
+				t.Errorf("cluster %d state %d: distance %v, want parent's %v",
+					c, s, sub.DistanceKm[s][0], f.DistanceKm[s][c])
+			}
+			// A one-cluster fleet has exactly one nearest cluster.
+			if got := sub.NearestCluster(s); got != 0 {
+				t.Errorf("cluster %d state %d: NearestCluster = %d, want 0", c, s, got)
+			}
+		}
+		// Degenerate affinity: all weight on the only cluster.
+		if w := sub.AffinityWeights(0); len(w) != 1 || w[0] != 1 {
+			t.Errorf("cluster %d: single-cluster affinity weights %v, want [1]", c, w)
+		}
+		capSum += float64(sub.TotalCapacity())
+		serverSum += sub.TotalServers()
+	}
+	if capSum != float64(f.TotalCapacity()) {
+		t.Errorf("partition capacity sum %v, fleet total %v", capSum, f.TotalCapacity())
+	}
+	if serverSum != f.TotalServers() {
+		t.Errorf("partition server sum %d, fleet total %d", serverSum, f.TotalServers())
+	}
+}

@@ -68,10 +68,10 @@ type Coordinator struct {
 
 	// Cached merged snapshot, refreshed periodically (Run) or on demand.
 	mu   sync.Mutex
-	snap *sim.Snapshot
+	snap *sim.Snapshot // guarded_by: mu
 
 	reqMu    sync.Mutex
-	requests map[string]uint64
+	requests map[string]uint64 // guarded_by: reqMu
 }
 
 // New builds a coordinator for the joint world and discovers each shard's

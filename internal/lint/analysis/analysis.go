@@ -1,0 +1,53 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one
+// type-checked package and reports diagnostics through its Pass.
+//
+// The module deliberately has no dependencies outside the standard
+// library, so the x/tools framework itself is off the table; this
+// package keeps the same shape (Analyzer, Pass, Diagnostic, a Run
+// function per analyzer) so the checkers could be ported to the real
+// API by changing imports if the module ever takes the dependency.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass provides one type-checked package to an Analyzer's Run and
+// collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // the package's non-test sources, parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,129 @@
+// Package analysistest runs an analyzer over fixture packages and
+// compares its diagnostics against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture sources live under <testdata>/src/<pkg>/. Because testdata is
+// invisible to the go tool, Run copies the requested packages into a
+// throwaway module in t.TempDir() and loads them with the same loader the
+// production powerroute-vet binary uses — fixtures are type-checked
+// exactly like real code, standard-library imports included.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"powerroute/internal/lint/analysis"
+	"powerroute/internal/lint/load"
+)
+
+// wantRE matches one double- or back-quoted pattern in a // want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run applies a to each named fixture package and reports mismatches
+// between its diagnostics and the fixtures' // want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		src := filepath.Join(testdata, "src", pkg)
+		dst := filepath.Join(dir, pkg)
+		if err := copyDir(src, dst); err != nil {
+			t.Fatalf("copying fixture %s: %v", pkg, err)
+		}
+	}
+	loaded, err := load.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, p := range loaded {
+		expected := wantComments(t, p)
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := p.Fset.Position(d.Pos)
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			for i, re := range expected[key] {
+				if re.MatchString(d.Message) {
+					expected[key] = append(expected[key][:i], expected[key][i+1:]...)
+					return
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer error: %v", p.ImportPath, err)
+		}
+		for key, res := range expected {
+			for _, re := range res {
+				t.Errorf("%s: no diagnostic matching %q", key, re)
+			}
+		}
+	}
+}
+
+// wantComments extracts // want "re" ["re" ...] expectations, keyed by
+// "file.go:line".
+func wantComments(t *testing.T, p *load.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string][]*regexp.Regexp)
+	for _, f := range p.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRE.FindAllString(text[len("want "):], -1) {
+					pat, err := strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, m, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					out[key] = append(out[key], re)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func copyDir(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}

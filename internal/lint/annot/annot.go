@@ -1,0 +1,112 @@
+// Package annot parses the comment annotations the powerroute-vet
+// analyzers understand:
+//
+//	//lint:deterministic <why>      suppress maprange/wallclock at a statement
+//	//lint:held <mutex> <why>       function runs with <mutex> already held
+//	// ckpt:state <fn>[,<fn>...]    struct is checkpoint state; every field
+//	//                              must be referenced by each named function
+//	// ckpt:derived <why>           field is rebuilt, not serialized
+//	// ckpt:immutable <why>         field is configuration, not run state
+//	// guarded_by: <mutex>          field may only be touched holding <mutex>
+//
+// Annotations are read from raw comment text, not CommentGroup.Text,
+// because Text strips //name:value directive comments (the //lint: forms).
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DeterministicPackages names the packages whose code must be a pure
+// function of its inputs: they feed simulation results, serialized bytes,
+// or user-visible output that the repo guarantees bit-for-bit.
+var DeterministicPackages = map[string]bool{
+	"sim":        true,
+	"billing":    true,
+	"storage":    true,
+	"stats":      true,
+	"routing":    true,
+	"cluster":    true,
+	"timeseries": true,
+}
+
+// IsDeterministic reports whether pkg is one of the deterministic
+// packages (matched by package name, so fixture packages qualify too).
+func IsDeterministic(pkg *types.Package) bool {
+	return DeterministicPackages[pkg.Name()]
+}
+
+// Directive scans a comment group for a comment of the form
+// "// <name> <rest>" (the space after // is optional) and returns the
+// trimmed remainder. ok is true even when rest is empty.
+func Directive(g *ast.CommentGroup, name string) (rest string, ok bool) {
+	if g == nil {
+		return "", false
+	}
+	for _, c := range g.List {
+		if r, found := directiveText(c.Text, name); found {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+func directiveText(comment, name string) (rest string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, name) {
+		return "", false
+	}
+	rest = text[len(name):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // longer word that merely shares the prefix
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Comments indexes every comment in a pass by the line it starts on, for
+// statement-level suppression lookups.
+type Comments struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]string // file → line → comment texts
+}
+
+// NewComments indexes the comments of files.
+func NewComments(fset *token.FileSet, files []*ast.File) *Comments {
+	cm := &Comments{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				pos := fset.Position(c.Pos())
+				lines := cm.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					cm.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], c.Text)
+			}
+		}
+	}
+	return cm
+}
+
+// Suppressed reports whether the statement at pos carries the named
+// directive with a non-empty justification, either trailing on the same
+// line or on the line directly above.
+func (cm *Comments) Suppressed(pos token.Pos, name string) bool {
+	p := cm.fset.Position(pos)
+	lines := cm.byLine[p.Filename]
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, text := range lines[line] {
+			if why, ok := directiveText(text, name); ok && why != "" {
+				return true
+			}
+		}
+	}
+	return false
+}

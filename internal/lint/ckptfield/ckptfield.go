@@ -1,0 +1,182 @@
+// Package ckptfield cross-checks checkpoint coverage: a struct annotated
+//
+//	// ckpt:state Checkpoint,loadCheckpoint
+//
+// declares that every one of its fields must be referenced — directly or
+// through same-package calls — by each named function, or carry a
+//
+//	// ckpt:derived <why>    (rebuilt from other state, not serialized)
+//	// ckpt:immutable <why>  (configuration fixed at construction)
+//
+// exemption. This is what makes "a new Engine field silently escapes the
+// checkpoint" a compile-gate failure instead of a code-review hope: add a
+// field to sim.Engine without serializing, restoring, and merging it (or
+// writing down why that is safe) and powerroute-vet fails CI.
+package ckptfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"powerroute/internal/lint/analysis"
+	"powerroute/internal/lint/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ckptfield",
+	Doc: "every field of a ckpt:state struct must be referenced by each named checkpoint function\n\n" +
+		"References are collected transitively through same-package calls, so a\n" +
+		"State() that delegates to a helper still covers the fields the helper\n" +
+		"reads. Exempt a field with // ckpt:derived <why> or // ckpt:immutable <why>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Index the package's function declarations by name (methods on any
+	// receiver included: ckpt:state names functions, and a name that is
+	// serialized by several sibling types lists decls for each).
+	fnsByName := make(map[string][]*ast.FuncDecl)
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fnsByName[fd.Name.Name] = append(fnsByName[fd.Name.Name], fd)
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				declOf[obj] = fd
+			}
+		}
+	}
+
+	refCache := make(map[string]map[types.Object]bool)
+	refs := func(fnName string) map[types.Object]bool {
+		if r, ok := refCache[fnName]; ok {
+			return r
+		}
+		r := make(map[types.Object]bool)
+		visited := make(map[*ast.FuncDecl]bool)
+		var work []*ast.FuncDecl
+		work = append(work, fnsByName[fnName]...)
+		for len(work) > 0 {
+			fd := work[len(work)-1]
+			work = work[:len(work)-1]
+			if visited[fd] || fd.Body == nil {
+				continue
+			}
+			visited[fd] = true
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					return true
+				}
+				r[obj] = true
+				if callee, ok := obj.(*types.Func); ok {
+					if next, ok := declOf[callee]; ok {
+						work = append(work, next)
+					}
+				}
+				return true
+			})
+		}
+		refCache[fnName] = r
+		return r
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				list, ok := stateFunctions(gd, ts)
+				if !ok {
+					continue
+				}
+				if len(list) == 0 {
+					pass.Reportf(ts.Pos(), "ckpt:state on %s names no functions", ts.Name.Name)
+					continue
+				}
+				for _, fnName := range list {
+					if len(fnsByName[fnName]) == 0 {
+						pass.Reportf(ts.Pos(), "ckpt:state on %s names %s, but no function or method of that name exists in this package", ts.Name.Name, fnName)
+					}
+				}
+				checkStruct(pass, ts, st, list, fnsByName, refs)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// stateFunctions extracts the comma-separated function list from a
+// ckpt:state annotation in the type's doc or trailing comment.
+func stateFunctions(gd *ast.GenDecl, ts *ast.TypeSpec) ([]string, bool) {
+	for _, g := range []*ast.CommentGroup{ts.Doc, gd.Doc, ts.Comment} {
+		if rest, ok := annot.Directive(g, "ckpt:state"); ok {
+			var list []string
+			for _, name := range strings.Split(rest, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					list = append(list, name)
+				}
+			}
+			return list, true
+		}
+	}
+	return nil, false
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType, fns []string, fnsByName map[string][]*ast.FuncDecl, refs func(string) map[types.Object]bool) {
+	for _, field := range st.Fields.List {
+		if exempt(field) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Embedded fields carry no declared identifier to track;
+			// checkpoint state structs in this repo name every field.
+			pass.Reportf(field.Pos(), "embedded field in ckpt:state struct %s: name it so checkpoint coverage can be verified, or annotate // ckpt:derived / // ckpt:immutable", ts.Name.Name)
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			for _, fnName := range fns {
+				if len(fnsByName[fnName]) == 0 {
+					continue // already reported at the struct
+				}
+				if !refs(fnName)[obj] {
+					pass.Reportf(name.Pos(), "field %s.%s is not referenced by %s: checkpoint coverage is incomplete; serialize/restore it there or annotate // ckpt:derived <why> or // ckpt:immutable <why>", ts.Name.Name, name.Name, fnName)
+				}
+			}
+		}
+	}
+}
+
+func exempt(field *ast.Field) bool {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if _, ok := annot.Directive(g, "ckpt:derived"); ok {
+			return true
+		}
+		if _, ok := annot.Directive(g, "ckpt:immutable"); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+// Package engine is a miniature of sim.Engine, demonstrating what
+// ckptfield enforces: the serialization line for lastAt was deleted from
+// Restore, and the seed field was added without touching Checkpoint or
+// Restore at all — both must fail.
+package engine
+
+// Engine mirrors the real engine's shape: run state plus derived caches.
+//
+// ckpt:state Checkpoint,Restore
+type Engine struct {
+	steps  int
+	cost   []float64
+	lastAt int64 // want `Engine\.lastAt is not referenced by Restore`
+	seed   int64 // want `Engine\.seed is not referenced by Checkpoint` `Engine\.seed is not referenced by Restore`
+
+	// cache is rebuilt from cost on first use; never serialized.
+	cache []float64 // ckpt:derived recomputed from cost by Quantile
+
+	// stepHours comes from the scenario, fixed at construction.
+	stepHours float64 // ckpt:immutable configuration, not run state
+}
+
+// State is the wire form; it must round-trip through both functions too.
+//
+// ckpt:state Checkpoint,Restore
+type State struct {
+	Steps  int
+	Cost   []float64
+	LastAt int64 // want `State\.LastAt is not referenced by Restore`
+}
+
+func (e *Engine) Checkpoint() State {
+	return State{
+		Steps:  e.steps,
+		Cost:   append([]float64(nil), e.cost...),
+		LastAt: e.lastAt,
+	}
+}
+
+func (e *Engine) Restore(s State) {
+	e.steps = s.Steps
+	e.restoreCost(s)
+	// The line restoring e.lastAt from s.LastAt was deleted; ckptfield
+	// flags the field above.
+}
+
+// restoreCost shows transitive coverage: Restore reaches cost through a
+// same-package helper call.
+func (e *Engine) restoreCost(s State) {
+	e.cost = append([]float64(nil), s.Cost...)
+}
+
+// Orphan names a function that does not exist.
+//
+// ckpt:state Serialize
+type Orphan struct { // want `ckpt:state on Orphan names Serialize, but no function or method of that name exists`
+	n int
+}

@@ -1,0 +1,23 @@
+// Package lint assembles the powerroute-vet analyzer suite: the static
+// checks that enforce this repo's determinism and checkpoint-completeness
+// invariants (see each analyzer's package documentation, and the README's
+// "Static analysis" section for the annotation grammar).
+package lint
+
+import (
+	"powerroute/internal/lint/analysis"
+	"powerroute/internal/lint/ckptfield"
+	"powerroute/internal/lint/lockcheck"
+	"powerroute/internal/lint/maprange"
+	"powerroute/internal/lint/wallclock"
+)
+
+// Analyzers returns the full suite in a fixed order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maprange.Analyzer,
+		wallclock.Analyzer,
+		ckptfield.Analyzer,
+		lockcheck.Analyzer,
+	}
+}

@@ -1,0 +1,213 @@
+// Package lockcheck enforces `// guarded_by: <mutex>` field annotations:
+// an annotated field may only be read or written while the named mutex is
+// held. The check is an intra-package, intra-function heuristic — it
+// walks each function body in source order tracking Lock/RLock and
+// Unlock/RUnlock calls on fields whose type ends in "Mutex" (a deferred
+// unlock keeps the mutex held to the end of the function) and flags any
+// guarded-field access outside a held region.
+//
+// Two escapes keep the heuristic honest rather than noisy:
+//
+//   - accesses rooted at a variable declared inside the function body are
+//     skipped (the constructor pattern: s := &Server{...}; s.f = ... is
+//     safe before the value is shared), and
+//   - a function whose callers lock on its behalf is annotated
+//     //lint:held <mutex> <why>, which treats the mutex as held for the
+//     whole body.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"powerroute/internal/lint/analysis"
+	"powerroute/internal/lint/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated // guarded_by: <mutex> may only be accessed holding that mutex\n\n" +
+		"Annotate caller-locked helpers with //lint:held <mutex> <why>.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	guarded := guardedFields(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, guarded)
+		}
+	}
+	return nil, nil
+}
+
+// guardedFields maps each annotated field object to its mutex name.
+func guardedFields(pass *analysis.Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := ""
+				for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if rest, ok := annot.Directive(g, "guarded_by:"); ok && rest != "" {
+						mutex = strings.Fields(rest)[0]
+						break
+					}
+				}
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	held := make(map[string]int)
+	if rest, ok := annot.Directive(fd.Doc, "lint:held"); ok && rest != "" {
+		held[strings.Fields(rest)[0]]++
+	}
+	locals := bodyLocals(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred unlock runs at return: the mutex stays held for
+			// the rest of the body, so the release is not recorded.
+			if _, kind := lockCall(pass, n.Call); kind == "unlock" {
+				return false
+			}
+		case *ast.CallExpr:
+			if mutex, kind := lockCall(pass, n); mutex != "" {
+				switch kind {
+				case "lock":
+					held[mutex]++
+				case "unlock":
+					held[mutex]--
+				}
+			}
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[n.Sel]
+			mutex, ok := guarded[obj]
+			if !ok {
+				return true
+			}
+			if held[mutex] > 0 || rootIsLocal(pass, n, locals) {
+				return true
+			}
+			pass.Reportf(n.Sel.Pos(), "%s is guarded_by: %s but accessed without holding %s: lock around the access or annotate the function //lint:held %s <why>", n.Sel.Name, mutex, mutex, mutex)
+		}
+		return true
+	})
+}
+
+// lockCall recognizes <recv>.<mutex>.Lock/RLock/Unlock/RUnlock() where the
+// method receiver's type name ends in "Mutex", returning the mutex field
+// or variable name and "lock" or "unlock".
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (mutex, kind string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return "", ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !strings.HasSuffix(types.TypeString(tv.Type, nil), "Mutex") {
+		return "", ""
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name, kind
+	case *ast.Ident:
+		return x.Name, kind
+	}
+	return "", ""
+}
+
+// bodyLocals collects the objects declared inside the function body, so
+// constructor-pattern accesses (via a not-yet-shared local value) are
+// exempt from the guard.
+func bodyLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	locals := make(map[types.Object]bool)
+	record := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				locals[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					record(lhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				record(name)
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				record(n.Key)
+				record(n.Value)
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// rootIsLocal reports whether the base of a selector chain is a variable
+// declared inside the enclosing function body (or an intermediate call
+// result, which is likewise not shared state reached from the receiver).
+func rootIsLocal(pass *analysis.Pass, sel *ast.SelectorExpr, locals map[types.Object]bool) bool {
+	e := sel.X
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.CallExpr:
+			return true
+		case *ast.Ident:
+			return locals[pass.TypesInfo.Uses[x]]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"powerroute/internal/lint/analysistest"
+	"powerroute/internal/lint/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.Analyzer, "server")
+}

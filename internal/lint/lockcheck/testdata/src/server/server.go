@@ -1,0 +1,68 @@
+package server
+
+import "sync"
+
+type Server struct {
+	mu sync.Mutex
+	// state is the live engine snapshot.
+	state int // guarded_by: mu
+
+	reqMu sync.RWMutex
+	hits  map[string]int // guarded_by: reqMu
+}
+
+// New is the constructor pattern: s is function-local, not yet shared, so
+// initializing guarded fields without the lock is fine.
+func New() *Server {
+	s := &Server{}
+	s.state = 1
+	s.hits = make(map[string]int)
+	return s
+}
+
+func (s *Server) Good() int {
+	s.mu.Lock()
+	v := s.state
+	s.mu.Unlock()
+	return v
+}
+
+// GoodDefer holds the mutex to the end of the function.
+func (s *Server) GoodDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state++
+	return s.state
+}
+
+func (s *Server) Bad() int {
+	return s.state // want `state is guarded_by: mu but accessed without holding mu`
+}
+
+// WrongMutex holds mu, but hits is guarded by reqMu.
+func (s *Server) WrongMutex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits["x"]++ // want `hits is guarded_by: reqMu but accessed without holding reqMu`
+}
+
+// AfterUnlock releases before the access.
+func (s *Server) AfterUnlock() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.state // want `state is guarded_by: mu but accessed without holding mu`
+}
+
+// ReadHits takes the read side of the RWMutex.
+func (s *Server) ReadHits(k string) int {
+	s.reqMu.RLock()
+	defer s.reqMu.RUnlock()
+	return s.hits[k]
+}
+
+// bumpLocked is caller-locked: Good callers take mu before dispatching.
+//
+//lint:held mu every caller locks mu before calling
+func (s *Server) bumpLocked() {
+	s.state++
+}

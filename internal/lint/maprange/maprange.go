@@ -1,0 +1,110 @@
+// Package maprange flags `range` over a map in the deterministic
+// packages. Go randomizes map iteration order per run, so any map range
+// whose body feeds output, serialization, or error text makes the result
+// nondeterministic — which this repo forbids: replay, restore, and shard
+// merge must reproduce the batch run bit for bit.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"powerroute/internal/lint/analysis"
+	"powerroute/internal/lint/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flag range-over-map in deterministic packages\n\n" +
+		"A loop is exempt when its body provably commutes across iteration\n" +
+		"orders (it only writes map elements, each keyed independently) or\n" +
+		"when it carries a //lint:deterministic <why> justification.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !annot.IsDeterministic(pass.Pkg) {
+		return nil, nil
+	}
+	cm := annot.NewComments(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs.Body.List) {
+				return true
+			}
+			if cm.Suppressed(rs.Pos(), "lint:deterministic") {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map in deterministic package %s: iteration order is randomized; iterate a fixed or sorted key list, or annotate //lint:deterministic <why>", pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// orderInsensitive reports whether every statement is pure accumulation
+// into maps: each iteration writes only elements of some map, so the
+// final contents do not depend on visit order. Anything else — appends,
+// running scalars, early returns, calls — is treated as order-sensitive.
+func orderInsensitive(pass *analysis.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return false
+			}
+			for _, lhs := range s.Lhs {
+				if !isMapIndex(pass, lhs) {
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !isMapIndex(pass, s.X) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !orderInsensitive(pass, s.Body.List) {
+				return false
+			}
+			if s.Else != nil {
+				eb, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !orderInsensitive(pass, eb.List) {
+					return false
+				}
+			}
+		case *ast.EmptyStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isMapIndex(pass *analysis.Pass, e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"powerroute/internal/lint/analysistest"
+	"powerroute/internal/lint/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	analysistest.Run(t, "testdata", maprange.Analyzer, "sim", "other")
+}

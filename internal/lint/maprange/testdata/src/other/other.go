@@ -1,0 +1,11 @@
+// Package other is not one of the deterministic packages, so map ranges
+// here are not maprange's business.
+package other
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package sim
+
+import "fmt"
+
+// Validate feeds map iteration order into error text: nondeterministic.
+func Validate(sections map[string]int, nc int) error {
+	for name, n := range sections { // want `range over map in deterministic package sim`
+		if n != nc {
+			return fmt.Errorf("%d %s for %d clusters", n, name, nc)
+		}
+	}
+	return nil
+}
+
+// Invert only writes map elements keyed independently per iteration, so
+// the result is the same under any visit order: exempt.
+func Invert(src map[string]int) map[int]string {
+	out := make(map[int]string)
+	for k, v := range src {
+		out[v] = k
+	}
+	return out
+}
+
+// Tally accumulates through guards and += into maps only: exempt.
+func Tally(src map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range src {
+		if v == 0 {
+			continue
+		}
+		out[k] += v
+	}
+	return out
+}
+
+// CountLarge carries a justification for an order-sensitive body.
+func CountLarge(m map[string]int) int {
+	n := 0
+	//lint:deterministic an integer count is identical under any iteration order
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys appends under iteration: order-sensitive, flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map in deterministic package sim`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package billing
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func StampNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func Roll() int {
+	return rand.Intn(6) // want `math/rand\.Intn draws from the implicitly seeded global source`
+}
+
+func DebugDir() string {
+	return os.Getenv("POWERROUTE_DEBUG_DIR") // want `os\.Getenv reads the process environment`
+}
+
+// SeededRoll builds an explicitly seeded generator: allowed.
+func SeededRoll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// LogStamp documents a deliberate wall-clock read.
+func LogStamp() time.Time {
+	//lint:deterministic operator-log timestamp, never feeds simulation output
+	return time.Now()
+}

@@ -1,0 +1,86 @@
+// Package wallclock forbids ambient-state reads in the deterministic
+// packages: wall-clock time (time.Now, time.Since), the process
+// environment (os.Getenv and friends), and math/rand's implicitly seeded
+// global source. The simulation engine must be a pure function of
+// scenario + inputs; time and randomness arrive as arguments, and
+// explicitly seeded generators (rand.New(rand.NewSource(seed))) remain
+// allowed.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"powerroute/internal/lint/analysis"
+	"powerroute/internal/lint/annot"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since, os.Getenv, and unseeded math/rand in deterministic packages\n\n" +
+		"Suppress a deliberate use with //lint:deterministic <why>.",
+	Run: run,
+}
+
+// forbidden maps import path → function name → reason fragment. For
+// math/rand, absence from the allowed set means the function draws from
+// the implicitly seeded global source.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+	},
+	"os": {
+		"Getenv":    "reads the process environment",
+		"LookupEnv": "reads the process environment",
+		"Environ":   "reads the process environment",
+	},
+}
+
+// seededConstructors are the math/rand functions that do not touch the
+// global source: they build explicitly seeded generators.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !annot.IsDeterministic(pass.Pkg) {
+		return nil, nil
+	}
+	cm := annot.NewComments(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path, name := pn.Imported().Path(), sel.Sel.Name
+			var reason string
+			if r, ok := forbidden[path][name]; ok {
+				reason = r
+			} else if (path == "math/rand" || path == "math/rand/v2") && !seededConstructors[name] {
+				reason = "draws from the implicitly seeded global source"
+			}
+			if reason == "" {
+				return true
+			}
+			if cm.Suppressed(sel.Pos(), "lint:deterministic") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s %s in deterministic package %s: thread the value through the scenario or step arguments, or annotate //lint:deterministic <why>", path, name, reason, pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

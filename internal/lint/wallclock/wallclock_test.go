@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"powerroute/internal/lint/analysistest"
+	"powerroute/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "billing")
+}

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseBatchHeaderTrailingSeparator pins the parser's handling of
+// trailing separators: extra spaces between fields (and before the
+// newline) are field separators and must be tolerated, while a trailing
+// comma inside the hub list splits to an empty hub name and must be
+// rejected — a silent drop would misalign every price column after it.
+func TestParseBatchHeaderTrailingSeparator(t *testing.T) {
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	for _, tc := range []struct {
+		name    string
+		header  string
+		wantErr string
+	}{
+		{
+			"trailing-space",
+			fmt.Sprintf("%s kind=demand start=%d step=%d rows=2 cols=3 \n", batchMagic, start, int64(time.Hour)),
+			"",
+		},
+		{
+			"double-space",
+			fmt.Sprintf("%s kind=prices  start=%d step=%d rows=1 cols=1 hubs=NYC\n", batchMagic, start, int64(time.Hour)),
+			"",
+		},
+		{
+			"trailing-comma-hubs",
+			fmt.Sprintf("%s kind=prices start=%d step=%d rows=1 cols=3 hubs=MISO,NYC,\n", batchMagic, start, int64(time.Hour)),
+			"empty hub name",
+		},
+		{
+			"lone-comma-hubs",
+			fmt.Sprintf("%s kind=prices start=%d step=%d rows=1 cols=2 hubs=,\n", batchMagic, start, int64(time.Hour)),
+			"empty hub name",
+		},
+		{
+			// A bare "hubs" with no "=" is a malformed field, not a
+			// missing hub list.
+			"separator-no-value",
+			fmt.Sprintf("%s kind=prices start=%d step=%d rows=1 cols=1 hubs\n", batchMagic, start, int64(time.Hour)),
+			"malformed batch header field",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := ParseBatchHeader(bufio.NewReader(strings.NewReader(tc.header)))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid header rejected: %v", err)
+				}
+				if h.Rows <= 0 || h.Cols <= 0 {
+					t.Fatalf("parsed dimensions %dx%d", h.Rows, h.Cols)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -40,23 +40,24 @@ type Config struct {
 	Engine *sim.Engine
 }
 
-// Server is the powerrouted HTTP daemon state.
+// Server is the powerrouted HTTP daemon state. The guarded_by
+// annotations are enforced by powerroute-vet's lockcheck analyzer.
 type Server struct {
 	mu    sync.Mutex
-	eng   *sim.Engine
+	eng   *sim.Engine // guarded_by: mu
 	fleet *cluster.Fleet
 	step  time.Duration
 	delay time.Duration
 
 	hubClusters map[string][]int
-	feed        priceFeed
+	feed        priceFeed // guarded_by: mu
 
-	// scratch buffers for the demand path (guarded by mu).
-	rowBuf  []float64
-	byteBuf []byte
+	// scratch buffers for the demand path.
+	rowBuf  []float64 // guarded_by: mu
+	byteBuf []byte    // guarded_by: mu
 
 	reqMu    sync.Mutex
-	requests map[string]uint64
+	requests map[string]uint64 // guarded_by: reqMu
 }
 
 // New builds a Server around an engine.
@@ -126,7 +127,8 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 // one are already committed to the engine, so the response carries the
 // routed count and the engine's next expected interval — everything a
 // client needs to resume instead of replaying a now-misaligned batch.
-// Callers hold s.mu.
+//
+//lint:held mu callers lock s.mu for the whole batch
 func (s *Server) batchError(w http.ResponseWriter, code, routed int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -321,8 +323,9 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 }
 
 // routeOne advances the engine one interval at `at` using the freshest
-// ingested prices (decision prices lagged by the reaction delay). Callers
-// hold s.mu.
+// ingested prices (decision prices lagged by the reaction delay).
+//
+//lint:held mu callers lock s.mu around each routed interval
 func (s *Server) routeOne(at time.Time, rates []float64) (int, error) {
 	bill := s.feed.lookup(at)
 	if bill == nil {

@@ -71,6 +71,8 @@ const (
 // into fleet positions and reproduce the joint run's figures bit for bit.
 // Finalize-only fields (billable p95s, demand charges) are recomputed from
 // the restored meters when the run ends.
+//
+// ckpt:state Checkpoint,loadCheckpoint,MergeCheckpoints
 type Totals struct {
 	ClusterCost   []units.Money  `json:"cluster_cost_usd"`
 	ClusterEnergy []units.Energy `json:"cluster_energy_wh"`
@@ -92,6 +94,8 @@ type Totals struct {
 // Checkpoint is a complete, self-contained snapshot of an Engine mid-run.
 // Build one with Engine.Checkpoint, persist it with Encode/WriteFile, and
 // turn it back into a live engine with Restore.
+//
+// ckpt:state Encode,DecodeCheckpoint,MergeCheckpoints
 type Checkpoint struct {
 	Version   int
 	WorldHash string
@@ -284,18 +288,11 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 		}
 	}
 
-	// Per-cluster vectors.
-	for name, n := range map[string]int{
-		"cluster costs":       len(cp.Totals.ClusterCost),
-		"cluster energies":    len(cp.Totals.ClusterEnergy),
-		"peak rates":          len(cp.Totals.PeakRate),
-		"utilization sums":    len(cp.Totals.MeanUtilizationSum),
-		"overload ledgers":    len(cp.Totals.OverloadSec),
-		"meter sample lists":  len(cp.MeterSamples),
-		"last-interval rates": len(cp.Loads),
-	} {
-		if n != e.nc {
-			return fmt.Errorf("checkpoint has %d %s for %d clusters", n, name, e.nc)
+	// Per-cluster vectors, checked in fixed order so a multi-section
+	// mismatch always reports the same error text.
+	for _, sec := range perClusterSections(cp) {
+		if sec.n != e.nc {
+			return fmt.Errorf("checkpoint has %d %s for %d clusters", sec.n, sec.name, e.nc)
 		}
 	}
 	for c, samples := range cp.MeterSamples {
@@ -413,6 +410,29 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 
 // equalInts reports whether a and b hold the same values (nil equals nil
 // and the empty slice).
+// section names one checkpoint section and carries its length; the
+// validators walk sections as fixed slices, in declaration order, so a
+// checkpoint with several wrong-sized sections always fails with the
+// same error text (a map range here would pick one at random per run).
+type section struct {
+	name string
+	n    int
+}
+
+// perClusterSections lists the mandatory per-cluster vectors in the
+// order validation reports them.
+func perClusterSections(cp *Checkpoint) []section {
+	return []section{
+		{"cluster costs", len(cp.Totals.ClusterCost)},
+		{"cluster energies", len(cp.Totals.ClusterEnergy)},
+		{"peak rates", len(cp.Totals.PeakRate)},
+		{"utilization sums", len(cp.Totals.MeanUtilizationSum)},
+		{"overload ledgers", len(cp.Totals.OverloadSec)},
+		{"meter sample lists", len(cp.MeterSamples)},
+		{"last-interval rates", len(cp.Loads)},
+	}
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -487,6 +507,8 @@ func worldHash(sc *Scenario, prices []*timeseries.Series) string {
 // checkpointEnvelope is the JSON line after the magic: every small field
 // plus the payload's section lengths and digest. Numeric bulk lives in the
 // binary payload that follows.
+//
+// ckpt:state Encode,DecodeCheckpoint
 type checkpointEnvelope struct {
 	Version       int       `json:"version"`
 	WorldHash     string    `json:"world_hash"`

@@ -39,27 +39,34 @@ type StepPrices struct {
 // Finalize to close the books and obtain the Result. Engines are not
 // goroutine-safe; wrap them in a lock to serve concurrent feeds
 // (internal/server does).
+//
+// Every field is per-run state unless annotated otherwise: ckptfield
+// (cmd/powerroute-vet) verifies each one is referenced by Checkpoint and
+// loadCheckpoint, so a new field cannot silently escape the checkpoint.
+//
+// ckpt:state Checkpoint,loadCheckpoint
 type Engine struct {
 	sc        Scenario
 	nc, ns    int
-	stepHours float64
+	stepHours float64 // ckpt:immutable derived from sc.Step at construction
 
 	prices []*timeseries.Series // resolved per-cluster RT series
 
 	constraints  []*billing.Constraint
 	batteries    []*storage.State
-	dispatch     storage.Policy
-	priceCapper  storage.PriceCapper
-	priceCaps    []float64
+	dispatch     storage.Policy      // ckpt:immutable scenario configuration, rebuilt by NewEngine
+	priceCapper  storage.PriceCapper // ckpt:immutable the dispatch policy's capper interface, rebuilt by NewEngine
+	priceCaps    []float64           // ckpt:derived scratch recomputed from priceCapper every Step
 	demandMeters []*billing.DemandMeter
 
-	res        *Result
-	meters     []billing.Meter
-	distHist   *stats.WeightedHistogram
-	assign     [][]float64
-	ctx        *routing.Context
-	loads      []float64
-	capacities []float64
+	res      *Result
+	meters   []billing.Meter
+	distHist *stats.WeightedHistogram
+	assign   [][]float64
+	ctx      *routing.Context // ckpt:derived scratch rebuilt from fleet and loads every Step
+	loads    []float64
+	// capacities caches the fleet's per-cluster capacities as floats.
+	capacities []float64 // ckpt:immutable derived from sc.Fleet at construction
 
 	// Fleet-wide scalars (total cost/energy, overload seconds, storage
 	// totals, carbon) are never accumulated across clusters during Step:

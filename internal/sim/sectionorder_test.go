@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"powerroute/internal/billing"
+	"powerroute/internal/storage"
+	"powerroute/internal/units"
+)
+
+// These are regression tests for the section validators' error ordering:
+// they used to range over a map[string]int, so a checkpoint with several
+// wrong-sized sections blamed a random one per process. The validators
+// now walk a fixed slice; with many sections wrong at once, the error
+// text must be byte-identical on every attempt.
+
+func TestRestoreSectionErrorTextStable(t *testing.T) {
+	sc := engineScenarios(t)["optimizer"]
+	_, cp := checkpointAt(t, clonePolicy(t, sc), 10)
+	want := fmt.Sprintf("sim: restore: checkpoint has %d cluster costs for %d clusters", cp.Clusters+1, cp.Clusters)
+	for i := 0; i < 20; i++ {
+		bad := *cp
+		bad.Totals.ClusterCost = make([]units.Money, cp.Clusters+1)
+		bad.Totals.ClusterEnergy = make([]units.Energy, cp.Clusters+1)
+		bad.Totals.PeakRate = make([]float64, cp.Clusters+1)
+		bad.Loads = make([]float64, cp.Clusters+1)
+		_, err := Restore(clonePolicy(t, sc), &bad)
+		if err == nil || err.Error() != want {
+			t.Fatalf("attempt %d: error = %v, want %q", i, err, want)
+		}
+	}
+}
+
+func TestMergeSectionErrorTextStable(t *testing.T) {
+	sc := longRunScenario(t, 600)
+	engines, _ := shardEngines(t, sc, 8)
+	if len(engines) < 2 {
+		t.Fatalf("scenario split into %d shards, need at least 2", len(engines))
+	}
+	parts := make([]*Checkpoint, len(engines))
+	for i, eng := range engines {
+		cp, err := eng.Checkpoint()
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		parts[i] = cp
+	}
+
+	// Several mandatory per-cluster vectors wrong at once: the first
+	// section in declaration order takes the blame, every time.
+	want := fmt.Sprintf("sim: checkpoint 1: %d cluster costs for %d clusters", parts[1].Clusters+1, parts[1].Clusters)
+	for i := 0; i < 20; i++ {
+		bad := append([]*Checkpoint(nil), parts...)
+		b := *parts[1]
+		b.Totals.ClusterCost = make([]units.Money, b.Clusters+1)
+		b.Totals.ClusterEnergy = make([]units.Energy, b.Clusters+1)
+		b.Loads = make([]float64, b.Clusters+1)
+		bad[1] = &b
+		_, err := MergeCheckpoints(bad)
+		if err == nil || err.Error() != want {
+			t.Fatalf("attempt %d: error = %v, want %q", i, err, want)
+		}
+	}
+
+	// Several optional sections diverging at once: same rule.
+	want = "sim: checkpoint 1 carries 95/5 constraint state but checkpoint 0 does not (or vice versa)"
+	for i := 0; i < 20; i++ {
+		bad := append([]*Checkpoint(nil), parts...)
+		b := *parts[1]
+		b.Constraints = make([]billing.ConstraintState, b.Clusters)
+		b.Batteries = make([]storage.Snapshot, b.Clusters)
+		bad[1] = &b
+		_, err := MergeCheckpoints(bad)
+		if err == nil || err.Error() != want {
+			t.Fatalf("attempt %d: error = %v, want %q", i, err, want)
+		}
+	}
+}

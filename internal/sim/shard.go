@@ -380,9 +380,9 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 			return nil, fmt.Errorf("sim: checkpoint %d shard identity covers %d/%d clusters and %d/%d states",
 				i, len(cp.ClusterIndex), cp.Clusters, len(cp.StateIndex), cp.States)
 		}
-		for name, have := range optionalSections(cp) {
-			if have != firstHas[name] {
-				return nil, fmt.Errorf("sim: checkpoint %d carries %s but checkpoint 0 does not (or vice versa)", i, name)
+		for j, sec := range optionalSections(cp) {
+			if (sec.n > 0) != (firstHas[j].n > 0) {
+				return nil, fmt.Errorf("sim: checkpoint %d carries %s but checkpoint 0 does not (or vice versa)", i, sec.name)
 			}
 		}
 		if err := checkShardVectors(cp); err != nil {
@@ -486,16 +486,18 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 	return m, nil
 }
 
-// optionalSections reports which optional per-cluster sections a
-// checkpoint carries; every part of a merge must carry the same set.
-func optionalSections(cp *Checkpoint) map[string]bool {
-	return map[string]bool{
-		"95/5 constraint state":  len(cp.Constraints) > 0,
-		"battery snapshots":      len(cp.Batteries) > 0,
-		"demand meters":          len(cp.DemandMeters) > 0,
-		"carbon ledgers":         len(cp.Totals.ClusterCarbonKg) > 0,
-		"storage total ledgers":  len(cp.Totals.StorageBoughtKWh) > 0,
-		"storage served ledgers": len(cp.Totals.StorageServedKWh) > 0,
+// optionalSections lists the optional per-cluster sections and their
+// lengths, in the fixed order validation reports them; a section is
+// carried when its length is non-zero, and every part of a merge must
+// carry the same set.
+func optionalSections(cp *Checkpoint) []section {
+	return []section{
+		{"95/5 constraint state", len(cp.Constraints)},
+		{"battery snapshots", len(cp.Batteries)},
+		{"demand meters", len(cp.DemandMeters)},
+		{"carbon ledgers", len(cp.Totals.ClusterCarbonKg)},
+		{"storage total ledgers", len(cp.Totals.StorageBoughtKWh)},
+		{"storage served ledgers", len(cp.Totals.StorageServedKWh)},
 	}
 }
 
@@ -504,17 +506,9 @@ func optionalSections(cp *Checkpoint) map[string]bool {
 // into them.
 func checkShardVectors(cp *Checkpoint) error {
 	nc, ns := cp.Clusters, cp.States
-	for name, n := range map[string]int{
-		"cluster costs":       len(cp.Totals.ClusterCost),
-		"cluster energies":    len(cp.Totals.ClusterEnergy),
-		"peak rates":          len(cp.Totals.PeakRate),
-		"utilization sums":    len(cp.Totals.MeanUtilizationSum),
-		"overload ledgers":    len(cp.Totals.OverloadSec),
-		"meter sample lists":  len(cp.MeterSamples),
-		"last-interval rates": len(cp.Loads),
-	} {
-		if n != nc {
-			return fmt.Errorf("%d %s for %d clusters", n, name, nc)
+	for _, sec := range perClusterSections(cp) {
+		if sec.n != nc {
+			return fmt.Errorf("%d %s for %d clusters", sec.n, sec.name, nc)
 		}
 	}
 	if len(cp.Assign) != ns {

@@ -142,6 +142,8 @@ func WeightedQuantile(samples []WeightedSample, q float64) (float64, error) {
 // can answer weighted quantile queries in O(bins); the simulator uses it to
 // track client-server distance distributions over millions of allocations
 // without retaining them.
+//
+// ckpt:state MarshalBinary,UnmarshalBinary,Merge
 type WeightedHistogram struct {
 	min, max  float64
 	bins      []float64

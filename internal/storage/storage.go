@@ -75,8 +75,10 @@ func (b Battery) onewayEfficiency() float64 {
 }
 
 // State is the mutable charge state of one battery over a run.
+//
+// ckpt:state Snapshot,RestoreSnapshot
 type State struct {
-	spec      Battery
+	spec      Battery // ckpt:immutable configuration; RestoreSnapshot verifies against it, Snapshot never carries it
 	socKWh    float64
 	boughtKWh float64 // cumulative grid energy drawn for charging
 	servedKWh float64 // cumulative load energy served by discharging
@@ -109,6 +111,8 @@ func (s *State) BoughtKWh() float64 { return s.boughtKWh }
 func (s *State) ServedKWh() float64 { return s.servedKWh }
 
 // Snapshot is the serializable dynamic state of one battery.
+//
+// ckpt:state Snapshot,RestoreSnapshot
 type Snapshot struct {
 	SoCKWh    float64 `json:"soc_kwh"`
 	BoughtKWh float64 `json:"bought_kwh"`
