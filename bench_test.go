@@ -292,3 +292,126 @@ func TestBenchHarness(t *testing.T) {
 // BenchmarkExtJointOptimization regenerates the §8 joint-optimization
 // frontier.
 func BenchmarkExtJointOptimization(b *testing.B) { runFigure(b, "ext-joint") }
+
+// regionalScenario is the 39-month world under a 600 km optimizer — the
+// tightest reach, splitting the fleet into 3 routing-closed market
+// regions — with a fresh policy per call (engines must not share an
+// optimizer's order cache).
+func regionalScenario(b *testing.B, env *experiments.Env) sim.Scenario {
+	b.Helper()
+	sys := env.System
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, 600, routing.DefaultPriceThreshold)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim.Scenario{
+		Fleet: sys.Fleet, Policy: opt, Energy: energy.OptimisticFuture,
+		Market: sys.Market, Demand: sys.LongRun,
+		Start: sys.Market.Start, Steps: sys.Market.Hours, Step: time.Hour,
+		ReactionDelay: sim.DefaultReactionDelay,
+	}
+}
+
+// stepInputs holds every interval's inputs precomputed — instants,
+// delayed decision prices, billing prices, demand — so the regional
+// drive benchmarks time engine stepping alone, not series lookups.
+type stepInputs struct {
+	at             []time.Time
+	decision, bill [][]float64
+	demand         [][]float64
+}
+
+func regionalInputs(b *testing.B, env *experiments.Env) *stepInputs {
+	b.Helper()
+	sc := regionalScenario(b, env)
+	eng, err := sim.NewEngine(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prices := eng.PriceSeries()
+	marketStart := prices[0].Start
+	in := &stepInputs{
+		at:       make([]time.Time, sc.Steps),
+		decision: make([][]float64, sc.Steps),
+		bill:     make([][]float64, sc.Steps),
+		demand:   make([][]float64, sc.Steps),
+	}
+	for s := 0; s < sc.Steps; s++ {
+		at := sc.Start.Add(time.Duration(s) * sc.Step)
+		in.at[s] = at
+		in.decision[s] = make([]float64, len(prices))
+		in.bill[s] = make([]float64, len(prices))
+		decisionAt := at.Add(-sc.ReactionDelay)
+		if decisionAt.Before(marketStart) {
+			decisionAt = marketStart
+		}
+		for c := range prices {
+			v, err := prices[c].At(decisionAt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in.decision[s][c] = v
+			if v, err = prices[c].At(at); err != nil {
+				b.Fatal(err)
+			}
+			in.bill[s][c] = v
+		}
+		in.demand[s] = sc.Demand.Rates(at, nil)
+	}
+	return in
+}
+
+// driveInputs steps an engine (single or parallel) through every
+// precomputed interval and closes the books.
+func driveInputs(b *testing.B, eng interface {
+	Step(at time.Time, prices sim.StepPrices, demand []float64) error
+	Finalize() (*sim.Result, error)
+}, in *stepInputs) {
+	b.Helper()
+	for s := range in.at {
+		if err := eng.Step(in.at[s], sim.StepPrices{Decision: in.decision[s], Bill: in.bill[s]}, in.demand[s]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := eng.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRegional39MonthJoint drives the 3-region world on one engine —
+// the baseline the parallel-shard speedup is measured against.
+func BenchmarkRegional39MonthJoint(b *testing.B) {
+	env := benchEnv(b)
+	in := regionalInputs(b, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := sim.NewEngine(regionalScenario(b, env))
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveInputs(b, eng, in)
+	}
+	b.ReportMetric(float64(len(in.at))*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkRegional39MonthParallel drives the same world as 3 in-process
+// parallel shard engines (sim.ParallelEngine); the steps/s ratio against
+// the Joint benchmark is the parallel-shard speedup on this box.
+func BenchmarkRegional39MonthParallel(b *testing.B) {
+	env := benchEnv(b)
+	in := regionalInputs(b, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := regionalScenario(b, env)
+		p, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := sim.NewParallelEngine(sc, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		driveInputs(b, par, in)
+	}
+	b.ReportMetric(float64(len(in.at))*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}

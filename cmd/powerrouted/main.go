@@ -12,6 +12,14 @@
 //	            [-horizon longrun|trace] [-threshold-km KM]
 //	            [-price-threshold D] [-reaction-delay DUR]
 //	            [-state-dir DIR] [-checkpoint-every DUR] [-restore]
+//	            [-shard-count N -shard-index I | -parallel-shards N]
+//
+// With -parallel-shards the daemon still serves the whole world, but runs
+// its routing-closed market regions as concurrent in-process engines (one
+// goroutine per region; see sim.ParallelEngine) — the single-machine
+// counterpart of the -shard-count/-shard-index multi-process split. The
+// HTTP surface is unchanged except PUT /v1/checkpoint, which requires a
+// single engine and answers 409.
 //
 // Feed it with cmd/tracegen's replay mode:
 //
@@ -76,6 +84,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	restore := fs.Bool("restore", false, "resume from -state-dir's checkpoint instead of starting fresh")
 	shardCount := fs.Int("shard-count", 1, "serve one shard of the world split into this many market regions (1 = the whole world)")
 	shardIndex := fs.Int("shard-index", 0, "which shard to serve when -shard-count > 1 (0-based)")
+	parallelShards := fs.Int("parallel-shards", 0, "run the world's routing-closed market regions as in-process parallel engines (0 = one engine; otherwise must equal the region count at -threshold-km)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -89,6 +98,18 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	if *ckptEvery < 0 {
 		fmt.Fprintln(stderr, "powerrouted: negative -checkpoint-every")
+		return 2
+	}
+	if *parallelShards < 0 {
+		fmt.Fprintln(stderr, "powerrouted: negative -parallel-shards")
+		return 2
+	}
+	if *parallelShards > 0 && *shardCount > 1 {
+		fmt.Fprintln(stderr, "powerrouted: -parallel-shards runs every region in this process; it cannot be combined with -shard-count")
+		return 2
+	}
+	if *parallelShards > 0 && *restore {
+		fmt.Fprintln(stderr, "powerrouted: -restore requires a single engine (a joint checkpoint cannot be split back into shards); drop -parallel-shards to restore")
 		return 2
 	}
 
@@ -171,26 +192,49 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		}
 		ckptPath = filepath.Join(*stateDir, "checkpoint.ckpt")
 	}
-	var eng *sim.Engine
-	if *restore {
+	var eng server.Engine
+	switch {
+	case *restore:
 		cp, err := sim.ReadCheckpointFile(ckptPath)
 		if err != nil {
 			fmt.Fprintf(stderr, "powerrouted: reading checkpoint %s: %v\n", ckptPath, err)
 			return 1
 		}
-		eng, err = sim.Restore(sc, cp)
+		restored, err := sim.Restore(sc, cp)
 		if err != nil {
 			fmt.Fprintln(stderr, "powerrouted:", err)
 			return 1
 		}
 		fmt.Fprintf(stdout, "powerrouted: restored %s at step %d (next interval %v)\n",
-			ckptPath, cp.StepsRun, eng.Next())
-	} else {
-		eng, err = sim.NewEngine(sc)
+			ckptPath, cp.StepsRun, restored.Next())
+		eng = restored
+	case *parallelShards > 0:
+		// In-process parallel shards: one engine per routing-closed market
+		// region, stepped concurrently, serving the joint world's books.
+		partition, err := sim.PartitionByRouting(opt, sys.Fleet)
 		if err != nil {
 			fmt.Fprintln(stderr, "powerrouted:", err)
 			return 1
 		}
+		if got := partition.Shards(); got != *parallelShards {
+			fmt.Fprintf(stderr, "powerrouted: the world splits into %d market regions at -threshold-km %g, not %d (the paper's 1500 km reach spans one region; try 1000 for 2 or 600 for 3)\n",
+				got, *thresholdKm, *parallelShards)
+			return 2
+		}
+		peng, err := sim.NewParallelEngine(sc, partition)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "powerrouted: running %d market regions as in-process parallel shards\n", peng.Shards())
+		eng = peng
+	default:
+		single, err := sim.NewEngine(sc)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		eng = single
 	}
 	srv, err := server.New(server.Config{Engine: eng})
 	if err != nil {

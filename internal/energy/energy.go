@@ -116,6 +116,44 @@ func (m Model) Energy(u float64, n int, hours float64) units.Energy {
 	return m.ClusterPower(u, n).OverHours(hours)
 }
 
+// Evaluator is a Model bound to a fixed server count with every
+// load-independent term folded into constants, for hot loops that evaluate
+// the same cluster millions of times. Each coefficient is the exact float64
+// an unfused ClusterPower(u, n) computes on its way to the answer —
+// fixed = F(n), varCoeff = n·(P_peak − P_idle), eps = n·ε — and Power
+// combines them in the same association order, so Evaluator results are
+// bit-identical to the Model methods.
+type Evaluator struct {
+	fixed    float64 // F(n)
+	varCoeff float64 // n · (P_peak − P_idle)
+	eps      float64 // n · ε
+	r        float64 // exponent with the default applied
+}
+
+// Evaluator precomputes the per-cluster constants of ClusterPower for n
+// servers.
+func (m Model) Evaluator(n int) Evaluator {
+	span := float64(m.PeakPower) - float64(m.IdlePower())
+	return Evaluator{
+		fixed:    float64(m.FixedPower(n)),
+		varCoeff: float64(n) * span,
+		eps:      float64(n) * float64(m.Epsilon),
+		r:        m.exponent(),
+	}
+}
+
+// Power returns P_cluster(u), bit-identical to Model.ClusterPower.
+func (ev Evaluator) Power(u float64) units.Power {
+	u = clamp01(u)
+	return units.Power((ev.fixed + ev.varCoeff*(2*u-pow(u, ev.r))) + ev.eps)
+}
+
+// Energy returns the energy consumed over the given number of hours,
+// bit-identical to Model.Energy.
+func (ev Evaluator) Energy(u float64, hours float64) units.Energy {
+	return ev.Power(u).OverHours(hours)
+}
+
 // String summarizes the model the way the paper labels Fig 15's x-axis:
 // "(idle%, PUE)".
 func (m Model) String() string {

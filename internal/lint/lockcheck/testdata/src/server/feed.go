@@ -1,0 +1,46 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// View is an immutable snapshot published through an atomic pointer.
+type View struct {
+	entries []int
+}
+
+// Feed models the RCU pattern the daemon's sharded price feed uses:
+// canonical state is guarded by a commit mutex, and readers go through an
+// atomically swapped immutable view instead of the lock. The atomic
+// pointer itself needs no guarded_by — Load/Store are the
+// synchronization — which is exactly what this fixture pins down: the
+// justified pattern passes, while touching the canonical arrays off-lock
+// still fails.
+type Feed struct {
+	commitMu sync.Mutex
+	entries  []int // guarded_by: commitMu
+	view     atomic.Pointer[View]
+}
+
+// Publish mutates canonical state under the commit lock and swaps in an
+// immutable successor view.
+func (f *Feed) Publish(n int) {
+	f.commitMu.Lock()
+	defer f.commitMu.Unlock()
+	f.entries = append(f.entries, n)
+	v := &View{entries: append([]int(nil), f.entries...)}
+	f.view.Store(v)
+}
+
+// Read loads the current view without any lock: the atomic swap is the
+// synchronization edge, so no diagnostic is expected here.
+func (f *Feed) Read() *View {
+	return f.view.Load()
+}
+
+// BadLen bypasses the commit lock: publishing through the atomic view
+// does not license touching the canonical arrays off-lock.
+func (f *Feed) BadLen() int {
+	return len(f.entries) // want `entries is guarded_by: commitMu but accessed without holding commitMu`
+}

@@ -21,6 +21,7 @@ package routing
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -234,6 +235,29 @@ type PriceOptimizer struct {
 	// policy per scenario.
 	lastPrices []float64
 	orders     [][]int
+
+	// Shared-set rebuild state (fleets of ≤ 64 clusters): states with the
+	// same candidate set share one dead-band cutoff and one price-sorted
+	// tail, so a price change is resolved once per distinct set instead of
+	// once per state. The per-state work left is a bitmask filter over the
+	// candidate list plus a copy of the shared tail. All slices below are
+	// preallocated scratch reused across refreshes.
+	candMask   []uint64 // per state: candidate clusters as a bitmask
+	setOf      []int    // per state: index into the distinct-set tables
+	setMasks   []uint64 // per distinct candidate set: its bitmask
+	setMembers [][]int  // per distinct candidate set: its clusters in ascending index order
+	maxMaskC   int      // cluster count the bitmasks were built for
+	setCheap []uint64 // scratch per set: clusters within the dead-band of the set minimum
+	setRest   [][]int  // scratch per set: clusters beyond the dead-band, by ascending price
+	setTied   []bool   // scratch per set: equal prices in the tail need per-state distance tie-breaks
+	firstPick []int    // scratch per state: first candidate in the dead-band tier (-1 when the set is tied)
+	// setsValid reports that the set tables above reflect lastPrices, so
+	// Allocate can route straight off them (dead-band members in the
+	// state's own candidate order, then the shared tail) without ever
+	// materializing per-state preference orders. Tied sets are the
+	// exception: their states' orders are rebuilt per refresh and walked
+	// the classic way.
+	setsValid bool
 }
 
 // NewPriceOptimizer builds the optimizer for a fleet. thresholdKm is the
@@ -258,6 +282,39 @@ func NewPriceOptimizer(f *cluster.Fleet, thresholdKm, priceThreshold float64) (*
 	for s := range f.States {
 		p.candidates[s] = f.CandidatesWithin(s, thresholdKm)
 		p.nearest[s] = distanceOrder(f, s)
+	}
+	if nc := len(f.Clusters); nc <= 64 {
+		p.candMask = make([]uint64, len(f.States))
+		p.setOf = make([]int, len(f.States))
+		seen := make(map[uint64]int)
+		for s, cands := range p.candidates {
+			var m uint64
+			for _, c := range cands {
+				m |= 1 << uint(c)
+			}
+			p.candMask[s] = m
+			id, ok := seen[m]
+			if !ok {
+				id = len(p.setMasks)
+				seen[m] = id
+				p.setMasks = append(p.setMasks, m)
+			}
+			p.setOf[s] = id
+		}
+		p.maxMaskC = nc
+		p.setCheap = make([]uint64, len(p.setMasks))
+		p.setMembers = make([][]int, len(p.setMasks))
+		for g, m := range p.setMasks {
+			for mm := m; mm != 0; mm &= mm - 1 {
+				p.setMembers[g] = append(p.setMembers[g], bits.TrailingZeros64(mm))
+			}
+		}
+		p.setRest = make([][]int, len(p.setMasks))
+		for g := range p.setRest {
+			p.setRest[g] = make([]int, 0, nc)
+		}
+		p.setTied = make([]bool, len(p.setMasks))
+		p.firstPick = make([]int, len(f.States))
 	}
 	return p, nil
 }
@@ -294,8 +351,20 @@ func (p *PriceOptimizer) Allocate(ctx *Context, assign [][]float64) error {
 		if demand <= 0 {
 			continue
 		}
-		order := p.orders[s]
-		left := fill(order, demand, ctx, assign[s])
+		var left float64
+		if p.setsValid && !p.setTied[p.setOf[s]] {
+			// Fast path: the state's first dead-band candidate has room
+			// for everything — the exact assignment the full walk makes.
+			if c := p.firstPick[s]; ctx.Room[c] >= demand {
+				assign[s][c] += demand
+				ctx.Room[c] -= demand
+				continue
+			}
+			g := p.setOf[s]
+			left = fillSet(p.candidates[s], p.setCheap[g], p.setRest[g], demand, ctx, assign[s])
+		} else {
+			left = fill(p.orders[s], demand, ctx, assign[s])
+		}
 		if left > 0 {
 			// All in-range clusters are full: the distance constraint
 			// yields to feasibility and the excess walks outward to the
@@ -311,7 +380,16 @@ func (p *PriceOptimizer) Allocate(ctx *Context, assign [][]float64) error {
 }
 
 // refreshOrders recomputes every state's preference order if the price
-// vector changed since the last call.
+// vector changed since the last call. The fast path ranks all clusters by
+// price once, resolves the dead-band cutoff and the beyond-band tail once
+// per distinct candidate set, and reduces each state to a bitmask filter
+// (the dead-band tier, in the state's own distance order) plus a copy of
+// its set's shared tail. It reproduces preferenceOrder exactly: the cutoff
+// is the same float expression, the dead-band filter is the same predicate
+// over the same candidate iteration, and a tail with no equal prices has a
+// unique ascending-price order — states whose tail does contain equal
+// prices (where the tie-break is the state's own distances) fall back to
+// the per-state sort.
 func (p *PriceOptimizer) refreshOrders(prices []float64) {
 	if p.orders != nil && equalPrices(p.lastPrices, prices) {
 		return
@@ -323,10 +401,151 @@ func (p *PriceOptimizer) refreshOrders(prices []float64) {
 		}
 		p.lastPrices = make([]float64, len(prices))
 	}
-	for s := range p.candidates {
-		p.orders[s] = p.preferenceOrder(s, prices, p.orders[s][:0])
+	if p.candMask == nil || len(prices) > p.maxMaskC {
+		for s := range p.candidates {
+			p.orders[s] = p.preferenceOrder(s, prices, p.orders[s][:0])
+		}
+		p.setsValid = false
+		copy(p.lastPrices, prices)
+		return
 	}
+	anyTied := false
+	for g, members := range p.setMembers {
+		// Pass 1: the set's minimum price, scanning members in ascending
+		// index order — the same min preferenceOrder computes over cands.
+		pmin := prices[members[0]]
+		for _, c := range members[1:] {
+			if pc := prices[c]; pc < pmin {
+				pmin = pc
+			}
+		}
+		cutoff := pmin + p.priceThreshold
+		// Pass 2: split members into the dead-band tier (a bitmask) and
+		// the beyond-band tail, insertion-sorted by ascending price.
+		// Members arrive in ascending index order and the sort shifts only
+		// on a strict price win, so equal prices keep index order — the
+		// same stable tie order a full ranked walk produces.
+		var cheap uint64
+		rest := p.setRest[g][:0]
+		for _, c := range members {
+			pc := prices[c]
+			if pc <= cutoff {
+				cheap |= 1 << uint(c)
+				continue
+			}
+			j := len(rest) - 1
+			rest = append(rest, 0)
+			for j >= 0 && pc < prices[rest[j]] {
+				rest[j+1] = rest[j]
+				j--
+			}
+			rest[j+1] = c
+		}
+		tied := false
+		for i := 1; i < len(rest); i++ {
+			if prices[rest[i]] == prices[rest[i-1]] {
+				tied = true
+				anyTied = true
+				break
+			}
+		}
+		p.setCheap[g] = cheap
+		p.setRest[g] = rest
+		p.setTied[g] = tied
+	}
+	// Untied sets are routed straight off the tables by Allocate; all the
+	// per-state work left is finding each state's first dead-band
+	// candidate (its whole demand usually lands there, so Allocate can
+	// short-circuit the walk). Only states whose set needs per-state
+	// distance tie-breaks get a materialized order.
+	for s, cands := range p.candidates {
+		g := p.setOf[s]
+		if anyTied && p.setTied[g] {
+			p.orders[s] = p.preferenceOrder(s, prices, p.orders[s][:0])
+			p.firstPick[s] = -1
+			continue
+		}
+		cheap := p.setCheap[g]
+		for _, c := range cands {
+			if cheap&(1<<uint(c)) != 0 {
+				p.firstPick[s] = c
+				break
+			}
+		}
+	}
+	p.setsValid = true
 	copy(p.lastPrices, prices)
+}
+
+// fillSet is fill over the virtual order [members of cheap, in cands
+// order] ++ rest, without materializing it: the same two tiers (committed
+// room across the whole sequence, then burst room), the same walk, the
+// same arithmetic — bit-identical to fill on the concatenated slice.
+func fillSet(cands []int, cheap uint64, rest []int, demand float64, ctx *Context, row []float64) float64 {
+	remaining := demand
+	for _, c := range cands {
+		if cheap&(1<<uint(c)) == 0 {
+			continue
+		}
+		if remaining <= 0 {
+			return 0
+		}
+		take := ctx.Room[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			row[c] += take
+			ctx.Room[c] -= take
+			remaining -= take
+		}
+	}
+	for _, c := range rest {
+		if remaining <= 0 {
+			return 0
+		}
+		take := ctx.Room[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			row[c] += take
+			ctx.Room[c] -= take
+			remaining -= take
+		}
+	}
+	for _, c := range cands {
+		if cheap&(1<<uint(c)) == 0 {
+			continue
+		}
+		if remaining <= 0 {
+			return 0
+		}
+		take := ctx.BurstRoom[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			row[c] += take
+			ctx.BurstRoom[c] -= take
+			remaining -= take
+		}
+	}
+	for _, c := range rest {
+		if remaining <= 0 {
+			return 0
+		}
+		take := ctx.BurstRoom[c]
+		if take > remaining {
+			take = remaining
+		}
+		if take > 0 {
+			row[c] += take
+			ctx.BurstRoom[c] -= take
+			remaining -= take
+		}
+	}
+	return remaining
 }
 
 func equalPrices(a, b []float64) bool {
@@ -405,6 +624,7 @@ func ApplyPriceCaps(prices, caps []float64) {
 type AllToOne struct {
 	fleet  *cluster.Fleet
 	target int
+	order  [1]int // the one-element preference order, so Allocate stays allocation-free
 }
 
 // NewAllToOne builds the static policy for the given cluster index.
@@ -412,7 +632,7 @@ func NewAllToOne(f *cluster.Fleet, target int) (*AllToOne, error) {
 	if target < 0 || target >= len(f.Clusters) {
 		return nil, fmt.Errorf("routing: target %d out of range", target)
 	}
-	return &AllToOne{fleet: f, target: target}, nil
+	return &AllToOne{fleet: f, target: target, order: [1]int{target}}, nil
 }
 
 // Name implements Policy.
@@ -425,7 +645,7 @@ func (a *AllToOne) Allocate(ctx *Context, assign [][]float64) error {
 	if err := validate(a.fleet, ctx, assign); err != nil {
 		return err
 	}
-	order := []int{a.target}
+	order := a.order[:]
 	for s, demand := range ctx.Demand {
 		if demand <= 0 {
 			continue

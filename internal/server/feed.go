@@ -7,93 +7,15 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
 )
 
-// priceFeed is the daemon's ingested price history: per-cluster price
-// vectors keyed by the instant they took effect, append-only and
-// chronological. Lookups resolve an instant to the newest vector at or
-// before it (clamping to the first vector for pre-feed instants, exactly
-// as the batch engine clamps decision times to the start of market data).
-type priceFeed struct {
-	at  []time.Time
-	vec [][]float64 // per-cluster, fleet order
-}
-
-func (f *priceFeed) len() int { return len(f.at) }
-
-// last returns the newest ingested vector, or nil when the feed is empty.
-func (f *priceFeed) last() []float64 {
-	if len(f.vec) == 0 {
-		return nil
-	}
-	return f.vec[len(f.vec)-1]
-}
-
-// add appends one vector. Entries must arrive in chronological order; a
-// re-post at the newest instant replaces it (feed corrections).
-func (f *priceFeed) add(at time.Time, perCluster []float64) error {
-	if n := len(f.at); n > 0 {
-		switch {
-		case at.Equal(f.at[n-1]):
-			f.vec[n-1] = perCluster
-			return nil
-		case at.Before(f.at[n-1]):
-			return fmt.Errorf("server: price at %v precedes newest feed entry %v", at, f.at[n-1])
-		}
-	}
-	f.at = append(f.at, at)
-	f.vec = append(f.vec, perCluster)
-	return nil
-}
-
-// prune drops entries that can never be looked up again: everything
-// strictly older than the newest entry at or before `oldest` (that entry
-// itself must stay — it covers `oldest` and later instants up to its
-// successor). The daemon calls this with its oldest future lookup instant
-// (next interval minus reaction delay) so a long-running feed holds O(delay
-// ÷ feed cadence) vectors instead of growing without bound.
-func (f *priceFeed) prune(oldest time.Time) {
-	n := len(f.at)
-	if n == 0 {
-		return
-	}
-	i := sort.Search(n, func(i int) bool { return f.at[i].After(oldest) })
-	// f.at[i-1] covers `oldest`; drop [0, i-1).
-	if i <= 1 {
-		return
-	}
-	f.at = append(f.at[:0], f.at[i-1:]...)
-	f.vec = append(f.vec[:0], f.vec[i-1:]...)
-	// The compaction shifted the live entries down but left the dropped
-	// tail slots pointing at their old per-cluster vectors, reachable
-	// through the backing array — a steady leak of one vector per pruned
-	// entry on a long-running feed. Clear [len, oldLen) so the garbage
-	// collector can actually take them.
-	clear(f.at[len(f.at):n])
-	clear(f.vec[len(f.vec):n])
-}
-
-// lookup returns the vector covering instant at, clamped to the first
-// entry. Returns nil when the feed is empty.
-func (f *priceFeed) lookup(at time.Time) []float64 {
-	n := len(f.at)
-	if n == 0 {
-		return nil
-	}
-	// Common case for chronological stepping: at covers the newest entry.
-	if !at.Before(f.at[n-1]) {
-		return f.vec[n-1]
-	}
-	i := sort.Search(n, func(i int) bool { return f.at[i].After(at) })
-	if i == 0 {
-		return f.vec[0]
-	}
-	return f.vec[i-1]
-}
+// The daemon's price store lives in shardfeed.go: per-hub feedShards plus
+// atomically published consolidated priceViews. This file holds the
+// binary batch wire format shared with the load generator and the shard
+// coordinator.
 
 // Binary batch bodies: the high-throughput ingest path the trace-replay
 // load generator uses. A batch is one text header line followed by
@@ -216,21 +138,36 @@ func ParseBatchHeader(r *bufio.Reader) (*BatchHeader, error) {
 	return h, nil
 }
 
-// readRow fills dst (len = header cols) with the next row of the batch
-// body, reusing buf as the byte scratch (grown as needed). Rows carrying
-// NaN or ±Inf are rejected: the JSON ingest path cannot even express
-// them, and one non-finite price or demand sample would poison meters,
-// p95 bills, and every checkpoint downstream.
-func readRow(r *bufio.Reader, dst []float64, buf []byte) ([]byte, error) {
-	need := len(dst) * 8
-	if cap(buf) < need {
-		buf = make([]byte, need)
+// decodeRows stages a whole batch body: rows×cols little-endian float64s
+// decoded into one flat slice, rejecting NaN and ±Inf. The body streams
+// through a bounded chunk buffer and the decode loop runs over contiguous
+// memory — no per-row reads, no per-row allocation. On error the second
+// return is the offending row (truncation reports the first incomplete
+// row). Rows carrying non-finite values are rejected for the same reason
+// the JSON path cannot express them: one poisoned sample would corrupt
+// meters, p95 bills, and every checkpoint downstream.
+func decodeRows(r io.Reader, rows, cols int) ([]float64, int, error) {
+	rowBytes := cols * 8
+	flat := make([]float64, rows*cols)
+	chunk := max(1, (1<<16)/rowBytes)
+	buf := make([]byte, min(chunk, rows)*rowBytes)
+	for done := 0; done < rows; {
+		n := min(chunk, rows-done)
+		b := buf[:n*rowBytes]
+		read, err := io.ReadFull(r, b)
+		complete := read / rowBytes
+		for i := 0; i < complete; i++ {
+			row := done + i
+			if derr := DecodeRow(b[i*rowBytes:(i+1)*rowBytes], flat[row*cols:(row+1)*cols]); derr != nil {
+				return nil, row, derr
+			}
+		}
+		if err != nil {
+			return nil, done + complete, fmt.Errorf("server: batch body truncated: %w", err)
+		}
+		done += n
 	}
-	buf = buf[:need]
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return buf, fmt.Errorf("server: batch body truncated: %w", err)
-	}
-	return buf, DecodeRow(buf, dst)
+	return flat, 0, nil
 }
 
 // DecodeRow decodes one batch row of little-endian float64s from b into

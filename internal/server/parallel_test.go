@@ -1,0 +1,136 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"powerroute/internal/core"
+	"powerroute/internal/energy"
+	"powerroute/internal/routing"
+	"powerroute/internal/sim"
+)
+
+// regionScenario builds the test world under a 600 km optimizer — the
+// tightest threshold in the fixture fleet, splitting it into 3
+// routing-closed market regions.
+func regionScenario(t testing.TB, sys *core.System) sim.Scenario {
+	t.Helper()
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, 600, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Scenario{
+		Fleet:         sys.Fleet,
+		Policy:        opt,
+		Energy:        energy.OptimisticFuture,
+		Market:        sys.Market,
+		Demand:        sys.LongRun,
+		Start:         sys.Market.Start,
+		Steps:         sys.Market.Hours,
+		Step:          time.Hour,
+		ReactionDelay: sim.DefaultReactionDelay,
+	}
+}
+
+// TestParallelServerMatchesSingle drives two daemons over the same world
+// — one on a single engine, one on in-process parallel shards — with an
+// identical request sequence, and requires every read surface to answer
+// with identical bytes: the parallel split must be invisible over HTTP.
+// Only checkpoint restore differs by design (409 on the parallel daemon),
+// while the parallel daemon's merged checkpoint restores into the
+// single-engine daemon — durable state is portable across the flag.
+func TestParallelServerMatchesSingle(t *testing.T) {
+	sys := testWorld(t)
+
+	singleEng, err := sim.NewEngine(regionScenario(t, sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := regionScenario(t, sys)
+	partition, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partition.Shards() != 3 {
+		t.Fatalf("fixture world splits into %d regions at 600 km, want 3", partition.Shards())
+	}
+	parEng, err := sim.NewParallelEngine(sc, partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servers := make([]*httptest.Server, 2)
+	for i, eng := range []Engine{singleEng, parEng} {
+		srv, err := New(Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = httptest.NewServer(srv.Handler())
+		t.Cleanup(servers[i].Close)
+	}
+	single, parallel := servers[0], servers[1]
+
+	// Identical traffic: interleaved price vectors and hourly demand.
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+	demand := flatDemand(ns, 900)
+	const steps = 12
+	for _, ts := range servers {
+		postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 30)}, http.StatusOK)
+		for i := 0; i < steps; i++ {
+			at := start.Add(time.Duration(i) * time.Hour)
+			if i%3 == 0 && i > 0 {
+				postJSON(t, ts.URL+"/v1/prices", pricePost{At: at, Prices: hubPrices(sys, 28+float64(i))}, http.StatusOK)
+			}
+			postJSON(t, ts.URL+"/v1/demand", demandPost{At: at, Rates: demand}, http.StatusOK)
+		}
+	}
+
+	for _, path := range []string{"/v1/status", "/v1/assignments?matrix=1", "/v1/world"} {
+		sb := get(t, single.URL+path, http.StatusOK)
+		pb := get(t, parallel.URL+path, http.StatusOK)
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("GET %s differs across engines:\nsingle   %s\nparallel %s", path, sb, pb)
+		}
+	}
+
+	// Restore is single-engine only…
+	cp := get(t, parallel.URL+"/v1/checkpoint", http.StatusOK)
+	req, err := http.NewRequest(http.MethodPut, parallel.URL+"/v1/checkpoint", bytes.NewReader(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("PUT /v1/checkpoint on parallel daemon: got %d, want 409", resp.StatusCode)
+	}
+	// …but the parallel daemon's merged checkpoint restores into the
+	// single-engine daemon at the same cursor.
+	req, err = http.NewRequest(http.MethodPut, single.URL+"/v1/checkpoint", bytes.NewReader(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var restored struct {
+		RestoredSteps int `json:"restored_steps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || restored.RestoredSteps != steps {
+		t.Fatalf("restoring merged checkpoint: got %d, restored_steps %d (want 200 at %d steps)",
+			resp.StatusCode, restored.RestoredSteps, steps)
+	}
+}

@@ -15,16 +15,21 @@
 //	GET  /metrics         Prometheus-style text metrics
 //	GET  /healthz         liveness probe
 //
-// All engine access is serialized behind one mutex; handlers are safe for
-// concurrent use. The binary batch bodies (see feed.go) are the
-// high-throughput path: a batch acquires the lock once and routes
-// thousands of intervals per request.
+// Handlers are safe for concurrent use. Engine access is serialized
+// behind one mutex, but price ingestion never takes it: the price store
+// is sharded per hub and publishes immutable consolidated views through
+// an atomic pointer (see shardfeed.go), so POST /v1/prices and POST
+// /v1/demand run concurrently without contending — the demand path reads
+// prices from whatever view is current when a row routes. The binary
+// batch bodies (see feed.go) are the high-throughput path: a batch
+// acquires its lock once and routes thousands of intervals per request.
 package server
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -33,24 +38,49 @@ import (
 	"powerroute/internal/sim"
 )
 
+// Engine is the incremental simulation surface the server drives: one
+// routing decision per Step, cheap snapshots for status endpoints, and a
+// durable checkpoint for the operator API. *sim.Engine is the
+// single-engine implementation; *sim.ParallelEngine runs the world's
+// routing-closed regions concurrently behind the same contract. Only
+// checkpoint *restore* is implementation-specific (see
+// handleCheckpointPut): a joint checkpoint cannot be split back into
+// shard engines, so PUT /v1/checkpoint requires a single engine.
+type Engine interface {
+	Fleet() *cluster.Fleet
+	StepSize() time.Duration
+	ReactionDelay() time.Duration
+	Start() time.Time
+	Next() time.Time
+	StepsRun() int
+	Step(at time.Time, prices sim.StepPrices, demand []float64) error
+	Snapshot() *sim.Snapshot
+	SnapshotInto(dst *sim.Snapshot) *sim.Snapshot
+	Assignments(dst [][]float64) [][]float64
+	WorldHash() string
+	Checkpoint() (*sim.Checkpoint, error)
+	Finalize() (*sim.Result, error)
+}
+
 // Config assembles a Server.
 type Config struct {
 	// Engine is the incremental simulation engine to serve. The server
 	// owns it after New; all further access must go through handlers.
-	Engine *sim.Engine
+	Engine Engine
 }
 
 // Server is the powerrouted HTTP daemon state. The guarded_by
 // annotations are enforced by powerroute-vet's lockcheck analyzer.
 type Server struct {
 	mu    sync.Mutex
-	eng   *sim.Engine // guarded_by: mu
+	eng   Engine        // guarded_by: mu
+	snap  *sim.Snapshot // guarded_by: mu — reusable snapshot scratch; handlers extract what they render before unlocking
 	fleet *cluster.Fleet
 	step  time.Duration
 	delay time.Duration
 
 	hubClusters map[string][]int
-	feed        priceFeed // guarded_by: mu
+	feed        *shardedFeed // locks itself: commitMu for writers, atomic view for readers
 
 	// scratch buffers for the demand path.
 	rowBuf  []float64 // guarded_by: mu
@@ -78,6 +108,7 @@ func New(cfg Config) (*Server, error) {
 	for c, cl := range fleet.Clusters {
 		s.hubClusters[cl.HubID] = append(s.hubClusters[cl.HubID], c)
 	}
+	s.feed = newShardedFeed(fleet, s.hubClusters)
 	return s, nil
 }
 
@@ -175,44 +206,17 @@ func (s *Server) handlePrices(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "price post missing \"prices\"")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	nc := len(s.fleet.Clusters)
-	vec := make([]float64, nc)
-	covered := make([]bool, nc)
-	if last := s.feed.last(); last != nil {
-		copy(vec, last)
-		for c := range covered {
-			covered[c] = true
-		}
-	}
-	ignored := 0
-	for hub, price := range post.Prices {
-		idxs, ok := s.hubClusters[hub]
-		if !ok {
-			ignored++
-			continue
-		}
-		for _, c := range idxs {
-			vec[c] = price
-			covered[c] = true
-		}
-	}
-	for c, ok := range covered {
-		if !ok {
-			httpError(w, http.StatusBadRequest, "no price yet for cluster %s (hub %s)",
-				s.fleet.Clusters[c].Code, s.fleet.Clusters[c].HubID)
-			return
-		}
-	}
-	if err := s.feed.add(post.At.UTC(), vec); err != nil {
-		httpError(w, http.StatusConflict, "%v", err)
+	// Price ingestion never touches the engine lock: the sharded feed
+	// validates, records, and publishes under its own commit lock.
+	ignored, entries, code, err := s.feed.ingest(post.At.UTC(), post.Prices)
+	if err != nil {
+		httpError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, map[string]any{
 		"at":           post.At.UTC(),
 		"ignored_hubs": ignored,
-		"feed_entries": s.feed.len(),
+		"feed_entries": entries,
 	})
 }
 
@@ -227,55 +231,21 @@ func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/prices", h.Kind)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Resolve hub columns to cluster indices once per batch.
-	nc := len(s.fleet.Clusters)
-	colClusters := make([][]int, h.Cols)
-	covered := make([]bool, nc)
-	if s.feed.last() != nil {
-		for c := range covered {
-			covered[c] = true
-		}
+	// Stage the whole payload lock-free, then commit it atomically: a
+	// batch that fails to decode or validate publishes nothing.
+	flat, rowIdx, err := decodeRows(br, h.Rows, h.Cols)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "price row %d: %v", rowIdx, err)
+		return
 	}
-	for i, hub := range h.Hubs {
-		colClusters[i] = s.hubClusters[hub]
-		for _, c := range colClusters[i] {
-			covered[c] = true
-		}
-	}
-	for c, ok := range covered {
-		if !ok {
-			httpError(w, http.StatusBadRequest, "no price for cluster %s (hub %s) in batch",
-				s.fleet.Clusters[c].Code, s.fleet.Clusters[c].HubID)
-			return
-		}
-	}
-	row := make([]float64, h.Cols)
-	prev := s.feed.last()
-	for i := 0; i < h.Rows; i++ {
-		if s.byteBuf, err = readRow(br, row, s.byteBuf); err != nil {
-			httpError(w, http.StatusBadRequest, "price row %d: %v", i, err)
-			return
-		}
-		vec := make([]float64, nc)
-		if prev != nil {
-			copy(vec, prev)
-		}
-		for col, price := range row {
-			for _, c := range colClusters[col] {
-				vec[c] = price
-			}
-		}
-		if err := s.feed.add(h.Start.Add(time.Duration(i)*h.Step), vec); err != nil {
-			httpError(w, http.StatusConflict, "price row %d: %v", i, err)
-			return
-		}
-		prev = vec
+	entries, code, err := s.feed.ingestBatch(h, flat)
+	if err != nil {
+		httpError(w, code, "%v", err)
+		return
 	}
 	writeJSON(w, map[string]any{
 		"ingested":     h.Rows,
-		"feed_entries": s.feed.len(),
+		"feed_entries": entries,
 	})
 }
 
@@ -299,6 +269,16 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding demand post: %v", err)
 		return
 	}
+	if oldest, ok := s.routeJSON(w, post); ok {
+		// Prune off the engine lock: it only takes the feed's commit lock.
+		s.feed.prune(oldest)
+	}
+}
+
+// routeJSON routes one JSON-posted interval under the engine lock and
+// writes the response. It returns the oldest future lookup instant so the
+// caller can prune the feed after the lock is released.
+func (s *Server) routeJSON(w http.ResponseWriter, post demandPost) (oldest time.Time, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	at := post.At.UTC()
@@ -306,32 +286,36 @@ func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
 		at = s.eng.Next()
 	} else if !at.Equal(s.eng.Next()) {
 		httpError(w, http.StatusConflict, "demand at %v, engine expects %v", at, s.eng.Next())
-		return
+		return time.Time{}, false
 	}
 	if code, err := s.routeOne(at, post.Rates); err != nil {
 		httpError(w, code, "%v", err)
-		return
+		return time.Time{}, false
 	}
-	s.feed.prune(s.eng.Next().Add(-s.delay))
-	snap := s.eng.Snapshot()
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
 	writeJSON(w, map[string]any{
 		"routed":         1,
 		"at":             at,
 		"steps":          snap.Steps,
 		"total_cost_usd": float64(snap.TotalCost),
 	})
+	return s.eng.Next().Add(-s.delay), true
 }
 
 // routeOne advances the engine one interval at `at` using the freshest
-// ingested prices (decision prices lagged by the reaction delay).
+// published prices (decision prices lagged by the reaction delay). Both
+// lookups resolve against one atomically-loaded view, so a concurrent
+// price commit can never tear an interval's bill/decision pair.
 //
 //lint:held mu callers lock s.mu around each routed interval
 func (s *Server) routeOne(at time.Time, rates []float64) (int, error) {
-	bill := s.feed.lookup(at)
+	v := s.feed.current()
+	bill := v.lookup(at)
 	if bill == nil {
 		return http.StatusConflict, fmt.Errorf("server: no prices ingested yet")
 	}
-	decision := s.feed.lookup(at.Add(-s.delay))
+	decision := v.lookup(at.Add(-s.delay))
 	if err := s.eng.Step(at, sim.StepPrices{Decision: decision, Bill: bill}, rates); err != nil {
 		return http.StatusBadRequest, err
 	}
@@ -349,38 +333,67 @@ func (s *Server) handleDemandBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/demand", h.Kind)
 		return
 	}
+	if oldest, ok := s.routeBatch(w, br, h); ok {
+		s.feed.prune(oldest)
+	}
+}
+
+// routeBatch decodes and routes one demand batch under the engine lock.
+// Rows stream through a bounded chunk of the byte scratch and are decoded
+// straight off it — no per-row reads, no per-row allocation. Rows commit
+// as they route: a mid-batch failure reports the resume point (see
+// batchError), and truncation after k complete rows still commits k.
+func (s *Server) routeBatch(w http.ResponseWriter, br *bufio.Reader, h *BatchHeader) (oldest time.Time, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if h.Cols != len(s.fleet.States) {
 		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.Cols, len(s.fleet.States))
-		return
+		return time.Time{}, false
 	}
 	if h.Step != s.step {
 		httpError(w, http.StatusBadRequest, "batch step %v, engine step %v", h.Step, s.step)
-		return
+		return time.Time{}, false
 	}
 	if next := s.eng.Next(); !h.Start.Equal(next) {
 		httpError(w, http.StatusConflict, "batch starts %v, engine expects %v", h.Start, next)
-		return
+		return time.Time{}, false
 	}
-	for i := 0; i < h.Rows; i++ {
-		if s.byteBuf, err = readRow(br, s.rowBuf, s.byteBuf); err != nil {
-			s.batchError(w, http.StatusBadRequest, i, "demand row %d: %v", i, err)
-			return
+	rowBytes := h.Cols * 8
+	chunk := max(1, (1<<16)/rowBytes)
+	if cap(s.byteBuf) < chunk*rowBytes {
+		s.byteBuf = make([]byte, chunk*rowBytes)
+	}
+	routed := 0
+	for routed < h.Rows {
+		n := min(chunk, h.Rows-routed)
+		b := s.byteBuf[:n*rowBytes]
+		read, err := io.ReadFull(br, b)
+		complete := read / rowBytes
+		for i := 0; i < complete; i++ {
+			if derr := DecodeRow(b[i*rowBytes:(i+1)*rowBytes], s.rowBuf); derr != nil {
+				s.batchError(w, http.StatusBadRequest, routed, "demand row %d: %v", routed, derr)
+				return time.Time{}, false
+			}
+			at := h.Start.Add(time.Duration(routed) * h.Step)
+			if code, rerr := s.routeOne(at, s.rowBuf); rerr != nil {
+				s.batchError(w, code, routed, "demand row %d: %v", routed, rerr)
+				return time.Time{}, false
+			}
+			routed++
 		}
-		at := h.Start.Add(time.Duration(i) * h.Step)
-		if code, err := s.routeOne(at, s.rowBuf); err != nil {
-			s.batchError(w, code, i, "demand row %d: %v", i, err)
-			return
+		if err != nil || complete < n {
+			s.batchError(w, http.StatusBadRequest, routed, "demand row %d: server: batch body truncated: %v", routed, err)
+			return time.Time{}, false
 		}
 	}
-	s.feed.prune(s.eng.Next().Add(-s.delay))
-	snap := s.eng.Snapshot()
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
 	writeJSON(w, map[string]any{
 		"routed":         h.Rows,
 		"steps":          snap.Steps,
 		"total_cost_usd": float64(snap.TotalCost),
 	})
+	return s.eng.Next().Add(-s.delay), true
 }
 
 // --- read endpoints --------------------------------------------------------
@@ -396,11 +409,19 @@ type clusterStatus struct {
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	payload := s.statusPayload()
+	writeJSON(w, payload)
+}
+
+// statusPayload renders the status body under the engine lock; the
+// payload copies everything out of the snapshot scratch, so the caller
+// can serialize it after the lock is released.
+func (s *Server) statusPayload() map[string]any {
 	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	feedEntries := s.feed.len()
-	s.mu.Unlock()
-	writeJSON(w, StatusPayload(s.fleet, snap, feedEntries))
+	defer s.mu.Unlock()
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
+	return StatusPayload(s.fleet, snap, s.feed.entries())
 }
 
 // StatusPayload renders the /v1/status response body for an engine
@@ -451,13 +472,21 @@ func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) ma
 }
 
 func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
+	resp := s.assignmentsPayload(r.URL.Query().Get("matrix") == "1")
+	writeJSON(w, resp)
+}
+
+// assignmentsPayload builds the assignments body under the engine lock,
+// copying everything it renders out of the snapshot scratch.
+func (s *Server) assignmentsPayload(wantMatrix bool) map[string]any {
 	s.mu.Lock()
-	snap := s.eng.Snapshot()
+	defer s.mu.Unlock()
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
 	var matrix [][]float64
-	if r.URL.Query().Get("matrix") == "1" {
+	if wantMatrix {
 		matrix = s.eng.Assignments(nil)
 	}
-	s.mu.Unlock()
 
 	type row struct {
 		Code     string  `json:"code"`
@@ -492,7 +521,7 @@ func (s *Server) handleAssignments(w http.ResponseWriter, r *http.Request) {
 		resp["states"] = states
 		resp["matrix"] = matrix
 	}
-	writeJSON(w, resp)
+	return resp
 }
 
 func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
@@ -510,13 +539,9 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 	for i, st := range s.fleet.States {
 		states[i] = st.Code
 	}
-	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	start := s.eng.Start()
-	worldHash := s.eng.WorldHash()
-	s.mu.Unlock()
+	policy, start, worldHash := s.worldInfo()
 	writeJSON(w, map[string]any{
-		"policy":                 snap.Policy,
+		"policy":                 policy,
 		"start":                  start,
 		"step_seconds":           s.step.Seconds(),
 		"reaction_delay_seconds": s.delay.Seconds(),
@@ -524,4 +549,14 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 		"clusters":               clusters,
 		"states":                 states,
 	})
+}
+
+// worldInfo reads the policy name, start instant, and world hash under
+// the engine lock.
+func (s *Server) worldInfo() (policy string, start time.Time, worldHash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
+	return snap.Policy, s.eng.Start(), s.eng.WorldHash()
 }

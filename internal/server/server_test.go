@@ -432,35 +432,6 @@ func TestNewRejectsNilEngine(t *testing.T) {
 	}
 }
 
-// TestPriceFeedPrune: the feed retains only the covering entry at or
-// before the oldest future lookup instant, and lookups after pruning
-// resolve exactly as before.
-func TestPriceFeedPrune(t *testing.T) {
-	var f priceFeed
-	t0 := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
-	for i := 0; i < 10; i++ {
-		if err := f.add(t0.Add(time.Duration(i)*time.Hour), []float64{float64(i)}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	f.prune(t0.Add(5*time.Hour + 30*time.Minute))
-	if f.len() != 5 { // entries 5..9; entry 5 covers 5:30
-		t.Fatalf("feed holds %d entries after prune, want 5", f.len())
-	}
-	if got := f.lookup(t0.Add(5*time.Hour + 30*time.Minute)); got[0] != 5 {
-		t.Fatalf("covering lookup = %v, want 5", got[0])
-	}
-	// Pre-threshold instants clamp to the retained covering entry.
-	if got := f.lookup(t0); got[0] != 5 {
-		t.Fatalf("clamped lookup = %v, want 5", got[0])
-	}
-	// Pruning at/behind the first entry is a no-op.
-	f.prune(t0)
-	if f.len() != 5 {
-		t.Fatalf("no-op prune changed length to %d", f.len())
-	}
-}
-
 // TestDemandPruningKeepsRouting: a long JSON-fed session must not grow the
 // feed without bound, and routing must be unaffected by pruning.
 func TestDemandPruningKeepsRouting(t *testing.T) {
@@ -473,9 +444,7 @@ func TestDemandPruningKeepsRouting(t *testing.T) {
 		postJSON(t, ts.URL+"/v1/prices", pricePost{At: at, Prices: hubPrices(sys, 30+float64(i))}, http.StatusOK)
 		postJSON(t, ts.URL+"/v1/demand", demandPost{At: at, Rates: flatDemand(ns, 1200)}, http.StatusOK)
 	}
-	srv.mu.Lock()
-	held := srv.feed.len()
-	srv.mu.Unlock()
+	held := srv.feed.entries()
 	// Next lookup horizon is Next-delay = start+(steps-1)h; only the
 	// covering entry plus newer ones survive (delay = 1h -> 2 entries).
 	if held > 3 {

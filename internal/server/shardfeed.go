@@ -1,0 +1,370 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerroute/internal/cluster"
+)
+
+// priceView is one immutable consolidated snapshot of the ingested price
+// feed: per-cluster vectors (fleet order — the exact shape routing needs)
+// keyed by the instants they took effect, chronological. A view is
+// published through shardedFeed's atomic pointer and never mutated
+// afterwards, so readers — the demand path resolving bill and decision
+// prices, the status and metrics endpoints counting entries — work from
+// whatever view they loaded without taking any lock.
+type priceView struct {
+	at  []time.Time
+	vec [][]float64
+}
+
+func (v *priceView) len() int { return len(v.at) }
+
+// last returns the newest consolidated vector, or nil when the feed is
+// empty.
+func (v *priceView) last() []float64 {
+	if len(v.vec) == 0 {
+		return nil
+	}
+	return v.vec[len(v.vec)-1]
+}
+
+// lookup returns the vector covering instant at — the newest entry at or
+// before it, clamped to the first entry for pre-feed instants, exactly as
+// the batch engine clamps decision times to the start of market data.
+// Returns nil when the view is empty.
+func (v *priceView) lookup(at time.Time) []float64 {
+	n := len(v.at)
+	if n == 0 {
+		return nil
+	}
+	// Common case for chronological stepping: at covers the newest entry.
+	if !at.Before(v.at[n-1]) {
+		return v.vec[n-1]
+	}
+	i := sort.Search(n, func(i int) bool { return v.at[i].After(at) })
+	if i == 0 {
+		return v.vec[0]
+	}
+	return v.vec[i-1]
+}
+
+// feedShard is one hub's ingested price history: instants ascending, one
+// price per instant. Every hub gets its own shard with its own lock, so
+// recording one hub's series never touches another hub's state.
+type feedShard struct {
+	mu sync.Mutex
+	at []time.Time // guarded_by: mu
+	px []float64   // guarded_by: mu
+}
+
+// record appends one posted price; a re-post at the hub's newest instant
+// replaces it (feed corrections). Chronology against the consolidated
+// feed is the committer's job — shard instants can only trail it.
+func (sh *feedShard) record(at time.Time, price float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.recordLocked(at, price)
+}
+
+// recordSeries appends one batch column: rows instants of start + i·step,
+// prices read from the column's stride through the staged batch floats.
+// One shard lock covers the whole column.
+func (sh *feedShard) recordSeries(start time.Time, step time.Duration, flat []float64, col, cols, rows int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < rows; i++ {
+		sh.recordLocked(start.Add(time.Duration(i)*step), flat[i*cols+col])
+	}
+}
+
+//lint:held mu record and recordSeries lock the shard around the append
+func (sh *feedShard) recordLocked(at time.Time, price float64) {
+	if n := len(sh.at); n > 0 && at.Equal(sh.at[n-1]) {
+		sh.px[n-1] = price
+		return
+	}
+	sh.at = append(sh.at, at)
+	sh.px = append(sh.px, price)
+}
+
+// prune drops history that can never influence a consolidated vector
+// again: everything strictly older than the newest entry at or before
+// oldest (that entry itself stays — it defines the hub's price at oldest
+// and later instants up to its successor).
+func (sh *feedShard) prune(oldest time.Time) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := len(sh.at)
+	if n == 0 {
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return sh.at[i].After(oldest) })
+	if i <= 1 {
+		return
+	}
+	sh.at = append(sh.at[:0], sh.at[i-1:]...)
+	sh.px = append(sh.px[:0], sh.px[i-1:]...)
+	clear(sh.at[len(sh.at):n])
+}
+
+func (sh *feedShard) reset() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.at, sh.px = nil, nil
+}
+
+// entries returns the shard's retained history length.
+func (sh *feedShard) entries() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.at)
+}
+
+// shardedFeed is the daemon's price store, split for concurrency:
+//
+//   - per-hub feedShards hold the raw posted history, each under its own
+//     lock;
+//   - the consolidated history routing consumes is published as an
+//     immutable priceView through an atomic pointer — RCU-style: readers
+//     Load and never lock, writers build a successor view and Store it;
+//   - commitMu serializes writers: chronology checks, shard recording,
+//     the canonical at/vec arrays behind the view, and the swap itself.
+//
+// Lock order: Server.mu → commitMu → feedShard.mu (the demand path and
+// checkpoint restore reach the feed while holding Server.mu; price
+// ingestion takes commitMu without ever touching Server.mu, which is what
+// lets POST /v1/prices and POST /v1/demand run concurrently). View
+// readers take no lock at all.
+//
+// The canonical at/vec arrays grow by append: writes land strictly beyond
+// every published view's length, so sharing their backing arrays with
+// views is race-free. The two mutations that would touch a published
+// region — replacing the newest vector and pruning the front — re-back
+// the arrays instead (see push and prune).
+type shardedFeed struct {
+	fleet       *cluster.Fleet
+	hubClusters map[string][]int      // hub id → cluster indices; fixed at construction
+	shards      map[string]*feedShard // per hub; key set fixed at construction
+
+	commitMu sync.Mutex
+	at       []time.Time // guarded_by: commitMu
+	vec      [][]float64 // guarded_by: commitMu
+	view     atomic.Pointer[priceView]
+}
+
+func newShardedFeed(fleet *cluster.Fleet, hubClusters map[string][]int) *shardedFeed {
+	f := &shardedFeed{
+		fleet:       fleet,
+		hubClusters: hubClusters,
+		shards:      make(map[string]*feedShard, len(hubClusters)),
+	}
+	for hub := range hubClusters {
+		f.shards[hub] = &feedShard{}
+	}
+	f.view.Store(&priceView{})
+	return f
+}
+
+// current returns the latest published consolidated view. Never nil.
+func (f *shardedFeed) current() *priceView { return f.view.Load() }
+
+// entries returns the consolidated entry count — what feed_entries
+// responses and the price_feed_entries metric report.
+func (f *shardedFeed) entries() int { return f.current().len() }
+
+// ingest applies one JSON price post: hub prices taking effect at an
+// instant, overlaid on the newest consolidated vector. Hubs hosting no
+// cluster are counted as ignored; every cluster must be covered once the
+// overlay is applied. On failure nothing is recorded and code carries the
+// HTTP status to report.
+func (f *shardedFeed) ingest(at time.Time, prices map[string]float64) (ignored, entries, code int, err error) {
+	f.commitMu.Lock()
+	defer f.commitMu.Unlock()
+	nc := len(f.fleet.Clusters)
+	vec := make([]float64, nc)
+	covered := make([]bool, nc)
+	if last := f.last(); last != nil {
+		copy(vec, last)
+		for c := range covered {
+			covered[c] = true
+		}
+	}
+	for hub, price := range prices {
+		idxs, ok := f.hubClusters[hub]
+		if !ok {
+			ignored++
+			continue
+		}
+		for _, c := range idxs {
+			vec[c] = price
+			covered[c] = true
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			return ignored, 0, http.StatusBadRequest,
+				fmt.Errorf("no price yet for cluster %s (hub %s)", f.fleet.Clusters[c].Code, f.fleet.Clusters[c].HubID)
+		}
+	}
+	if err := f.push(at, vec); err != nil {
+		return ignored, 0, http.StatusConflict, err
+	}
+	for hub, price := range prices {
+		if sh, ok := f.shards[hub]; ok {
+			sh.record(at, price)
+		}
+	}
+	return ignored, f.publish(), 0, nil
+}
+
+// ingestBatch commits one staged binary prices batch atomically: flat
+// holds the batch's rows×cols prices, already decoded and validated, and
+// nothing publishes unless the whole batch passes chronology and
+// coverage — a failed batch leaves the feed exactly as it was.
+func (f *shardedFeed) ingestBatch(h *BatchHeader, flat []float64) (entries, code int, err error) {
+	f.commitMu.Lock()
+	defer f.commitMu.Unlock()
+	// Instants within a batch are strictly increasing (the header enforces
+	// step > 0), so only the first row can violate chronology.
+	if n := len(f.at); n > 0 && h.Start.Before(f.at[n-1]) {
+		return 0, http.StatusConflict,
+			fmt.Errorf("price row 0: server: price at %v precedes newest feed entry %v", h.Start, f.at[n-1])
+	}
+	nc := len(f.fleet.Clusters)
+	colClusters := make([][]int, h.Cols)
+	covered := make([]bool, nc)
+	if f.last() != nil {
+		for c := range covered {
+			covered[c] = true
+		}
+	}
+	for i, hub := range h.Hubs {
+		colClusters[i] = f.hubClusters[hub]
+		for _, c := range colClusters[i] {
+			covered[c] = true
+		}
+	}
+	for c, ok := range covered {
+		if !ok {
+			return 0, http.StatusBadRequest,
+				fmt.Errorf("no price for cluster %s (hub %s) in batch", f.fleet.Clusters[c].Code, f.fleet.Clusters[c].HubID)
+		}
+	}
+	// Record each hub's column in its shard — one shard lock per column —
+	// then roll the consolidated vectors forward and publish once.
+	for col, hub := range h.Hubs {
+		if sh, ok := f.shards[hub]; ok {
+			sh.recordSeries(h.Start, h.Step, flat, col, h.Cols, h.Rows)
+		}
+	}
+	prev := f.last()
+	for i := 0; i < h.Rows; i++ {
+		vec := make([]float64, nc)
+		if prev != nil {
+			copy(vec, prev)
+		}
+		for col, price := range flat[i*h.Cols : (i+1)*h.Cols] {
+			for _, c := range colClusters[col] {
+				vec[c] = price
+			}
+		}
+		if err := f.push(h.Start.Add(time.Duration(i)*h.Step), vec); err != nil {
+			return 0, http.StatusConflict, fmt.Errorf("price row %d: %v", i, err)
+		}
+		prev = vec
+	}
+	return f.publish(), 0, nil
+}
+
+// prune drops consolidated entries that can never be looked up again —
+// everything strictly older than the newest entry at or before oldest —
+// trims every hub shard the same way, and publishes the shortened view.
+// Readers still holding an older view keep its arrays alive until they
+// return (the RCU bargain), but the canonical arrays are re-backed so the
+// feed itself retains nothing it pruned.
+func (f *shardedFeed) prune(oldest time.Time) {
+	f.commitMu.Lock()
+	defer f.commitMu.Unlock()
+	n := len(f.at)
+	if n == 0 {
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return f.at[i].After(oldest) })
+	if i <= 1 {
+		return
+	}
+	at := make([]time.Time, n-i+1)
+	copy(at, f.at[i-1:])
+	vec := make([][]float64, n-i+1)
+	copy(vec, f.vec[i-1:])
+	f.at, f.vec = at, vec
+	for _, sh := range f.shards {
+		sh.prune(oldest)
+	}
+	f.publish()
+}
+
+// reset drops everything — the feed belonged to a replaced run
+// (checkpoint restore) — and publishes an empty view.
+func (f *shardedFeed) reset() {
+	f.commitMu.Lock()
+	defer f.commitMu.Unlock()
+	f.at, f.vec = nil, nil
+	for _, sh := range f.shards {
+		sh.reset()
+	}
+	f.view.Store(&priceView{})
+}
+
+// last returns the newest canonical vector, or nil when the feed is
+// empty.
+//
+//lint:held commitMu callers hold the commit lock
+func (f *shardedFeed) last() []float64 {
+	if n := len(f.vec); n > 0 {
+		return f.vec[n-1]
+	}
+	return nil
+}
+
+// push appends one consolidated vector without publishing it. Entries
+// must arrive in chronological order; a re-post at the newest instant
+// replaces it (feed corrections).
+//
+//lint:held commitMu callers hold the commit lock across validate+publish
+func (f *shardedFeed) push(at time.Time, perCluster []float64) error {
+	if n := len(f.at); n > 0 {
+		switch {
+		case at.Equal(f.at[n-1]):
+			// Replacing in place would mutate the newest published view;
+			// re-back the vector array so existing views stay frozen.
+			vec := make([][]float64, n)
+			copy(vec, f.vec)
+			vec[n-1] = perCluster
+			f.vec = vec
+			return nil
+		case at.Before(f.at[n-1]):
+			return fmt.Errorf("server: price at %v precedes newest feed entry %v", at, f.at[n-1])
+		}
+	}
+	f.at = append(f.at, at)
+	f.vec = append(f.vec, perCluster)
+	return nil
+}
+
+// publish swaps in a view of the canonical arrays (capped at the current
+// length, so later appends can share the backing without touching any
+// published element) and returns the entry count.
+//
+//lint:held commitMu callers hold the commit lock
+func (f *shardedFeed) publish() int {
+	n := len(f.at)
+	f.view.Store(&priceView{at: f.at[:n:n], vec: f.vec[:n:n]})
+	return n
+}

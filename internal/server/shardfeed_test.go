@@ -1,0 +1,113 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"powerroute/internal/cluster"
+)
+
+// oneHubFeed builds a sharded feed over a single-cluster fleet whose only
+// hub is "H" — the smallest world in which every consolidated semantic
+// (overlay, chronology, prune, publish) is observable.
+func oneHubFeed() *shardedFeed {
+	fleet := &cluster.Fleet{Clusters: []cluster.Cluster{{Code: "C0", HubID: "H"}}}
+	return newShardedFeed(fleet, map[string][]int{"H": {0}})
+}
+
+func mustIngest(t *testing.T, f *shardedFeed, at time.Time, price float64) {
+	t.Helper()
+	if _, _, _, err := f.ingest(at, map[string]float64{"H": price}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedFeedPrune: the feed retains only the covering entry at or
+// before the oldest future lookup instant, lookups after pruning resolve
+// exactly as before, the hub shards are trimmed in step, and a no-op
+// prune publishes nothing (the view pointer is unchanged).
+func TestShardedFeedPrune(t *testing.T) {
+	f := oneHubFeed()
+	t0 := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		mustIngest(t, f, t0.Add(time.Duration(i)*time.Hour), float64(i))
+	}
+	f.prune(t0.Add(5*time.Hour + 30*time.Minute))
+	if f.entries() != 5 { // entries 5..9; entry 5 covers 5:30
+		t.Fatalf("feed holds %d entries after prune, want 5", f.entries())
+	}
+	v := f.current()
+	if got := v.lookup(t0.Add(5*time.Hour + 30*time.Minute)); got[0] != 5 {
+		t.Fatalf("covering lookup = %v, want 5", got[0])
+	}
+	// Pre-threshold instants clamp to the retained covering entry.
+	if got := v.lookup(t0); got[0] != 5 {
+		t.Fatalf("clamped lookup = %v, want 5", got[0])
+	}
+	// The per-hub shard history must not outlive the consolidated window,
+	// or a long-running daemon would leak one sample per post.
+	if got := f.shards["H"].entries(); got != 5 {
+		t.Fatalf("hub shard holds %d entries after prune, want 5", got)
+	}
+	// Pruning at/behind the first entry is a no-op and publishes nothing.
+	before := f.current()
+	f.prune(t0)
+	if f.current() != before {
+		t.Fatal("no-op prune published a new view")
+	}
+	if f.entries() != 5 {
+		t.Fatalf("no-op prune changed length to %d", f.entries())
+	}
+}
+
+// TestShardedFeedViewImmutable: a published view is frozen — later posts,
+// corrections of the newest entry, and prunes must all build successors
+// instead of mutating arrays a concurrent reader may hold. This is the
+// RCU contract the lock-free demand path rests on.
+func TestShardedFeedViewImmutable(t *testing.T) {
+	f := oneHubFeed()
+	t0 := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		mustIngest(t, f, t0.Add(time.Duration(i)*time.Hour), float64(i))
+	}
+	old := f.current()
+
+	// Append beyond the old view, then correct its newest entry in the
+	// successor, then prune the front away.
+	mustIngest(t, f, t0.Add(3*time.Hour), 3)
+	mustIngest(t, f, t0.Add(3*time.Hour), 33) // correction: replaces newest
+	f.prune(t0.Add(3 * time.Hour))
+
+	if old.len() != 3 {
+		t.Fatalf("old view length changed to %d", old.len())
+	}
+	for i := 0; i < 3; i++ {
+		if got := old.vec[i][0]; got != float64(i) {
+			t.Fatalf("old view entry %d mutated to %v", i, got)
+		}
+	}
+	now := f.current()
+	if now.len() != 1 || now.last()[0] != 33 {
+		t.Fatalf("successor view = %d entries, last %v; want 1 entry of 33",
+			now.len(), now.last())
+	}
+}
+
+// TestShardedFeedChronology: stale posts are rejected without recording
+// anything, with the same error the single-mutex feed produced.
+func TestShardedFeedChronology(t *testing.T) {
+	f := oneHubFeed()
+	t0 := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	mustIngest(t, f, t0.Add(time.Hour), 10)
+	_, _, code, err := f.ingest(t0, map[string]float64{"H": 5})
+	if err == nil || !strings.Contains(err.Error(), "precedes newest feed entry") {
+		t.Fatalf("stale post: got %v", err)
+	}
+	if code != 409 {
+		t.Fatalf("stale post code = %d, want 409", code)
+	}
+	if f.entries() != 1 || f.shards["H"].entries() != 1 {
+		t.Fatal("rejected post was recorded")
+	}
+}

@@ -382,6 +382,9 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	}
 	for c := range e.meters {
 		e.meters[c].RestoreSamples(cp.MeterSamples[c])
+		// RestoreSamples copies at exact capacity; re-reserve the horizon so
+		// the remaining steps record without reallocating.
+		e.meters[c].Reserve(e.sc.Steps)
 	}
 	e.distHist = cp.DistHist.Clone()
 	copy(e.loads, cp.Loads)

@@ -9,10 +9,12 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"powerroute/internal/billing"
 	"powerroute/internal/cluster"
+	"powerroute/internal/energy"
 	"powerroute/internal/routing"
 	"powerroute/internal/stats"
 	"powerroute/internal/storage"
@@ -63,10 +65,20 @@ type Engine struct {
 	meters   []billing.Meter
 	distHist *stats.WeightedHistogram
 	assign   [][]float64
-	ctx      *routing.Context // ckpt:derived scratch rebuilt from fleet and loads every Step
-	loads    []float64
+	// assignBuf is the flat backing array of assign's rows, so Step clears
+	// the whole matrix with one range loop (compiled to a memclr) instead of
+	// ns short loops.
+	assignBuf []float64 // ckpt:derived scratch; assign's rows alias it and carry the state
+	ctx       *routing.Context // ckpt:derived scratch rebuilt from fleet and loads every Step
+	loads     []float64
 	// capacities caches the fleet's per-cluster capacities as floats.
 	capacities []float64 // ckpt:immutable derived from sc.Fleet at construction
+	// powerEval holds each cluster's energy model bound to its server count
+	// with the load-independent terms folded (bit-identical to sc.Energy).
+	powerEval []energy.Evaluator // ckpt:immutable derived from sc.Energy and sc.Fleet at construction
+	// distBin caches each state→cluster distance's histogram bin, since the
+	// geometry never changes; Step feeds weights straight into the bin.
+	distBin [][]int // ckpt:immutable derived from sc.Fleet and the histogram geometry at construction
 
 	// Fleet-wide scalars (total cost/energy, overload seconds, storage
 	// totals, carbon) are never accumulated across clusters during Step:
@@ -167,10 +179,25 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		e.res.ClusterCarbonKg = make([]float64, nc)
 	}
 	e.meters = make([]billing.Meter, nc)
+	for c := range e.meters {
+		e.meters[c].Reserve(sc.Steps)
+	}
 	e.distHist = stats.NewWeightedHistogram(0, 5500, 1100) // 5 km resolution
+	e.assignBuf = make([]float64, ns*nc)
 	e.assign = make([][]float64, ns)
+	e.distBin = make([][]int, ns)
 	for s := range e.assign {
-		e.assign[s] = make([]float64, nc)
+		e.assign[s] = e.assignBuf[s*nc : (s+1)*nc : (s+1)*nc]
+		e.distBin[s] = make([]int, nc)
+		for c, d := range sc.Fleet.DistanceKm[s] {
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				// No bin: Step falls back to Add, which tallies the
+				// weight as non-finite exactly as before.
+				e.distBin[s][c] = -1
+				continue
+			}
+			e.distBin[s][c] = e.distHist.BinIndex(d)
+		}
 	}
 	e.ctx = &routing.Context{
 		Demand:         make([]float64, ns),
@@ -181,8 +208,10 @@ func NewEngine(sc Scenario) (*Engine, error) {
 	e.loads = make([]float64, nc)
 	e.overloadSec = make([]float64, nc)
 	e.capacities = make([]float64, nc)
+	e.powerEval = make([]energy.Evaluator, nc)
 	for c, cl := range sc.Fleet.Clusters {
 		e.capacities[c] = float64(cl.Capacity)
+		e.powerEval[c] = sc.Energy.Evaluator(cl.Servers)
 	}
 	return e, nil
 }
@@ -289,11 +318,8 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 	}
 
 	// Allocate.
-	for s := range e.assign {
-		row := e.assign[s]
-		for c := range row {
-			row[c] = 0
-		}
+	for i := range e.assignBuf {
+		e.assignBuf[i] = 0
 	}
 	if err := sc.Policy.Allocate(ctx, e.assign); err != nil {
 		return err
@@ -307,33 +333,49 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 	for s := range e.assign {
 		row := e.assign[s]
 		dist := sc.Fleet.DistanceKm[s]
+		bins := e.distBin[s]
 		for c, rate := range row {
 			if rate <= 0 {
 				continue
 			}
 			e.loads[c] += rate
-			e.distHist.Add(dist[c], rate*stepHours)
+			if b := bins[c]; b >= 0 {
+				e.distHist.AddToBin(b, dist[c], rate*stepHours)
+			} else {
+				e.distHist.Add(dist[c], rate*stepHours)
+			}
 		}
 	}
-	for c, cl := range sc.Fleet.Clusters {
+	for c := range sc.Fleet.Clusters {
 		load := e.loads[c]
+		capacity := e.capacities[c]
 		e.meters[c].Record(load)
 		if load > res.PeakRate[c] {
 			res.PeakRate[c] = load
 		}
 		// Epsilon absorbs float residue from the allocator's room
 		// arithmetic; genuine overloads are orders of magnitude larger.
-		if over := load - e.capacities[c]; over > 1e-6+1e-9*e.capacities[c] {
+		if over := load - capacity; over > 1e-6+1e-9*capacity {
 			e.overloadSec[c] += over * sc.Step.Seconds()
 		}
 		if e.constraints != nil {
 			if err := e.constraints[c].Commit(load); err != nil {
-				return fmt.Errorf("sim: cluster %s at %v: %w", cl.Code, at, err)
+				return fmt.Errorf("sim: cluster %s at %v: %w", sc.Fleet.Clusters[c].Code, at, err)
 			}
 		}
-		u := cl.Utilization(units.HitRate(load))
+		// Cluster.Utilization over the cached float capacity: the same
+		// division, the same clamps.
+		u := 0.0
+		if capacity > 0 {
+			u = load / capacity
+			if u < 0 {
+				u = 0
+			} else if u > 1 {
+				u = 1
+			}
+		}
 		res.MeanUtilization[c] += u
-		en := sc.Energy.Energy(u, cl.Servers, stepHours)
+		en := e.powerEval[c].Energy(u, stepHours)
 		// Grid draw = IT draw + battery charging − battery discharging;
 		// everything downstream (bill, demand meter, carbon ledger) is
 		// metered at the grid interconnect.
@@ -480,56 +522,71 @@ type Snapshot struct {
 	OverloadHitSeconds float64
 }
 
-// Snapshot captures the running state. It never mutates the engine and is
-// valid before, during, and after Finalize.
-func (e *Engine) Snapshot() *Snapshot {
-	s := &Snapshot{
-		Policy:      e.res.Policy,
-		Steps:       e.stepsRun,
-		At:          e.lastAt,
-		Next:        e.Next(),
-		ClusterCost: append([]units.Money(nil), e.res.ClusterCost...),
-		ClusterRate: append([]float64(nil), e.loads...),
-		PeakRate:    append([]float64(nil), e.res.PeakRate...),
+// Snapshot captures the running state into a fresh Snapshot. It never
+// mutates the engine and is valid before, during, and after Finalize.
+// Callers polling on a hot path should hold a Snapshot and pass it to
+// SnapshotInto instead.
+func (e *Engine) Snapshot() *Snapshot { return e.SnapshotInto(nil) }
+
+// SnapshotInto captures the running state, reusing dst's slices when their
+// capacity allows (a nil dst allocates a fresh Snapshot). Every field of
+// dst is overwritten, so a recycled Snapshot never leaks stale state. This
+// keeps /v1/status and /metrics polling from pressuring the GC: after the
+// first call a reused Snapshot makes the capture allocation-free.
+func (e *Engine) SnapshotInto(dst *Snapshot) *Snapshot {
+	if dst == nil {
+		dst = new(Snapshot)
 	}
+	dst.Policy = e.res.Policy
+	dst.Steps = e.stepsRun
+	dst.At = e.lastAt
+	dst.Next = e.Next()
+	dst.ClusterCost = append(dst.ClusterCost[:0], e.res.ClusterCost...)
+	dst.ClusterRate = append(dst.ClusterRate[:0], e.loads...)
+	dst.PeakRate = append(dst.PeakRate[:0], e.res.PeakRate...)
+	dst.DemandCharge = 0
 	if e.finalized {
 		// Result already folded the demand charge into the totals.
-		s.TotalCost = e.res.TotalCost
-		s.TotalEnergy = e.res.TotalEnergy
-		s.EnergyCost = e.res.EnergyCost
-		s.DemandCharge = e.res.DemandCharge
-		s.OverloadHitSeconds = e.res.OverloadHitSeconds
-		s.StorageBoughtKWh = e.res.StorageBoughtKWh
-		s.StorageServedKWh = e.res.StorageServedKWh
-		s.TotalCarbonKg = e.res.TotalCarbonKg
+		dst.TotalCost = e.res.TotalCost
+		dst.TotalEnergy = e.res.TotalEnergy
+		dst.EnergyCost = e.res.EnergyCost
+		dst.DemandCharge = e.res.DemandCharge
+		dst.OverloadHitSeconds = e.res.OverloadHitSeconds
+		dst.StorageBoughtKWh = e.res.StorageBoughtKWh
+		dst.StorageServedKWh = e.res.StorageServedKWh
+		dst.TotalCarbonKg = e.res.TotalCarbonKg
 	} else {
 		cost, energy, overload, bought, served, carbon := e.totals()
-		s.TotalCost, s.EnergyCost = cost, cost
-		s.TotalEnergy = energy
-		s.OverloadHitSeconds = overload
-		s.StorageBoughtKWh = bought
-		s.StorageServedKWh = served
-		s.TotalCarbonKg = carbon
+		dst.TotalCost, dst.EnergyCost = cost, cost
+		dst.TotalEnergy = energy
+		dst.OverloadHitSeconds = overload
+		dst.StorageBoughtKWh = bought
+		dst.StorageServedKWh = served
+		dst.TotalCarbonKg = carbon
 		if e.demandMeters != nil {
 			for _, m := range e.demandMeters {
-				s.DemandCharge += m.Charge(e.sc.DemandChargePerKW)
+				dst.DemandCharge += m.Charge(e.sc.DemandChargePerKW)
 			}
-			s.TotalCost += s.DemandCharge
+			dst.TotalCost += dst.DemandCharge
 		}
 	}
 	if e.demandMeters != nil {
-		s.PeakGridKW = make([]float64, e.nc)
-		for c, m := range e.demandMeters {
-			s.PeakGridKW[c] = m.PeakKW()
+		dst.PeakGridKW = dst.PeakGridKW[:0]
+		for _, m := range e.demandMeters {
+			dst.PeakGridKW = append(dst.PeakGridKW, m.PeakKW())
 		}
+	} else {
+		dst.PeakGridKW = nil
 	}
 	if e.batteries != nil {
-		s.SoCKWh = make([]float64, e.nc)
-		for c, b := range e.batteries {
-			s.SoCKWh[c] = b.SoCKWh()
+		dst.SoCKWh = dst.SoCKWh[:0]
+		for _, b := range e.batteries {
+			dst.SoCKWh = append(dst.SoCKWh, b.SoCKWh())
 		}
+	} else {
+		dst.SoCKWh = nil
 	}
-	return s
+	return dst
 }
 
 // Assignments copies the last interval's full state×cluster assignment

@@ -1,0 +1,313 @@
+// In-process parallel shard execution: run the routing-closed regions of
+// one world concurrently inside a single process. Where shard.go splits a
+// scenario across *processes* (one powerrouted per region, merged by a
+// coordinator), ParallelEngine keeps the split internal: one engine per
+// region, each on its own goroutine, stepped in lock-step by a single
+// caller. Because the partition is routing-closed, the shards never
+// exchange state mid-interval — each Step fans the joint demand and price
+// vectors out, runs every region concurrently, and joins — and the merged
+// books reproduce the joint single-engine run exactly (see
+// MergeCheckpoints for the argument).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"powerroute/internal/cluster"
+)
+
+// stepCmd carries one interval's shard-local inputs to a shard worker.
+type stepCmd struct {
+	at     time.Time
+	prices StepPrices
+	demand []float64
+}
+
+// shardWorker owns one shard engine on a dedicated goroutine. The worker
+// only ever touches its engine between a cmd receive and the matching res
+// send, so whenever the caller is not blocked inside Step the engine is
+// quiescent and safe to read from the caller's goroutine (Checkpoint does
+// exactly that).
+type shardWorker struct {
+	eng      *Engine
+	clusters []int // parent fleet indices of this shard's clusters
+	states   []int // parent fleet indices of this shard's states
+
+	// Per-shard input scratch, refilled from the joint vectors every Step.
+	// The engine copies its inputs, so reuse across steps is safe.
+	dec, bill, carbon, rates []float64
+
+	cmd chan stepCmd
+	res chan error
+}
+
+func (w *shardWorker) loop() {
+	for c := range w.cmd {
+		w.res <- w.eng.Step(c.at, c.prices, c.demand)
+	}
+}
+
+// ParallelEngine runs one scenario as concurrent routing-closed shard
+// engines behind the Engine's incremental API. Step is synchronous: it
+// scatters the joint per-cluster prices and per-state demand to the shard
+// workers, blocks until every region has advanced, and returns the first
+// error. Reads (Snapshot, Assignments, Checkpoint, Finalize) see the
+// world at the joint cursor by merging the shard checkpoints and
+// restoring them into a joint engine, memoized per cursor — bit for bit
+// the state a single engine fed the same vectors would hold, except the
+// distance histogram, whose bins absorb the same weights in a different
+// order across the merge.
+//
+// Like Engine, a ParallelEngine is not safe for concurrent use; wrap it
+// in a lock to serve concurrent feeds (internal/server does).
+type ParallelEngine struct {
+	sc      Scenario
+	hash    string
+	workers []*shardWorker
+
+	stepsRun int
+	lastAt   time.Time
+
+	// joint is the materialized whole-world engine as of jointAt steps —
+	// the fresh engine at construction, then each merge's product. It is
+	// the read model; the shard engines are the write model.
+	joint   *Engine
+	jointAt int
+
+	finalized bool
+	err       error // poison: set when a step left the shard cursors split
+}
+
+// NewParallelEngine builds one engine per shard of the partition and
+// starts their workers. The partition must be routing-closed under the
+// scenario's policy — PartitionByRouting's output or any coarsening of
+// it — which Scenario.Shard verifies.
+func NewParallelEngine(sc Scenario, p ShardPartition) (*ParallelEngine, error) {
+	subs, err := sc.Shard(p)
+	if err != nil {
+		return nil, err
+	}
+	// The joint engine validates the whole scenario and serves reads
+	// until the first merge.
+	joint, err := NewEngine(sc)
+	if err != nil {
+		return nil, err
+	}
+	e := &ParallelEngine{
+		sc:      sc,
+		hash:    joint.WorldHash(),
+		workers: make([]*shardWorker, len(subs)),
+		joint:   joint,
+	}
+	for i, sub := range subs {
+		eng, err := NewEngine(sub)
+		if err != nil {
+			return nil, fmt.Errorf("sim: shard %d: %w", i, err)
+		}
+		w := &shardWorker{
+			eng:      eng,
+			clusters: p.Clusters[i],
+			states:   p.States[i],
+			dec:      make([]float64, len(p.Clusters[i])),
+			bill:     make([]float64, len(p.Clusters[i])),
+			rates:    make([]float64, len(p.States[i])),
+			cmd:      make(chan stepCmd),
+			res:      make(chan error),
+		}
+		if sc.Carbon != nil {
+			w.carbon = make([]float64, len(p.Clusters[i]))
+		}
+		e.workers[i] = w
+		go w.loop()
+	}
+	return e, nil
+}
+
+// Shards returns the number of concurrently running regions.
+func (e *ParallelEngine) Shards() int { return len(e.workers) }
+
+// Fleet returns the joint fleet the engine serves.
+func (e *ParallelEngine) Fleet() *cluster.Fleet { return e.sc.Fleet }
+
+// StepSize returns the scenario's interval length.
+func (e *ParallelEngine) StepSize() time.Duration { return e.sc.Step }
+
+// Start returns the scenario's first interval instant.
+func (e *ParallelEngine) Start() time.Time { return e.sc.Start }
+
+// ReactionDelay returns the scenario's price-signal staleness.
+func (e *ParallelEngine) ReactionDelay() time.Duration { return e.sc.ReactionDelay }
+
+// StepsRun returns how many intervals have been advanced.
+func (e *ParallelEngine) StepsRun() int { return e.stepsRun }
+
+// Next returns the instant the next Step should cover.
+func (e *ParallelEngine) Next() time.Time {
+	return e.sc.Start.Add(time.Duration(e.stepsRun) * e.sc.Step)
+}
+
+// WorldHash returns the joint world's identity digest — the hash a
+// single-engine run of the same scenario reports, and the parent hash
+// every shard checkpoint is stamped with.
+func (e *ParallelEngine) WorldHash() string { return e.hash }
+
+// Scenario returns the joint scenario the engine was built from.
+func (e *ParallelEngine) Scenario() Scenario { return e.sc }
+
+// Step advances every region through the interval starting at `at`,
+// concurrently. The joint vectors are validated before anything is
+// dispatched, so a malformed input rejects cleanly; an error *inside* a
+// shard's step, however, leaves the regions at split cursors, and the
+// engine poisons itself — every later call returns the same error —
+// rather than serve books that no longer describe one world.
+func (e *ParallelEngine) Step(at time.Time, prices StepPrices, demand []float64) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.finalized {
+		return errors.New("sim: engine already finalized")
+	}
+	nc, ns := len(e.sc.Fleet.Clusters), len(e.sc.Fleet.States)
+	if len(demand) != ns {
+		return fmt.Errorf("sim: demand source returned %d states, want %d", len(demand), ns)
+	}
+	if len(prices.Decision) != nc {
+		return fmt.Errorf("sim: %d decision prices for %d clusters", len(prices.Decision), nc)
+	}
+	if len(prices.Bill) != nc {
+		return fmt.Errorf("sim: %d billing prices for %d clusters", len(prices.Bill), nc)
+	}
+	if e.sc.Carbon != nil && len(prices.Carbon) != nc {
+		return fmt.Errorf("sim: %d carbon intensities for %d clusters", len(prices.Carbon), nc)
+	}
+	for _, w := range e.workers {
+		for i, c := range w.clusters {
+			w.dec[i] = prices.Decision[c]
+			w.bill[i] = prices.Bill[c]
+		}
+		if w.carbon != nil {
+			for i, c := range w.clusters {
+				w.carbon[i] = prices.Carbon[c]
+			}
+		}
+		for i, s := range w.states {
+			w.rates[i] = demand[s]
+		}
+		w.cmd <- stepCmd{at: at, prices: StepPrices{Decision: w.dec, Bill: w.bill, Carbon: w.carbon}, demand: w.rates}
+	}
+	var firstErr error
+	for i, w := range e.workers {
+		if err := <-w.res; err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sim: shard %d: %w", i, err)
+		}
+	}
+	if firstErr != nil {
+		e.err = fmt.Errorf("sim: parallel engine poisoned at step %d: %w", e.stepsRun, firstErr)
+		return e.err
+	}
+	e.stepsRun++
+	e.lastAt = at
+	return nil
+}
+
+// materialize returns a joint engine at the current cursor, merging the
+// shard checkpoints when the memoized one is stale. All workers are idle
+// here (Step is synchronous), so reading the shard engines is safe.
+func (e *ParallelEngine) materialize() (*Engine, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.jointAt == e.stepsRun {
+		return e.joint, nil
+	}
+	cp, err := e.mergedCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	joint, err := Restore(e.sc, cp)
+	if err != nil {
+		return nil, fmt.Errorf("sim: restoring merged shard checkpoint: %w", err)
+	}
+	e.joint, e.jointAt = joint, e.stepsRun
+	return joint, nil
+}
+
+// mergedCheckpoint checkpoints every shard and merges under the parent
+// world hash — the same bytes a single engine at this cursor would write.
+func (e *ParallelEngine) mergedCheckpoint() (*Checkpoint, error) {
+	parts := make([]*Checkpoint, len(e.workers))
+	for i, w := range e.workers {
+		cp, err := w.eng.Checkpoint()
+		if err != nil {
+			return nil, fmt.Errorf("sim: shard %d: %w", i, err)
+		}
+		parts[i] = cp
+	}
+	return MergeCheckpoints(parts)
+}
+
+// Checkpoint merges the shard checkpoints into the joint world's — a
+// checkpoint that restores into a single-engine run of the same scenario
+// (the daemon's durable state stays portable across -parallel-shards).
+func (e *ParallelEngine) Checkpoint() (*Checkpoint, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.finalized {
+		return nil, errors.New("sim: cannot checkpoint a finalized engine")
+	}
+	return e.mergedCheckpoint()
+}
+
+// Snapshot captures the joint running state into a fresh Snapshot.
+func (e *ParallelEngine) Snapshot() *Snapshot { return e.SnapshotInto(nil) }
+
+// SnapshotInto captures the joint running state, reusing dst's slices
+// like Engine.SnapshotInto. When the engine is poisoned the merge is
+// impossible, so the snapshot is served from the last consistent joint
+// cursor instead of failing the caller's status endpoint; the poison
+// error itself surfaces on every Step/Checkpoint/Finalize.
+func (e *ParallelEngine) SnapshotInto(dst *Snapshot) *Snapshot {
+	joint, err := e.materialize()
+	if err != nil {
+		joint = e.joint
+	}
+	return joint.SnapshotInto(dst)
+}
+
+// Assignments copies the last interval's joint state×cluster assignment
+// matrix into dst, falling back like SnapshotInto when poisoned.
+func (e *ParallelEngine) Assignments(dst [][]float64) [][]float64 {
+	joint, err := e.materialize()
+	if err != nil {
+		joint = e.joint
+	}
+	return joint.Assignments(dst)
+}
+
+// Finalize merges the shards one last time, closes the joint books, and
+// stops the workers. Idempotent like Engine.Finalize: the second call
+// returns the same Result.
+func (e *ParallelEngine) Finalize() (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.finalized {
+		return e.joint.Finalize()
+	}
+	joint, err := e.materialize()
+	if err != nil {
+		return nil, err
+	}
+	res, err := joint.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	e.finalized = true
+	for _, w := range e.workers {
+		close(w.cmd)
+	}
+	return res, nil
+}

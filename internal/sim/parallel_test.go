@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"powerroute/internal/routing"
+)
+
+// driveParallel advances a ParallelEngine through the next `steps`
+// intervals with the same lookup semantics as driveSteps — billing prices
+// at the interval instant, the decision signal ReactionDelay in the past,
+// clamped to the market start — so a full drive must reproduce the batch
+// Run bit for bit. The price series are resolved through `series`, a
+// joint engine over the same world.
+func driveParallel(t testing.TB, eng *ParallelEngine, series *Engine, sc Scenario, steps int) {
+	t.Helper()
+	prices := series.PriceSeries()
+	nc := len(sc.Fleet.Clusters)
+	decision := make([]float64, nc)
+	bill := make([]float64, nc)
+	var demand []float64
+	marketStart := prices[0].Start
+	for step := 0; step < steps; step++ {
+		at := eng.Next()
+		demand = sc.Demand.Rates(at, demand)
+		decisionAt := at.Add(-sc.ReactionDelay)
+		if decisionAt.Before(marketStart) {
+			decisionAt = marketStart
+		}
+		for c := range prices {
+			v, err := prices[c].At(decisionAt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decision[c] = v
+			if v, err = prices[c].At(at); err != nil {
+				t.Fatal(err)
+			}
+			bill[c] = v
+		}
+		if err := eng.Step(at, StepPrices{Decision: decision, Bill: bill}, demand); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newParallel builds a ParallelEngine over sc's finest routing-closed
+// partition.
+func newParallel(t testing.TB, sc Scenario) *ParallelEngine {
+	t.Helper()
+	p, err := PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelEngine(sc, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return par
+}
+
+// TestParallelEngineMatchesJointRun is the in-process counterpart of
+// TestShardMergeMatchesJointRun: the world split into 3 concurrently
+// running regions (600 km threshold: CA, Texas, East) must be
+// indistinguishable from the single-engine run through every read
+// surface — mid-run snapshots and assignment matrices exactly, mid-run
+// checkpoints exactly outside the distance histogram (whose bins absorb
+// the same weights in a different order across the merge), and the final
+// Result through Finalize.
+func TestParallelEngineMatchesJointRun(t *testing.T) {
+	sc := longRunScenario(t, 600)
+	sc.Steps = 60 * 24
+	half := sc.Steps / 2
+
+	jointSc := clonePolicy(t, sc)
+	joint, err := NewEngine(jointSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := newParallel(t, clonePolicy(t, sc))
+	if par.Shards() != 3 {
+		t.Fatalf("partition has %d shards, want 3", par.Shards())
+	}
+	if par.WorldHash() != joint.WorldHash() {
+		t.Fatalf("parallel world hash %s, joint %s", par.WorldHash(), joint.WorldHash())
+	}
+
+	// A pre-step snapshot must work (the daemon answers /v1/status before
+	// any demand arrives).
+	if snap := par.Snapshot(); snap.Steps != 0 || snap.TotalCost != 0 {
+		t.Fatalf("fresh parallel snapshot = %d steps, cost %v", snap.Steps, snap.TotalCost)
+	}
+
+	driveSteps(t, joint, jointSc, half)
+	driveParallel(t, par, joint, sc, half)
+
+	// Mid-run: snapshots and assignments are exact (no distance fields).
+	js, ps := joint.Snapshot(), par.Snapshot()
+	if !reflect.DeepEqual(js, ps) {
+		t.Fatalf("mid-run snapshot differs:\njoint    %+v\nparallel %+v", js, ps)
+	}
+	if ja, pa := joint.Assignments(nil), par.Assignments(nil); !reflect.DeepEqual(ja, pa) {
+		t.Fatal("mid-run assignment matrices differ")
+	}
+
+	// Mid-run checkpoints: identical except the distance histogram, which
+	// matches to float-associativity tolerance.
+	jcp, err := joint.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcp, err := par.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jm, pm := jcp.DistHist.Mean(), pcp.DistHist.Mean(); math.Abs(jm-pm) > 1e-6*(1+math.Abs(jm)) {
+		t.Errorf("merged distance mean %v, joint %v", pm, jm)
+	}
+	jcp.DistHist, pcp.DistHist = nil, nil
+	if !reflect.DeepEqual(jcp, pcp) {
+		t.Fatalf("mid-run checkpoint differs outside the distance histogram:\njoint    %+v\nparallel %+v", jcp, pcp)
+	}
+
+	// The merged checkpoint survives the wire and restores into a plain
+	// single-engine run of the joint world.
+	wire, err := par.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := wire.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(clonePolicy(t, sc), decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.StepsRun() != half {
+		t.Fatalf("restored single engine at step %d, want %d", resumed.StepsRun(), half)
+	}
+
+	// Finish both and close the books.
+	driveSteps(t, joint, jointSc, sc.Steps-half)
+	driveParallel(t, par, joint, sc, sc.Steps-half)
+	want, err := joint.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireResultsMatch(t, "parallel run", got, want)
+
+	// Finalize is idempotent and terminal, like Engine's.
+	again, err := par.Finalize()
+	if err != nil || again != got {
+		t.Fatalf("second Finalize = (%p, %v), want the same Result", again, err)
+	}
+	if err := par.Step(par.Next(), StepPrices{}, nil); err == nil || !strings.Contains(err.Error(), "finalized") {
+		t.Fatalf("Step after Finalize: %v", err)
+	}
+	if _, err := par.Checkpoint(); err == nil || !strings.Contains(err.Error(), "finalized") {
+		t.Fatalf("Checkpoint after Finalize: %v", err)
+	}
+}
+
+// TestParallelEngineValidatesBeforeDispatch: malformed joint vectors are
+// rejected before anything is fanned out, so a bad request cannot split
+// the shard cursors — the engine keeps stepping afterwards.
+func TestParallelEngineValidatesBeforeDispatch(t *testing.T) {
+	sc := longRunScenario(t, 600)
+	par := newParallel(t, sc)
+	joint, err := NewEngine(clonePolicy(t, sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, ns := len(sc.Fleet.Clusters), len(sc.Fleet.States)
+	good := make([]float64, nc)
+	demand := make([]float64, ns)
+	at := par.Next()
+
+	for _, tc := range []struct {
+		name   string
+		prices StepPrices
+		demand []float64
+	}{
+		{"short-demand", StepPrices{Decision: good, Bill: good}, demand[:ns-1]},
+		{"short-decision", StepPrices{Decision: good[:nc-1], Bill: good}, demand},
+		{"short-bill", StepPrices{Decision: good, Bill: good[:nc-1]}, demand},
+	} {
+		if err := par.Step(at, tc.prices, tc.demand); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+	}
+	if par.StepsRun() != 0 {
+		t.Fatalf("rejected steps advanced the cursor to %d", par.StepsRun())
+	}
+	driveParallel(t, par, joint, sc, 1)
+	if par.StepsRun() != 1 {
+		t.Fatalf("engine poisoned by a rejected vector: %d steps run", par.StepsRun())
+	}
+}
+
+// TestParallelEnginePoison: when a region errors mid-step the cursors are
+// split and the books no longer describe one world — every write and
+// checkpoint surface must return the poison error, while snapshots keep
+// serving the last consistent cursor (the daemon's status endpoint must
+// not panic or lie mid-incident).
+func TestParallelEnginePoison(t *testing.T) {
+	sc := longRunScenario(t, 600)
+	par := newParallel(t, sc)
+	joint, err := NewEngine(clonePolicy(t, sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveParallel(t, par, joint, sc, 3)
+	if snap := par.Snapshot(); snap.Steps != 3 {
+		t.Fatalf("snapshot at %d steps, want 3", snap.Steps)
+	}
+
+	// Finalize one region's engine out from under the parallel engine:
+	// its next Step fails while the others advance — exactly the split
+	// the poison guards against.
+	if _, err := par.workers[0].eng.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	prices := make([]float64, len(sc.Fleet.Clusters))
+	demand := make([]float64, len(sc.Fleet.States))
+	stepErr := par.Step(par.Next(), StepPrices{Decision: prices, Bill: prices}, demand)
+	if stepErr == nil || !strings.Contains(stepErr.Error(), "poisoned") || !strings.Contains(stepErr.Error(), "shard 0") {
+		t.Fatalf("poisoning step: %v", stepErr)
+	}
+	if err := par.Step(par.Next(), StepPrices{Decision: prices, Bill: prices}, demand); err != stepErr {
+		t.Fatalf("second step after poison: %v, want the poison error", err)
+	}
+	if _, err := par.Checkpoint(); err != stepErr {
+		t.Fatalf("checkpoint after poison: %v, want the poison error", err)
+	}
+	if _, err := par.Finalize(); err != stepErr {
+		t.Fatalf("finalize after poison: %v, want the poison error", err)
+	}
+	// Snapshots fall back to the last consistent cursor.
+	if snap := par.Snapshot(); snap.Steps != 3 {
+		t.Fatalf("post-poison snapshot at %d steps, want the last consistent 3", snap.Steps)
+	}
+}

@@ -79,6 +79,9 @@ func (w *WeightedHistogram) UnmarshalBinary(data []byte) error {
 		}
 		bins[i] = v
 	}
-	*w = WeightedHistogram{min: min, max: max, bins: bins, total: total, sum: sum, nonFinite: nonFinite}
+	*w = WeightedHistogram{
+		min: min, max: max, bins: bins, total: total, sum: sum, nonFinite: nonFinite,
+		span: max - min, nbinsF: float64(n),
+	}
 	return nil
 }

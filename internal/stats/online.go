@@ -150,10 +150,18 @@ type WeightedHistogram struct {
 	total     float64
 	sum       float64 // Σ weight·value, for the mean
 	nonFinite float64 // weight carried by NaN/±Inf values
+
+	// span and nbinsF cache max−min and float64(len(bins)) for Add's bin
+	// arithmetic. Derived, never serialized; every constructor (New and
+	// UnmarshalBinary) sets them from the same expressions Add used to
+	// evaluate inline, so bin placement is bit-identical.
+	span   float64 // ckpt:derived max−min, rebuilt by every constructor
+	nbinsF float64 // ckpt:derived float64(len(bins)), rebuilt by every constructor
 }
 
 // NewWeightedHistogram creates a histogram over [min,max] with the given
-// number of bins. Values are clamped into range.
+// number of bins. Values are clamped into range. The full bin array is
+// allocated up front — the histogram never grows.
 func NewWeightedHistogram(min, max float64, bins int) *WeightedHistogram {
 	if bins < 1 {
 		bins = 1
@@ -161,7 +169,7 @@ func NewWeightedHistogram(min, max float64, bins int) *WeightedHistogram {
 	if max <= min {
 		max = min + 1
 	}
-	return &WeightedHistogram{min: min, max: max, bins: make([]float64, bins)}
+	return &WeightedHistogram{min: min, max: max, bins: make([]float64, bins), span: max - min, nbinsF: float64(bins)}
 }
 
 // Add records value with the given weight. Non-positive or non-finite
@@ -176,12 +184,35 @@ func (w *WeightedHistogram) Add(value, weight float64) {
 		w.nonFinite += weight
 		return
 	}
-	i := int((value - w.min) / (w.max - w.min) * float64(len(w.bins)))
+	w.bins[w.BinIndex(value)] += weight
+	w.total += weight
+	w.sum += weight * value
+}
+
+// BinIndex returns the bin a finite value falls into, including the
+// clamping into range. Callers that record the same value repeatedly (the
+// simulation engine's fixed client-to-cluster distances) precompute it
+// once and use AddToBin on the hot path.
+func (w *WeightedHistogram) BinIndex(value float64) int {
+	// NOTE: keep this a division by span — folding it into a reciprocal
+	// multiply changes rounding and shifts edge values across bins.
+	i := int((value - w.min) / w.span * w.nbinsF)
 	if i < 0 {
 		i = 0
 	}
 	if i >= len(w.bins) {
 		i = len(w.bins) - 1
+	}
+	return i
+}
+
+// AddToBin records a finite value with its precomputed BinIndex, skipping
+// the bin arithmetic. The weight guard and the accumulation are Add's,
+// bit for bit; the value must be finite (non-finite values have no bin —
+// use Add, which tallies them separately).
+func (w *WeightedHistogram) AddToBin(i int, value, weight float64) {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return
 	}
 	w.bins[i] += weight
 	w.total += weight
