@@ -1,0 +1,203 @@
+// Command mdlinkcheck verifies intra-repository markdown links.
+//
+// It walks a directory tree for .md files, extracts inline links,
+// images, and reference-style definitions, and checks that every
+// relative or repo-absolute target resolves to a file or directory
+// that actually exists. External links (any URL with a scheme),
+// in-page anchors (#...), code fences, and inline code spans are
+// skipped: the tool's job is catching the link rot that file moves
+// and renames cause inside the repo, not probing the network.
+//
+// Usage:
+//
+//	mdlinkcheck [root]
+//
+// root defaults to the current directory. Repo-absolute targets
+// (/docs/FOO.md) resolve against root; relative targets resolve
+// against the linking file's directory; a #fragment suffix is
+// stripped before the existence check. Exit status is 1 if any
+// link is broken, 0 otherwise.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// problem is one broken link occurrence.
+type problem struct {
+	file   string // path relative to root, slash-separated
+	line   int    // 1-based line number
+	target string // the link target as written
+}
+
+func (p problem) String() string {
+	return fmt.Sprintf("%s:%d: broken link %q", p.file, p.line, p.target)
+}
+
+// inlineLink matches the (target) part of [text](target) and
+// ![alt](target), tolerating an optional <...> wrapper and an
+// optional "title". Nested parentheses in targets are not supported —
+// none of this repo's links need them, and a miss here fails loud
+// (the unresolved target shows up as broken), not silent.
+var inlineLink = regexp.MustCompile(`\]\(\s*<?([^)<>\s]+)>?(?:\s+"[^"]*")?\s*\)`)
+
+// refDef matches reference-style definitions: [label]: target
+var refDef = regexp.MustCompile(`^\s*\[[^\]]+\]:\s+<?([^<>\s]+)>?`)
+
+// inlineCode matches single-backtick code spans, removed before link
+// extraction so `[i](x)` in prose about indexing is not a link.
+var inlineCode = regexp.MustCompile("`[^`]*`")
+
+// hasScheme reports whether the target is an absolute URL
+// (http:, https:, mailto:, ...) rather than a filesystem path.
+var hasScheme = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9+.-]*:`)
+
+// extractTargets returns the link targets found in one markdown
+// document with their 1-based line numbers, skipping fenced code
+// blocks and inline code spans.
+func extractTargets(data string) []struct {
+	line   int
+	target string
+} {
+	var out []struct {
+		line   int
+		target string
+	}
+	inFence := false
+	for i, line := range strings.Split(data, "\n") {
+		trim := strings.TrimSpace(line)
+		if strings.HasPrefix(trim, "```") || strings.HasPrefix(trim, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		scrubbed := inlineCode.ReplaceAllString(line, "")
+		if m := refDef.FindStringSubmatch(scrubbed); m != nil {
+			out = append(out, struct {
+				line   int
+				target string
+			}{i + 1, m[1]})
+			continue
+		}
+		for _, m := range inlineLink.FindAllStringSubmatch(scrubbed, -1) {
+			out = append(out, struct {
+				line   int
+				target string
+			}{i + 1, m[1]})
+		}
+	}
+	return out
+}
+
+// checkFile returns the broken intra-repo links in one markdown file.
+// relPath is the file's slash-separated path under root.
+func checkFile(root, relPath, data string) []problem {
+	var probs []problem
+	for _, t := range extractTargets(data) {
+		target := t.target
+		if hasScheme.MatchString(target) || strings.HasPrefix(target, "//") {
+			continue // external
+		}
+		if strings.HasPrefix(target, "#") {
+			continue // in-page anchor
+		}
+		// Strip an anchor or query suffix; the existence check is on
+		// the file itself.
+		if i := strings.IndexAny(target, "#?"); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		var resolved string
+		if strings.HasPrefix(target, "/") {
+			resolved = filepath.Join(root, filepath.FromSlash(target))
+		} else {
+			resolved = filepath.Join(root, filepath.Dir(filepath.FromSlash(relPath)), filepath.FromSlash(target))
+		}
+		if _, err := os.Stat(resolved); err != nil {
+			probs = append(probs, problem{file: relPath, line: t.line, target: t.target})
+		}
+	}
+	return probs
+}
+
+// checkTree walks root for markdown files and returns every broken
+// link, sorted by file then line. Hidden directories (.git, .github
+// excepted), bin, and analyzer test fixtures are skipped.
+func checkTree(root string) ([]problem, error) {
+	var probs []problem
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			if name == ".github" {
+				return nil
+			}
+			if strings.HasPrefix(name, ".") || name == "testdata" || name == "bin" || name == "node_modules" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(name), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		probs = append(probs, checkFile(root, filepath.ToSlash(rel), string(data))...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].file != probs[j].file {
+			return probs[i].file < probs[j].file
+		}
+		return probs[i].line < probs[j].line
+	})
+	return probs, nil
+}
+
+func main() {
+	root := "."
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		root = os.Args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mdlinkcheck [root]")
+		os.Exit(2)
+	}
+	probs, err := checkTree(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlinkcheck:", err)
+		os.Exit(2)
+	}
+	for _, p := range probs {
+		fmt.Println(p)
+	}
+	if len(probs) > 0 {
+		fmt.Fprintf(os.Stderr, "mdlinkcheck: %d broken link(s)\n", len(probs))
+		os.Exit(1)
+	}
+}

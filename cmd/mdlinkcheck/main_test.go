@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree materializes a map of relative path → content under a
+// fresh temp dir and returns the dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestCheckTreeCleanRepo(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "See [docs](docs/GUIDE.md), the [spec](/docs/GUIDE.md#anchor),\n" +
+			"an [image](assets/x.png), [external](https://example.com/page.md),\n" +
+			"a [mail](mailto:ops@example.com), and [this section](#local-anchor).\n" +
+			"[ref]: docs/GUIDE.md\n",
+		"docs/GUIDE.md": "Back to [readme](../README.md) and the [dir itself](..).\n",
+		"assets/x.png":  "png",
+	})
+	probs, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Errorf("clean tree reported %d problems: %v", len(probs), probs)
+	}
+}
+
+func TestCheckTreeBrokenLinks(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":     "A [gone](docs/MISSING.md) link and a [bad abs](/nowhere/x.md).\n",
+		"docs/OTHER.md": "And [up](../also-missing.md).\n[dead]: ./dead.md\n",
+	})
+	probs, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 4 {
+		t.Fatalf("want 4 broken links, got %d: %v", len(probs), probs)
+	}
+	// Sorted by file then line: README first (line 1 twice), then docs/OTHER.md.
+	if probs[0].file != "README.md" || probs[0].line != 1 || probs[0].target != "docs/MISSING.md" {
+		t.Errorf("probs[0] = %+v", probs[0])
+	}
+	if probs[1].target != "/nowhere/x.md" {
+		t.Errorf("probs[1] = %+v", probs[1])
+	}
+	if probs[2].file != "docs/OTHER.md" || probs[2].target != "../also-missing.md" {
+		t.Errorf("probs[2] = %+v", probs[2])
+	}
+	if probs[3].line != 2 || probs[3].target != "./dead.md" {
+		t.Errorf("probs[3] = %+v", probs[3])
+	}
+}
+
+func TestCodeIsNotScanned(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "Prose about `[indexing](like-this.md)` stays code.\n" +
+			"```\n[fenced](missing-in-fence.md)\n```\n" +
+			"~~~\n[tilde-fenced](also-missing.md)\n~~~\n" +
+			"But [after the fence](really-missing.md) counts.\n",
+	})
+	probs, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || probs[0].target != "really-missing.md" {
+		t.Fatalf("want only the post-fence link, got %v", probs)
+	}
+}
+
+func TestFragmentAndTitleHandling(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": "[ok](docs/GUIDE.md#section), [titled](docs/GUIDE.md \"a title\"),\n" +
+			"[gone](docs/NOPE.md#section)\n",
+		"docs/GUIDE.md": "x\n",
+	})
+	probs, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || probs[0].target != "docs/NOPE.md#section" || probs[0].line != 2 {
+		t.Fatalf("want one broken fragment link on line 2, got %v", probs)
+	}
+}
+
+func TestSkippedDirectories(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"ok.md":                        "[fine](ok.md)\n",
+		".git/broken.md":               "[gone](missing.md)\n",
+		"internal/x/testdata/fix.md":   "[gone](missing.md)\n",
+		"bin/notes.md":                 "[gone](missing.md)\n",
+		"node_modules/pkg/weird.md":    "[gone](missing.md)\n",
+		".hidden/deeply/nested/bad.md": "[gone](missing.md)\n",
+	})
+	probs, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 0 {
+		t.Errorf("skipped dirs leaked problems: %v", probs)
+	}
+}
+
+// TestRepoLinksAreClean self-applies the checker to this repository,
+// mirroring the blocking CI docs job.
+func TestRepoLinksAreClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(filepath.Join(root, "go.mod")); statErr != nil {
+		t.Skipf("repo root not found at %s", root)
+	}
+	probs, err := checkTree(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("%s", p)
+	}
+}

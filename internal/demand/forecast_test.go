@@ -114,6 +114,109 @@ func TestForecasterOnSyntheticTraffic(t *testing.T) {
 	}
 }
 
+func TestForecastSingleSample(t *testing.T) {
+	// A series with exactly one observation: the forecast for that slot is
+	// the sample itself, uncertainty is still zero (no error has been
+	// measured yet), and every other slot refuses to guess.
+	f, _ := NewForecaster(0.3)
+	at := time.Date(2006, 3, 6, 9, 0, 0, 0, time.UTC)
+	if err := f.Observe(at, 4200); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Forecast(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4200 {
+		t.Errorf("single-sample forecast = %v, want 4200", got)
+	}
+	if u := f.Uncertainty(at); u != 0 {
+		t.Errorf("single-sample uncertainty = %v, want 0", u)
+	}
+	if f.Ready() {
+		t.Error("one sample must not mark a full week ready")
+	}
+	// With zero measured error the risk discount is a no-op: k=0 and a huge
+	// k produce the same bid.
+	full, err := f.ConservativeBidMW(at, 0.001, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cautious, err := f.ConservativeBidMW(at, 0.001, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != 4.2 || cautious != full {
+		t.Errorf("single-sample bids: full=%v cautious=%v, want both 4.2", full, cautious)
+	}
+	// Neighbouring slots have no data and must error, not extrapolate.
+	for _, dt := range []time.Duration{time.Hour, -time.Hour, 24 * time.Hour} {
+		if _, err := f.Forecast(at.Add(dt)); err == nil {
+			t.Errorf("forecast at %v offset should fail with one sample", dt)
+		}
+	}
+	// A second sample on the same slot starts the error tracker.
+	if err := f.Observe(at.AddDate(0, 0, 7), 5200); err != nil {
+		t.Fatal(err)
+	}
+	if u := f.Uncertainty(at); u <= 0 {
+		t.Errorf("uncertainty after second sample = %v, want > 0", u)
+	}
+}
+
+func TestForecastHorizonBeyondTrace(t *testing.T) {
+	// Asking for instants far past the last observation is the normal
+	// day-ahead case: the hour-of-week model extends indefinitely, so a
+	// horizon longer than the remaining trace still yields the slot mean —
+	// identical whether the instant is one hour or one year past the data.
+	f, _ := NewForecaster(0.3)
+	start := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	pattern := func(at time.Time) float64 {
+		return 2000 + 100*float64(slot(at)%24)
+	}
+	for h := 0; h < 2*168; h++ {
+		at := start.Add(time.Duration(h) * time.Hour)
+		if err := f.Observe(at, pattern(at)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := start.Add(2 * 168 * time.Hour)
+	for _, horizon := range []time.Duration{
+		time.Hour,            // next interval
+		36 * time.Hour,       // day-ahead auction horizon
+		90 * 24 * time.Hour,  // far past the two-week trace
+		365 * 24 * time.Hour, // a year out
+	} {
+		at := end.Add(horizon)
+		got, err := f.Forecast(at)
+		if err != nil {
+			t.Fatalf("horizon %v: %v", horizon, err)
+		}
+		if want := pattern(at); math.Abs(got-want) > 1e-9*want {
+			t.Errorf("horizon %v: forecast %v, want %v", horizon, got, want)
+		}
+	}
+	// A partial trace (shorter than one week) answers only for trained
+	// slots, no matter the horizon: 24h of Sunday data says nothing about
+	// a Monday a month away.
+	p, _ := NewForecaster(0.3)
+	for h := 0; h < 24; h++ {
+		if err := p.Observe(start.Add(time.Duration(h)*time.Hour), 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Ready() {
+		t.Error("24h trace must not be ready")
+	}
+	sameSlot := start.AddDate(0, 0, 28)
+	if got, err := p.Forecast(sameSlot); err != nil || got != 1000 {
+		t.Errorf("trained slot four weeks out: got %v, %v; want 1000, nil", got, err)
+	}
+	if _, err := p.Forecast(sameSlot.AddDate(0, 0, 1)); err == nil {
+		t.Error("untrained weekday slot should fail at any horizon")
+	}
+}
+
 func TestConservativeBid(t *testing.T) {
 	f, _ := NewForecaster(0.3)
 	at := time.Date(2006, 1, 2, 15, 0, 0, 0, time.UTC)

@@ -16,8 +16,8 @@ func env(t *testing.T) *Env {
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 29 {
-		t.Fatalf("registry has %d entries, want 29 (20 figures + 4 ablations + 5 extensions)", len(defs))
+	if len(defs) != 30 {
+		t.Fatalf("registry has %d entries, want 30 (20 figures + 4 ablations + 6 extensions)", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {
@@ -236,5 +236,31 @@ func TestStorageExtensions(t *testing.T) {
 	}
 	if !strings.Contains(res.Text, "stored energy attacks the component") {
 		t.Errorf("battery sweep did not shave the demand charge:\n%s", res.Text)
+	}
+}
+
+// TestOptimalExtension runs the oracle experiment and checks the
+// acceptance criteria: the offline bound is reported for all four online
+// policies, and the Lyapunov controller strictly beats the greedy
+// threshold's captured fraction.
+func TestOptimalExtension(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle extension is expensive; run without -short")
+	}
+	e := env(t)
+	res, err := ExtOptimalDispatch(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Greedy threshold", "Per-hub percentile", "Peak shaver",
+		"Lyapunov drift-plus-penalty", "Offline oracle",
+	} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("missing %q in oracle report:\n%s", want, res.Text)
+		}
+	}
+	if !strings.Contains(res.Text, "fixed thresholds sleep through") {
+		t.Errorf("lyapunov did not beat the greedy threshold:\n%s", res.Text)
 	}
 }

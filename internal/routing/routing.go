@@ -247,10 +247,10 @@ type PriceOptimizer struct {
 	setMasks   []uint64 // per distinct candidate set: its bitmask
 	setMembers [][]int  // per distinct candidate set: its clusters in ascending index order
 	maxMaskC   int      // cluster count the bitmasks were built for
-	setCheap []uint64 // scratch per set: clusters within the dead-band of the set minimum
-	setRest   [][]int  // scratch per set: clusters beyond the dead-band, by ascending price
-	setTied   []bool   // scratch per set: equal prices in the tail need per-state distance tie-breaks
-	firstPick []int    // scratch per state: first candidate in the dead-band tier (-1 when the set is tied)
+	setCheap   []uint64 // scratch per set: clusters within the dead-band of the set minimum
+	setRest    [][]int  // scratch per set: clusters beyond the dead-band, by ascending price
+	setTied    []bool   // scratch per set: equal prices in the tail need per-state distance tie-breaks
+	firstPick  []int    // scratch per state: first candidate in the dead-band tier (-1 when the set is tied)
 	// setsValid reports that the set tables above reflect lastPrices, so
 	// Allocate can route straight off them (dead-band members in the
 	// state's own candidate order, then the shared tail) without ever

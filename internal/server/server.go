@@ -462,6 +462,7 @@ func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) ma
 		resp["at"] = snap.At
 	}
 	if snap.SoCKWh != nil {
+		resp["storage_policy"] = snap.StoragePolicy
 		resp["storage_bought_kwh"] = snap.StorageBoughtKWh
 		resp["storage_served_kwh"] = snap.StorageServedKWh
 	}
@@ -539,8 +540,8 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 	for i, st := range s.fleet.States {
 		states[i] = st.Code
 	}
-	policy, start, worldHash := s.worldInfo()
-	writeJSON(w, map[string]any{
+	policy, storagePolicy, start, worldHash := s.worldInfo()
+	resp := map[string]any{
 		"policy":                 policy,
 		"start":                  start,
 		"step_seconds":           s.step.Seconds(),
@@ -548,15 +549,19 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 		"world_hash":             worldHash,
 		"clusters":               clusters,
 		"states":                 states,
-	})
+	}
+	if storagePolicy != "" {
+		resp["storage_policy"] = storagePolicy
+	}
+	writeJSON(w, resp)
 }
 
-// worldInfo reads the policy name, start instant, and world hash under
-// the engine lock.
-func (s *Server) worldInfo() (policy string, start time.Time, worldHash string) {
+// worldInfo reads the routing and storage policy names, start instant, and
+// world hash under the engine lock.
+func (s *Server) worldInfo() (policy, storagePolicy string, start time.Time, worldHash string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := s.eng.SnapshotInto(s.snap)
 	s.snap = snap
-	return snap.Policy, s.eng.Start(), s.eng.WorldHash()
+	return snap.Policy, snap.StoragePolicy, s.eng.Start(), s.eng.WorldHash()
 }

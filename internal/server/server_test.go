@@ -18,6 +18,7 @@ import (
 	"powerroute/internal/energy"
 	"powerroute/internal/routing"
 	"powerroute/internal/sim"
+	"powerroute/internal/storage"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -163,6 +164,40 @@ func TestGoldenResponses(t *testing.T) {
 	checkGolden(t, "world.golden.json", get(t, ts.URL+"/v1/world", http.StatusOK))
 	checkGolden(t, "status.golden.json", get(t, ts.URL+"/v1/status", http.StatusOK))
 	checkGolden(t, "assignments.golden.json", get(t, ts.URL+"/v1/assignments?matrix=1", http.StatusOK))
+}
+
+// TestStoragePolicyReported: a storage-configured daemon names its battery
+// dispatch policy in /v1/status and /v1/world; a storage-free one omits
+// the field entirely (the golden files above pin that absence).
+func TestStoragePolicyReported(t *testing.T) {
+	sys := testWorld(t)
+	eng := testEngine(t, sys)
+	sc := eng.Scenario()
+	dispatch, err := storage.NewThreshold(25, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Storage = storage.Uniform(storage.Battery{CapacityKWh: 100, MaxChargeKW: 40, MaxDischargeKW: 40}, len(sys.Fleet.Clusters), dispatch)
+	stored, err := sim.NewEngine(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Engine: stored})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for _, path := range []string{"/v1/status", "/v1/world"} {
+		var resp map[string]any
+		if err := json.Unmarshal(get(t, ts.URL+path, http.StatusOK), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if got := resp["storage_policy"]; got != dispatch.Name() {
+			t.Errorf("%s storage_policy = %v, want %q", path, got, dispatch.Name())
+		}
+	}
 }
 
 // TestMetrics sanity-checks the Prometheus exposition: counters present,

@@ -74,9 +74,9 @@ const (
 //
 // ckpt:state Checkpoint,loadCheckpoint,MergeCheckpoints
 type Totals struct {
-	ClusterCost   []units.Money  `json:"cluster_cost_usd"`
-	ClusterEnergy []units.Energy `json:"cluster_energy_wh"`
-	PeakRate      []float64      `json:"peak_rate"`
+	ClusterCost   []units.Money  `json:"cluster_cost_usd"`  // running bill per cluster (dollars)
+	ClusterEnergy []units.Energy `json:"cluster_energy_wh"` // running grid energy per cluster (watt-hours)
+	PeakRate      []float64      `json:"peak_rate"`         // maximum assigned rate per cluster so far
 	// MeanUtilizationSum is the running per-cluster utilization sum;
 	// Finalize divides by the step count.
 	MeanUtilizationSum []float64 `json:"mean_utilization_sum"`
@@ -88,6 +88,8 @@ type Totals struct {
 	StorageBoughtKWh []float64 `json:"storage_bought_kwh,omitempty"`
 	StorageServedKWh []float64 `json:"storage_served_kwh,omitempty"`
 
+	// ClusterCarbonKg is the per-cluster emissions ledger, present when
+	// the scenario meters carbon (may be absent at step 0).
 	ClusterCarbonKg []float64 `json:"cluster_carbon_kg,omitempty"`
 }
 
@@ -97,8 +99,8 @@ type Totals struct {
 //
 // ckpt:state Encode,DecodeCheckpoint,MergeCheckpoints
 type Checkpoint struct {
-	Version   int
-	WorldHash string
+	Version   int    // format version; Restore accepts only CheckpointVersion
+	WorldHash string // sha256 over the world definition; ties the state to its exact world
 
 	// ShardOf carries the parent world's hash when this checkpoint was
 	// taken by a shard engine (a scenario built by Scenario.Shard), and is
@@ -111,12 +113,12 @@ type Checkpoint struct {
 	// Configuration echoes: Restore refuses a checkpoint whose geometry
 	// disagrees with the target scenario even before the world hash check,
 	// so error messages name the exact mismatch.
-	Policy        string
-	Start         time.Time
-	Step          time.Duration
-	ScenarioSteps int
-	Clusters      int
-	States        int
+	Policy        string        // routing policy name
+	Start         time.Time     // scenario start
+	Step          time.Duration // interval length
+	ScenarioSteps int           // horizon length in intervals
+	Clusters      int           // fleet cluster count
+	States        int           // fleet client-state count
 
 	// ClusterCodes and StateCodes name the engine's fleet slots in order;
 	// ClusterIndex and StateIndex give each slot's position in the parent
@@ -127,9 +129,14 @@ type Checkpoint struct {
 	ClusterIndex []int
 	StateIndex   []int
 
-	StepsRun int
-	LastAt   time.Time
+	StepsRun int       // step cursor: intervals already advanced
+	LastAt   time.Time // instant of the last advanced interval
 
+	// Totals carries the per-cluster running sums; the optional sections
+	// below are present exactly when the scenario configures the matching
+	// subsystem (95/5 soft caps, storage, demand-charge tariff) — Restore
+	// rejects a checkpoint whose optional sections disagree with the
+	// target scenario's configuration.
 	Totals       Totals
 	Constraints  []billing.ConstraintState
 	Batteries    []storage.Snapshot
@@ -139,6 +146,8 @@ type Checkpoint struct {
 	// 95/5 bill needs every sample); DistHist the hit-weighted distance
 	// histogram; Loads and Assign the last interval's rates and full
 	// state×cluster assignment matrix (status/assignments endpoints).
+	// These travel as raw little-endian float64 bits in the binary
+	// payload, so they round-trip bit-exactly.
 	MeterSamples [][]float64
 	DistHist     *stats.WeightedHistogram
 	Loads        []float64

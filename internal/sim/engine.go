@@ -57,6 +57,7 @@ type Engine struct {
 	constraints  []*billing.Constraint
 	batteries    []*storage.State
 	dispatch     storage.Policy      // ckpt:immutable scenario configuration, rebuilt by NewEngine
+	dispatchName string              // ckpt:immutable cached Policy.Name(), so status paths never format on the hot path
 	priceCapper  storage.PriceCapper // ckpt:immutable the dispatch policy's capper interface, rebuilt by NewEngine
 	priceCaps    []float64           // ckpt:derived scratch recomputed from priceCapper every Step
 	demandMeters []*billing.DemandMeter
@@ -68,7 +69,7 @@ type Engine struct {
 	// assignBuf is the flat backing array of assign's rows, so Step clears
 	// the whole matrix with one range loop (compiled to a memclr) instead of
 	// ns short loops.
-	assignBuf []float64 // ckpt:derived scratch; assign's rows alias it and carry the state
+	assignBuf []float64        // ckpt:derived scratch; assign's rows alias it and carry the state
 	ctx       *routing.Context // ckpt:derived scratch rebuilt from fleet and loads every Step
 	loads     []float64
 	// capacities caches the fleet's per-cluster capacities as floats.
@@ -152,6 +153,7 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		e.storageBought = make([]float64, nc)
 		e.storageServed = make([]float64, nc)
 		e.dispatch = sc.Storage.Policy
+		e.dispatchName = sc.Storage.Policy.Name()
 		if sc.Storage.RoutingAware {
 			if pc, ok := e.dispatch.(storage.PriceCapper); ok {
 				e.priceCapper = pc
@@ -495,31 +497,34 @@ func (e *Engine) Finalize() (*Result, error) {
 // status endpoints: totals so far, the last interval's per-cluster rates,
 // and battery/demand-charge state when those subsystems are active.
 type Snapshot struct {
-	Policy string
-	Steps  int
+	Policy string // routing policy name
+	// StoragePolicy names the battery dispatch policy ("" when the
+	// scenario configures no storage); /v1/status and /v1/world report it.
+	StoragePolicy string
+	Steps         int // intervals advanced so far
 	// At is the instant of the last advanced interval (zero before the
 	// first Step); Next is the instant the next Step should cover.
 	At   time.Time
 	Next time.Time
 
-	TotalCost   units.Money
-	TotalEnergy units.Energy
+	TotalCost   units.Money  // running bill so far (incl. open-month demand charges)
+	TotalEnergy units.Energy // running grid energy so far
 	// EnergyCost and DemandCharge split TotalCost exactly as in Result;
 	// the demand charge is the bill if every open month ended now.
 	EnergyCost   units.Money
 	DemandCharge units.Money
 
-	ClusterCost []units.Money
+	ClusterCost []units.Money // running per-cluster bill, fleet order
 	// ClusterRate is the last interval's per-cluster assigned rate.
 	ClusterRate []float64
-	PeakRate    []float64
+	PeakRate    []float64 // per-cluster maximum assigned rate so far
 
 	PeakGridKW         []float64 // nil unless a demand-charge tariff is metered
 	SoCKWh             []float64 // nil unless storage is configured
-	StorageBoughtKWh   float64
-	StorageServedKWh   float64
-	TotalCarbonKg      float64
-	OverloadHitSeconds float64
+	StorageBoughtKWh   float64   // grid energy bought into batteries so far
+	StorageServedKWh   float64   // load energy served from batteries so far
+	TotalCarbonKg      float64   // emissions so far (zero unless carbon is metered)
+	OverloadHitSeconds float64   // demand-beyond-capacity seconds so far
 }
 
 // Snapshot captures the running state into a fresh Snapshot. It never
@@ -538,6 +543,7 @@ func (e *Engine) SnapshotInto(dst *Snapshot) *Snapshot {
 		dst = new(Snapshot)
 	}
 	dst.Policy = e.res.Policy
+	dst.StoragePolicy = e.dispatchName
 	dst.Steps = e.stepsRun
 	dst.At = e.lastAt
 	dst.Next = e.Next()

@@ -9,6 +9,7 @@ import (
 	"powerroute/internal/energy"
 	"powerroute/internal/routing"
 	"powerroute/internal/storage"
+	"powerroute/internal/timeseries"
 	"powerroute/internal/traffic"
 )
 
@@ -152,11 +153,34 @@ func engineScenarios(t testing.TB) map[string]Scenario {
 	}
 	stored.Storage.RoutingAware = true
 
+	// The Lyapunov scenario exercises the fourth dispatch policy through
+	// every harness built on this map: zero allocs per Step, checkpoint
+	// round-trip bit-exactness, and restore-equals-uninterrupted.
+	lyPrices := make([]*timeseries.Series, len(fx.Fleet.Clusters))
+	for c, cl := range fx.Fleet.Clusters {
+		s, err := fx.Market.RT(cl.HubID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lyPrices[c] = s
+	}
+	lyapunov, err := storage.NewLyapunov(lyPrices, uniformBatteries(len(fx.Fleet.Clusters)), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lyStored := stored
+	lyStored.Storage = &storage.Config{
+		Batteries:    uniformBatteries(len(fx.Fleet.Clusters)),
+		Policy:       lyapunov,
+		RoutingAware: true,
+	}
+
 	return map[string]Scenario{
 		"optimizer":    base,
 		"softcaps":     capped,
 		"carbon-aware": carbonAware,
 		"storage":      stored,
+		"lyapunov":     lyStored,
 	}
 }
 

@@ -34,8 +34,8 @@ import (
 // strictly increasing fleet indices (preserving fleet order keeps the
 // allocation loops deterministic across the split).
 type ShardPartition struct {
-	Clusters [][]int
-	States   [][]int
+	Clusters [][]int // per shard: member clusters as ascending fleet indices
+	States   [][]int // per shard: member client states as ascending fleet indices
 }
 
 // Shards returns the number of shards in the partition.
@@ -321,6 +321,12 @@ func wrapStoragePolicy(inner storage.Policy, idx []int) storage.Policy {
 	return &base
 }
 
+// ErrShardCursorMismatch marks a merge attempted while the shards were
+// not paused at one step cursor — the transient state of a fleet that is
+// mid-ingest, not a topology error. Coordinators match it with errors.Is
+// to retry instead of alarming.
+var ErrShardCursorMismatch = errors.New("shards must pause at the same cursor")
+
 // MergeCheckpoints recombines one checkpoint per shard into the joint
 // world's checkpoint. Every part must be a shard checkpoint of the same
 // parent world (identical ShardOf hash — the shard-compatibility guard),
@@ -335,12 +341,6 @@ func wrapStoragePolicy(inner storage.Policy, idx []int) storage.Policy {
 // world hash and restores only into the joint world, where Snapshot and
 // Finalize re-derive every fleet-wide figure in fleet order — bit for bit
 // what the single-engine run reports.
-// ErrShardCursorMismatch marks a merge attempted while the shards were
-// not paused at one step cursor — the transient state of a fleet that is
-// mid-ingest, not a topology error. Coordinators match it with errors.Is
-// to retry instead of alarming.
-var ErrShardCursorMismatch = errors.New("shards must pause at the same cursor")
-
 func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 	if len(parts) == 0 {
 		return nil, errors.New("sim: merging zero checkpoints")

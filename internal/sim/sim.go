@@ -36,17 +36,22 @@ type DemandSource interface {
 // propagating new routes" (§6.1).
 const DefaultReactionDelay = time.Hour
 
-// Scenario describes one simulation run.
+// Scenario describes one simulation run. Every field is treated as
+// immutable once an Engine is built from it: the world hash
+// (Engine.WorldHash) digests the fleet, prices, policy name, tariffs,
+// and storage configuration, and checkpoints refuse to restore into a
+// scenario whose hash differs. Runs are deterministic functions of the
+// scenario — same scenario, same Result, bit for bit.
 type Scenario struct {
-	Fleet  *cluster.Fleet
-	Policy routing.Policy
-	Energy energy.Model
-	Market *market.Dataset
-	Demand DemandSource
+	Fleet  *cluster.Fleet  // cluster geometry and client states (fleet order defines every per-cluster vector)
+	Policy routing.Policy  // routing policy; its Name() is echoed in results and checkpoints
+	Energy energy.Model    // §5.1 power model mapping utilization to grid draw
+	Market *market.Dataset // per-hub hourly real-time price history (the billing signal)
+	Demand DemandSource    // per-state demand rates for each interval
 
-	Start time.Time
-	Steps int
-	Step  time.Duration
+	Start time.Time     // instant the first interval covers
+	Steps int           // horizon length in intervals
+	Step  time.Duration // interval length; must tile the market hour exactly
 
 	// ReactionDelay lags the prices the router sees behind the prices the
 	// bill is computed with (§6.4). Zero means immediate reaction; the
@@ -140,16 +145,19 @@ func (sc *Scenario) validate() error {
 	return nil
 }
 
-// Result is the outcome of a run.
+// Result is the outcome of a run. Per-cluster vectors are in fleet
+// order; fleet-wide figures are derived from them in fleet order at
+// Finalize time (never accumulated across clusters), which is what lets
+// a shard-merged run reproduce the joint run's totals bit for bit.
 type Result struct {
-	Policy string
-	Steps  int
+	Policy string // routing policy name (configuration echo)
+	Steps  int    // intervals actually run
 
-	TotalCost   units.Money
-	TotalEnergy units.Energy
+	TotalCost   units.Money  // the full bill: energy plus any demand charge
+	TotalEnergy units.Energy // total grid energy drawn
 
-	ClusterCost   []units.Money
-	ClusterEnergy []units.Energy
+	ClusterCost   []units.Money  // per-cluster bill (incl. demand charge once finalized)
+	ClusterEnergy []units.Energy // per-cluster grid energy
 	// BillableP95 is each cluster's 95th-percentile rate over the run: its
 	// 95/5 bandwidth bill (§4).
 	BillableP95 []float64
@@ -159,7 +167,9 @@ type Result struct {
 	MeanUtilization []float64
 
 	// MeanDistanceKm and P99DistanceKm describe the hit-weighted
-	// client-server distance distribution (Fig 17).
+	// client-server distance distribution (Fig 17). These two figures
+	// alone carry float-associativity noise (~1e-12 relative) across a
+	// shard merge; everything else in the Result is bit-exact.
 	MeanDistanceKm float64
 	P99DistanceKm  float64
 
@@ -172,13 +182,16 @@ type Result struct {
 	BurstsUsed []int
 
 	// TotalCarbonKg and ClusterCarbonKg report emissions when the scenario
-	// supplied carbon intensity series (§8 extension).
+	// supplied carbon intensity series (§8 extension); zero and nil
+	// otherwise.
 	TotalCarbonKg   float64
 	ClusterCarbonKg []float64
 
 	// EnergyCost and DemandCharge split TotalCost under a demand-charge
 	// tariff: TotalCost = EnergyCost + DemandCharge. Without a tariff,
 	// EnergyCost equals TotalCost and DemandCharge is zero.
+	// ClusterDemandCharge is the per-cluster tariff split (nil unless
+	// metered).
 	EnergyCost          units.Money
 	DemandCharge        units.Money
 	ClusterDemandCharge []units.Money

@@ -11,6 +11,7 @@ import (
 	"powerroute/internal/market"
 	"powerroute/internal/routing"
 	"powerroute/internal/storage"
+	"powerroute/internal/timeseries"
 	"powerroute/internal/units"
 )
 
@@ -243,6 +244,49 @@ func TestZeroCapacityBatteryIsIdentity(t *testing.T) {
 	got.FinalSoCKWh = nil
 	if !reflect.DeepEqual(plain, got) {
 		t.Errorf("zero-capacity battery changed the result:\nplain: %+v\n with: %+v", plain, got)
+	}
+}
+
+// TestZeroCapacityLyapunovIsIdentity repeats the byte-identity acceptance
+// criterion for the Lyapunov controller: with zero-capacity batteries its
+// actions clamp to ±0 and its price cap stays +Inf, so a routing-aware
+// configured-but-empty installation must reproduce the storage-free run
+// bit for bit.
+func TestZeroCapacityLyapunovIsIdentity(t *testing.T) {
+	sc := shortScenario()
+	sc.Policy = routing.NewBaseline(sc.Fleet)
+	plain, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prices := make([]*timeseries.Series, len(sc.Fleet.Clusters))
+	for c, cl := range sc.Fleet.Clusters {
+		s, err := sc.Market.RT(cl.HubID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prices[c] = s
+	}
+	zero := make([]storage.Battery, len(sc.Fleet.Clusters))
+	dispatch, err := storage.NewLyapunov(prices, zero, sc.Step.Hours(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withZero := sc
+	withZero.Policy = routing.NewBaseline(sc.Fleet) // fresh policy state
+	withZero.Storage = &storage.Config{Batteries: zero, Policy: dispatch, RoutingAware: true}
+	got, err := Run(withZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StorageBoughtKWh != 0 || got.StorageServedKWh != 0 {
+		t.Errorf("zero-capacity lyapunov battery moved energy: %v/%v kWh",
+			got.StorageBoughtKWh, got.StorageServedKWh)
+	}
+	got.FinalSoCKWh = nil
+	if !reflect.DeepEqual(plain, got) {
+		t.Errorf("zero-capacity lyapunov battery changed the result:\nplain: %+v\n with: %+v", plain, got)
 	}
 }
 

@@ -114,9 +114,9 @@ func (s *State) ServedKWh() float64 { return s.servedKWh }
 //
 // ckpt:state Snapshot,RestoreSnapshot
 type Snapshot struct {
-	SoCKWh    float64 `json:"soc_kwh"`
-	BoughtKWh float64 `json:"bought_kwh"`
-	ServedKWh float64 `json:"served_kwh"`
+	SoCKWh    float64 `json:"soc_kwh"`    // stored energy
+	BoughtKWh float64 `json:"bought_kwh"` // cumulative grid energy drawn to charge
+	ServedKWh float64 `json:"served_kwh"` // cumulative load energy served
 }
 
 // Snapshot exports the battery's charge state and cumulative totals.
