@@ -41,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"powerroute/internal/batchspec"
 	"powerroute/internal/coord"
 	"powerroute/internal/core"
 	"powerroute/internal/energy"
@@ -68,6 +69,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	thresholdKm := fs.Float64("threshold-km", 1500, "optimizer distance threshold (must match the shards')")
 	priceThreshold := fs.Float64("price-threshold", routing.DefaultPriceThreshold, "price differential dead-band ($/MWh)")
 	delay := fs.Duration("reaction-delay", sim.DefaultReactionDelay, "lag between a price taking effect and the router seeing it")
+	batchSpec := fs.String("batch-spec", "", "deferrable batch class, matching every shard's -batch-spec (empty = no batch class)")
 	mergeEvery := fs.Duration("merge-every", 10*time.Second, "how often to pull and merge shard checkpoints (0 = on demand only)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -123,6 +125,20 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sc.Policy = opt
+
+	// The batch class must be configured against the same joint world the
+	// shards split: restoring merged shard checkpoints that carry batch
+	// queue sections requires the joint scenario to carry the scheduler
+	// config too (and with identical capacities and price gates, or the
+	// merged /v1/status would diverge from an unsplit powerrouted's).
+	if *batchSpec != "" {
+		cfg, err := batchspec.Parse(*batchSpec, sys.Fleet, sys.Market)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerroute-coord:", err)
+			return 2
+		}
+		sc.Batch = cfg
+	}
 
 	co, err := coord.New(ctx, coord.Config{Scenario: sc, ShardURLs: urls})
 	if err != nil {

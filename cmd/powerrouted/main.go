@@ -11,8 +11,16 @@
 //	powerrouted [-addr HOST:PORT] [-seed N] [-months M] [-days D]
 //	            [-horizon longrun|trace] [-threshold-km KM]
 //	            [-price-threshold D] [-reaction-delay DUR]
+//	            [-batch-spec w=W,pct=Q[,guard=0|1][,migrate=0|1]]
 //	            [-state-dir DIR] [-checkpoint-every DUR] [-restore]
 //	            [-shard-count N -shard-index I | -parallel-shards N]
+//
+// -batch-spec turns on the deferrable traffic class: each cluster gets a
+// batch serving capacity of W watts per server and a price gate at the
+// Q-th quantile of its hub's real-time price history, with the demand-peak
+// guard and cross-region migration togglable. Jobs then arrive over POST
+// /v1/demand (JSON "jobs" or the jobs=1 binary batch form) and are
+// served, deferred, migrated, or shed by the engine's scheduler.
 //
 // With -parallel-shards the daemon still serves the whole world, but runs
 // its routing-closed market regions as concurrent in-process engines (one
@@ -52,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"powerroute/internal/batchspec"
 	"powerroute/internal/core"
 	"powerroute/internal/energy"
 	"powerroute/internal/experiments"
@@ -79,6 +88,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	thresholdKm := fs.Float64("threshold-km", 1500, "optimizer distance threshold (paper's elbow)")
 	priceThreshold := fs.Float64("price-threshold", routing.DefaultPriceThreshold, "price differential dead-band ($/MWh)")
 	delay := fs.Duration("reaction-delay", sim.DefaultReactionDelay, "lag between a price taking effect and the router seeing it")
+	batchSpec := fs.String("batch-spec", "", "deferrable batch class: w=<watts/server>,pct=<price quantile>[,guard=0|1][,migrate=0|1] (empty = no batch class)")
 	stateDir := fs.String("state-dir", "", "directory for durable engine checkpoints (empty = no persistence)")
 	ckptEvery := fs.Duration("checkpoint-every", time.Minute, "periodic checkpoint interval when -state-dir is set (0 = shutdown-only)")
 	restore := fs.Bool("restore", false, "resume from -state-dir's checkpoint instead of starting fresh")
@@ -110,6 +120,10 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	if *parallelShards > 0 && *restore {
 		fmt.Fprintln(stderr, "powerrouted: -restore requires a single engine (a joint checkpoint cannot be split back into shards); drop -parallel-shards to restore")
+		return 2
+	}
+	if *batchSpec != "" && *parallelShards > 0 {
+		fmt.Fprintln(stderr, "powerrouted: -batch-spec needs the single-engine job ingest path; it cannot be combined with -parallel-shards (use -shard-count for a sharded batch world)")
 		return 2
 	}
 
@@ -150,6 +164,18 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	sc.Policy = opt
+
+	// The deferrable batch class is configured against the joint world —
+	// before any shard split, so every shard (and the coordinator's merge)
+	// sees the same per-cluster capacities and price gates.
+	if *batchSpec != "" {
+		cfg, err := batchspec.Parse(*batchSpec, sys.Fleet, sys.Market)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 2
+		}
+		sc.Batch = cfg
+	}
 
 	// Multi-region sharding: this instance serves one routing-closed
 	// region of the world. The partition is derived deterministically from

@@ -15,6 +15,14 @@
 //	tracegen [-seed N] [-months M] [-days D] -out DIR
 //	tracegen [-seed N] [-months M] [-days D] -replay URL
 //	         [-speedup X] [-batch N] [-loop N] [-kill-after N] [-resume]
+//	         [-batch-spec every=N,kwh=E,slack=S,floor=F]
+//
+// -batch-spec folds a deterministic deferrable-job load into the demand
+// replay (against a daemon started with its own -batch-spec): every N
+// steps each cluster receives one job of E kWh, due S steps later, with a
+// partial-execution floor of F. Jobs are keyed to absolute step numbers,
+// so a -resume replay regenerates exactly the jobs the interrupted run
+// would have posted.
 //
 // With -speedup 0 (the default) the replay free-runs as fast as the daemon
 // routes, reporting sustained decision throughput; -speedup 3600 replays
@@ -54,6 +62,7 @@ func main() {
 	killAfter := flag.Int("kill-after", 0, "stop the replay after this many routed steps (0 = full horizon; crash-drill mode)")
 	resume := flag.Bool("resume", false, "resume from the daemon's next expected step (after powerrouted -restore)")
 	shards := flag.String("shards", "", "comma-separated powerrouted shard URLs: ingest goes to the shards directly and concurrently, -replay names the coordinator (status only)")
+	batchSpec := flag.String("batch-spec", "", "deferrable-job load riding the demand replay: every=<steps>,kwh=<energy>,slack=<deadline steps>,floor=<min fraction> (empty = no jobs)")
 	flag.Parse()
 	if *replayURL != "" {
 		opt := replayOptions{
@@ -66,6 +75,14 @@ func main() {
 			KillAfter: *killAfter,
 			Resume:    *resume,
 		}
+		if *batchSpec != "" {
+			spec, err := parseJobSpec(*batchSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(2)
+			}
+			opt.Jobs = spec
+		}
 		for _, u := range strings.Split(*shards, ",") {
 			u = strings.TrimRight(strings.TrimSpace(u), "/")
 			if u != "" {
@@ -77,6 +94,10 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+	if *batchSpec != "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -batch-spec only applies to -replay mode")
+		os.Exit(2)
 	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -out DIR or -replay URL is required")

@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +45,69 @@ type replayOptions struct {
 	// the shards' /v1/world. The -replay URL is then the coordinator,
 	// queried only for the merged fleet-wide status.
 	Shards []string
+
+	// Jobs, when set, folds a deterministic deferrable-job load into the
+	// demand replay (the -batch-spec flag): at every absolute step that is
+	// a multiple of Every, each cluster the target serves receives one job
+	// of KWh energy due Slack steps later with partial-execution floor
+	// Floor. Keying to absolute steps makes the load a pure function of
+	// the step number, so kill/resume drills regenerate it bit-identically.
+	Jobs *jobSpec
+}
+
+// jobSpec is the parsed -batch-spec replay flag.
+type jobSpec struct {
+	Every int
+	KWh   float64
+	Slack int
+	Floor float64
+}
+
+// parseJobSpec parses every=N,kwh=E,slack=S,floor=F (all four required).
+func parseJobSpec(spec string) (*jobSpec, error) {
+	js := &jobSpec{}
+	seen := make(map[string]bool, 4)
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed -batch-spec field %q (want key=value)", field)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "every":
+			js.Every, err = strconv.Atoi(val)
+		case "kwh":
+			js.KWh, err = strconv.ParseFloat(val, 64)
+		case "slack":
+			js.Slack, err = strconv.Atoi(val)
+		case "floor":
+			js.Floor, err = strconv.ParseFloat(val, 64)
+		default:
+			return nil, fmt.Errorf("unknown -batch-spec field %q (want every, kwh, slack, floor)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("-batch-spec %s: %v", key, err)
+		}
+	}
+	for _, key := range []string{"every", "kwh", "slack", "floor"} {
+		if !seen[key] {
+			return nil, fmt.Errorf("-batch-spec is missing %s=", key)
+		}
+	}
+	if js.Every < 1 {
+		return nil, fmt.Errorf("-batch-spec every=%d (want >= 1)", js.Every)
+	}
+	if !(js.KWh > 0) || math.IsInf(js.KWh, 0) {
+		return nil, fmt.Errorf("-batch-spec kwh=%g (want a positive energy)", js.KWh)
+	}
+	if js.Slack < 1 {
+		return nil, fmt.Errorf("-batch-spec slack=%d (want >= 1)", js.Slack)
+	}
+	if !(js.Floor >= 0 && js.Floor <= 1) {
+		return nil, fmt.Errorf("-batch-spec floor=%g (want a fraction in [0, 1])", js.Floor)
+	}
+	return js, nil
 }
 
 // replay regenerates the synthetic world and streams it through a running
@@ -98,8 +164,9 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 	// demand columns. Shards ingest concurrently; within one shard the
 	// price chunk always lands before the demand chunk that references it.
 	type ingestTarget struct {
-		url  string
-		cols []int // demand columns (nil = the full state vector)
+		url      string
+		cols     []int // demand columns (nil = the full state vector)
+		clusters int   // engine-local cluster count (jobs mode only)
 	}
 	targets := []ingestTarget{{url: baseURL}}
 	if len(opt.Shards) > 0 {
@@ -144,6 +211,22 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 		}
 	}
 
+	// Jobs ride demand rows addressed by engine-local cluster index, so
+	// each target's job blocks are generated against its own cluster list
+	// (a shard's world names only the clusters it serves).
+	if opt.Jobs != nil {
+		for ti := range targets {
+			world, err := getWorld(client, targets[ti].url)
+			if err != nil {
+				return fmt.Errorf("replay: %s: %w", targets[ti].url, err)
+			}
+			if len(world.Clusters) == 0 {
+				return fmt.Errorf("replay: %s reports no clusters; cannot address jobs", targets[ti].url)
+			}
+			targets[ti].clusters = len(world.Clusters)
+		}
+	}
+
 	// postChunk streams rows [off, off+n) of the (cyclic) price horizon
 	// and, when withDemand is set, the matching demand rows — to every
 	// target concurrently.
@@ -151,6 +234,8 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 	rowBuf := make([]byte, 0, 8*max(len(hubIDs), ns))
 	demandRow := make([]float64, ns)
 	subRow := make([]float64, ns)
+	var jobRow []server.WireJob
+	var jobBuf []byte
 	postChunk := func(off, n int, withDemand bool) error {
 		chunkStart := start.Add(time.Duration(off) * step)
 		var pb bytes.Buffer
@@ -175,13 +260,36 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 					cols = len(tg.cols)
 				}
 				bufs[ti] = &bytes.Buffer{}
-				if err := server.WriteBatchHeader(bufs[ti], "demand", chunkStart, step, n, cols, nil); err != nil {
-					return err
+				var herr error
+				if opt.Jobs != nil {
+					herr = server.WriteJobsBatchHeader(bufs[ti], chunkStart, step, n, cols)
+				} else {
+					herr = server.WriteBatchHeader(bufs[ti], "demand", chunkStart, step, n, cols, nil)
+				}
+				if herr != nil {
+					return herr
 				}
 			}
 			for i := 0; i < n; i++ {
 				demandRow = lr.Rates(chunkStart.Add(time.Duration(i)*step), demandRow)
 				for ti, tg := range targets {
+					if opt.Jobs != nil {
+						// The job load is a pure function of the absolute
+						// step number, so resumed replays regenerate it.
+						jobRow = jobRow[:0]
+						if (off+i)%opt.Jobs.Every == 0 {
+							for c := 0; c < tg.clusters; c++ {
+								jobRow = append(jobRow, server.WireJob{
+									Cluster:       uint32(c),
+									DeadlineSteps: uint32(opt.Jobs.Slack),
+									EnergyKWh:     opt.Jobs.KWh,
+									MinFraction:   opt.Jobs.Floor,
+								})
+							}
+						}
+						jobBuf = server.AppendJobs(jobBuf[:0], jobRow)
+						bufs[ti].Write(jobBuf)
+					}
 					row := demandRow
 					if tg.cols != nil {
 						row = subRow[:len(tg.cols)]
@@ -340,6 +448,9 @@ type daemonWorld struct {
 	StepSeconds          float64  `json:"step_seconds"`
 	ReactionDelaySeconds float64  `json:"reaction_delay_seconds"`
 	States               []string `json:"states"`
+	Clusters             []struct {
+		Code string `json:"code"`
+	} `json:"clusters"`
 }
 
 func getWorld(client *http.Client, baseURL string) (*daemonWorld, error) {

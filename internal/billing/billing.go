@@ -240,6 +240,23 @@ func (m *DemandMeter) Record(at time.Time, kw float64) {
 	m.peaks = append(m.peaks, kw)
 }
 
+// MonthPeak returns the peak draw recorded so far in at's calendar
+// month, or 0 when the month has no samples yet. The batch scheduler's
+// peak guard uses it: grid draw below this level cannot raise the
+// month's demand charge.
+func (m *DemandMeter) MonthPeak(at time.Time) float64 {
+	k := timeseries.MonthKey{Year: at.UTC().Year(), Month: at.UTC().Month()}
+	if n := len(m.months); n > 0 && m.months[n-1] == k {
+		return m.peaks[n-1]
+	}
+	for i, mk := range m.months {
+		if mk == k {
+			return m.peaks[i]
+		}
+	}
+	return 0
+}
+
 // PeakKW returns the highest draw recorded in any month (0 when empty).
 func (m *DemandMeter) PeakKW() float64 {
 	peak := 0.0

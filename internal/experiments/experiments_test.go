@@ -16,8 +16,8 @@ func env(t *testing.T) *Env {
 
 func TestRegistry(t *testing.T) {
 	defs := All()
-	if len(defs) != 30 {
-		t.Fatalf("registry has %d entries, want 30 (20 figures + 4 ablations + 6 extensions)", len(defs))
+	if len(defs) != 32 {
+		t.Fatalf("registry has %d entries, want 32 (20 figures + 4 ablations + 8 extensions)", len(defs))
 	}
 	seen := map[string]bool{}
 	for _, d := range defs {
@@ -236,6 +236,30 @@ func TestStorageExtensions(t *testing.T) {
 	}
 	if !strings.Contains(res.Text, "stored energy attacks the component") {
 		t.Errorf("battery sweep did not shave the demand charge:\n%s", res.Text)
+	}
+}
+
+// TestBatchExtensions runs the deferrable-batch experiments and checks
+// their qualitative outcomes: deferral must beat serve-on-arrival, and
+// loosening deadlines must reduce the bill.
+func TestBatchExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch extensions are expensive; run without -short")
+	}
+	e := env(t)
+	res, err := ExtDeferrableBatch(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "turns deadline slack directly into money") {
+		t.Errorf("deferral did not beat serve-on-arrival:\n%s", res.Text)
+	}
+	res, err = ExtBatchPareto(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "slack is the currency the scheduler spends") {
+		t.Errorf("looser deadlines did not reduce the bill:\n%s", res.Text)
 	}
 }
 

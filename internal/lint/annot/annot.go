@@ -26,6 +26,7 @@ import (
 var DeterministicPackages = map[string]bool{
 	"sim":        true,
 	"billing":    true,
+	"sched":      true,
 	"storage":    true,
 	"stats":      true,
 	"routing":    true,

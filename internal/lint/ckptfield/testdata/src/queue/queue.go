@@ -1,0 +1,56 @@
+// Package queue is a miniature of sched.Scheduler, demonstrating that
+// ckptfield catches unserialized scheduler state: the queues field is
+// the live run state and must flow through both State and RestoreState;
+// dropping it from either side would silently lose every queued job
+// across a checkpoint.
+package queue
+
+// Job is one queued batch job (the wire form of the real QueuedJob).
+type Job struct {
+	Deadline int
+	Total    float64
+	Served   float64
+}
+
+// Scheduler mirrors the real scheduler's shape: serialized queues plus
+// derived cursors and scratch.
+//
+// ckpt:state State,RestoreState
+type Scheduler struct {
+	queues [][]Job
+	// shed was added to track per-queue shed totals but never wired into
+	// either serialization function — ckptfield must flag both sides.
+	shed []float64 // want `Scheduler\.shed is not referenced by State` `Scheduler\.shed is not referenced by RestoreState`
+
+	// nextJob is re-derived from the restored step cursor.
+	nextJob int // ckpt:derived recomputed from the step cursor on restore
+
+	// maxKW is configuration fixed at construction.
+	maxKW []float64 // ckpt:immutable configuration, not run state
+
+	// scratch is per-step dispatch workspace.
+	scratch []float64 // ckpt:derived per-step scratch
+}
+
+// State deep-copies every queue (transitively, through copyQueue).
+func (s *Scheduler) State() [][]Job {
+	out := make([][]Job, len(s.queues))
+	for c := range s.queues {
+		out[c] = copyQueue(s.queues[c])
+	}
+	return out
+}
+
+// copyQueue shows transitive coverage: State reaches queues through a
+// same-package helper.
+func copyQueue(q []Job) []Job {
+	return append([]Job(nil), q...)
+}
+
+// RestoreState loads serialized queues and re-derives the cursor.
+func (s *Scheduler) RestoreState(states [][]Job, step int) {
+	for c := range states {
+		s.queues[c] = append(s.queues[c][:0], states[c]...)
+	}
+	s.nextJob = step
+}

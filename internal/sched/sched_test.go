@@ -1,0 +1,295 @@
+package sched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// twoCluster builds a scheduler over two clusters with the given knobs
+// and no scenario jobs; tests Push what they need.
+func twoCluster(t *testing.T, maxKW, thresholds []float64, guard, migrate bool) *Scheduler {
+	t.Helper()
+	cfg := &Config{MaxBatchKW: maxKW, Thresholds: thresholds, PeakGuard: guard, Migrate: migrate}
+	var siblings [][]int
+	if migrate {
+		siblings = [][]int{{1}, {0}}
+	}
+	s, err := NewScheduler(cfg, 2, siblings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func dispatch(s *Scheduler, step int, decision, headroom []float64) (batchKW, shedKWh []float64) {
+	batchKW = make([]float64, 2)
+	shedKWh = make([]float64, 2)
+	s.Dispatch(step, 1.0, decision, headroom, batchKW, shedKWh)
+	s.Compact()
+	return batchKW, shedKWh
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := func() *Config {
+		return &Config{
+			MaxBatchKW: []float64{10, 10},
+			Thresholds: []float64{50, 50},
+			Jobs: []Job{
+				{Cluster: 0, Arrival: 0, Deadline: 2, EnergyKWh: 5, MinFraction: 0.5},
+				{Cluster: 1, Arrival: 1, Deadline: 3, EnergyKWh: 5, MinFraction: 1},
+			},
+		}
+	}
+	if err := good().Validate(2); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"short maxkw", func(c *Config) { c.MaxBatchKW = c.MaxBatchKW[:1] }, "MaxBatchKW"},
+		{"short thresholds", func(c *Config) { c.Thresholds = c.Thresholds[:1] }, "Thresholds"},
+		{"negative capacity", func(c *Config) { c.MaxBatchKW[0] = -1 }, "MaxBatchKW[0]"},
+		{"nan threshold", func(c *Config) { c.Thresholds[1] = math.NaN() }, "Thresholds[1]"},
+		{"cluster out of range", func(c *Config) { c.Jobs[0].Cluster = 2 }, "cluster"},
+		{"deadline before arrival", func(c *Config) { c.Jobs[0].Deadline = 0 }, "deadline"},
+		{"unsorted arrivals", func(c *Config) { c.Jobs[0].Arrival = 3; c.Jobs[0].Deadline = 4 }, "sorted"},
+		{"zero energy", func(c *Config) { c.Jobs[1].EnergyKWh = 0 }, "energy"},
+		{"fraction above one", func(c *Config) { c.Jobs[1].MinFraction = 1.5 }, "fraction"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good()
+			tc.mutate(cfg)
+			err := cfg.Validate(2)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error mentioning %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMigrationNeedsSiblings(t *testing.T) {
+	cfg := &Config{MaxBatchKW: []float64{1, 1}, Thresholds: []float64{1, 1}, Migrate: true}
+	if _, err := NewScheduler(cfg, 2, nil); err == nil {
+		t.Fatal("migration without siblings accepted")
+	}
+}
+
+func TestExpiryShedsRemaining(t *testing.T) {
+	s := twoCluster(t, []float64{0, 0}, []float64{100, 100}, false, false)
+	s.Push(0, QueuedJob{Deadline: 3, TotalKWh: 8, ServedKWh: 3})
+	// Zero capacity: nothing serves, and at step 3 the deadline passes.
+	for step := 0; step < 3; step++ {
+		if _, shed := dispatch(s, step, []float64{0, 0}, nil); shed[0] != 0 {
+			t.Fatalf("step %d shed %v before the deadline", step, shed[0])
+		}
+	}
+	_, shed := dispatch(s, 3, []float64{0, 0}, nil)
+	if shed[0] != 5 {
+		t.Fatalf("shed %v kWh at expiry, want the 5 remaining", shed[0])
+	}
+	if got := s.QueuedKWh(0); got != 0 {
+		t.Fatalf("%v kWh still queued after expiry", got)
+	}
+}
+
+func TestUrgentPassIgnoresGatesButNotBudget(t *testing.T) {
+	// Gate shut (price 200 > threshold 100) and zero peak headroom, but a
+	// firm job due in 2 steps must still make floor progress.
+	s := twoCluster(t, []float64{4, 4}, []float64{100, 100}, true, false)
+	s.Push(0, QueuedJob{Deadline: 2, TotalKWh: 10, MinFraction: 1})
+	batchKW, _ := dispatch(s, 0, []float64{200, 200}, []float64{0, 0})
+	// Need 10 kWh over 2 remaining steps = 5 kWh/step, capped by the
+	// 4 kWh budget.
+	if batchKW[0] != 4 {
+		t.Fatalf("urgent pass served %v kW, want the 4 kW budget cap", batchKW[0])
+	}
+	if got := s.QueuedKWh(0); got != 6 {
+		t.Fatalf("queued %v kWh, want 6", got)
+	}
+}
+
+func TestPriceGateBlocksAndDrains(t *testing.T) {
+	s := twoCluster(t, []float64{100, 100}, []float64{50, 50}, false, false)
+	s.Push(0, QueuedJob{Deadline: 100, TotalKWh: 30})
+	// Gate shut: price above threshold, floor zero — nothing moves.
+	batchKW, _ := dispatch(s, 0, []float64{51, 0}, nil)
+	if batchKW[0] != 0 {
+		t.Fatalf("served %v kW through a shut gate", batchKW[0])
+	}
+	// Gate open (at the threshold counts): the whole job fits the budget.
+	batchKW, _ = dispatch(s, 1, []float64{50, 0}, nil)
+	if batchKW[0] != 30 {
+		t.Fatalf("served %v kW through an open gate, want 30", batchKW[0])
+	}
+	if got := s.QueuedKWh(0); got != 0 {
+		t.Fatalf("queued %v kWh after a full drain", got)
+	}
+}
+
+func TestPeakGuardCapsGatedServing(t *testing.T) {
+	s := twoCluster(t, []float64{100, 100}, []float64{50, 50}, true, false)
+	s.Push(0, QueuedJob{Deadline: 100, TotalKWh: 30})
+	// Open gate but only 12 kW of headroom below the monthly peak.
+	batchKW, _ := dispatch(s, 0, []float64{10, 10}, []float64{12, 12})
+	if batchKW[0] != 12 {
+		t.Fatalf("served %v kW, want the 12 kW headroom cap", batchKW[0])
+	}
+	// nil headroom disables the guard even when configured.
+	batchKW, _ = dispatch(s, 1, []float64{10, 10}, nil)
+	if batchKW[0] != 18 {
+		t.Fatalf("served %v kW with guard disabled, want the remaining 18", batchKW[0])
+	}
+}
+
+func TestMigrationServesAtOpenSibling(t *testing.T) {
+	s := twoCluster(t, []float64{100, 100}, []float64{50, 50}, false, true)
+	s.Push(0, QueuedJob{Deadline: 100, TotalKWh: 30})
+	// Home gate shut, sibling open and idle: the energy executes at
+	// cluster 1 while the job stays in cluster 0's queue.
+	batchKW, _ := dispatch(s, 0, []float64{80, 20}, nil)
+	if batchKW[0] != 0 || batchKW[1] != 30 {
+		t.Fatalf("batch draw = %v, want [0 30]", batchKW)
+	}
+	if got := s.QueuedKWh(0); got != 0 {
+		t.Fatalf("job left %v kWh queued after migration", got)
+	}
+	// Both gates shut: energy waits at home.
+	s.Push(0, QueuedJob{Deadline: 100, TotalKWh: 5})
+	batchKW, _ = dispatch(s, 1, []float64{80, 80}, nil)
+	if batchKW[0] != 0 || batchKW[1] != 0 {
+		t.Fatalf("batch draw = %v with every gate shut", batchKW)
+	}
+}
+
+func TestMigrationRespectsSiblingBudget(t *testing.T) {
+	s := twoCluster(t, []float64{100, 10}, []float64{50, 50}, false, true)
+	s.Push(0, QueuedJob{Deadline: 100, TotalKWh: 30})
+	s.Push(1, QueuedJob{Deadline: 100, TotalKWh: 4})
+	// Sibling serves its own 4 kWh first; only 6 kWh of its 10 kWh
+	// budget is left for the migrant.
+	batchKW, _ := dispatch(s, 0, []float64{80, 20}, nil)
+	if batchKW[1] != 10 {
+		t.Fatalf("sibling drew %v kW, want its full 10 kW budget", batchKW[1])
+	}
+	if got := s.QueuedKWh(0); got != 24 {
+		t.Fatalf("home queue has %v kWh, want 24 after a 6 kWh migration", got)
+	}
+}
+
+func TestServeSnapsToCompletion(t *testing.T) {
+	s := twoCluster(t, []float64{100, 100}, []float64{50, 50}, false, false)
+	// Serving in thirds accumulates float residue; the final serve must
+	// snap to exactly TotalKWh so Compact drops the job.
+	s.Push(0, QueuedJob{Deadline: 100, TotalKWh: 0.3, ServedKWh: 0.1 + 0.1})
+	batchKW, _ := dispatch(s, 0, []float64{0, 0}, nil)
+	if batchKW[0] == 0 {
+		t.Fatal("nothing served")
+	}
+	if n := len(s.State()[0].Jobs); n != 0 {
+		t.Fatalf("%d jobs survive completion", n)
+	}
+}
+
+func TestEnqueueArrivalsCursor(t *testing.T) {
+	cfg := &Config{
+		MaxBatchKW: []float64{10, 10},
+		Thresholds: []float64{50, 50},
+		Jobs: []Job{
+			{Cluster: 0, Arrival: 0, Deadline: 10, EnergyKWh: 1},
+			{Cluster: 1, Arrival: 2, Deadline: 10, EnergyKWh: 2},
+			{Cluster: 0, Arrival: 5, Deadline: 10, EnergyKWh: 3},
+		},
+	}
+	s, err := NewScheduler(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnqueueArrivals(0)
+	if s.QueuedKWh(0) != 1 || s.QueuedKWh(1) != 0 {
+		t.Fatalf("step 0 queues = %v/%v", s.QueuedKWh(0), s.QueuedKWh(1))
+	}
+	s.EnqueueArrivals(4)
+	if s.QueuedKWh(1) != 2 || s.QueuedKWh(0) != 1 {
+		t.Fatalf("step 4 queues = %v/%v", s.QueuedKWh(0), s.QueuedKWh(1))
+	}
+	// Repeated calls at the same step enqueue nothing twice.
+	s.EnqueueArrivals(4)
+	if s.QueuedKWh(1) != 2 {
+		t.Fatal("job enqueued twice")
+	}
+	s.EnqueueArrivals(5)
+	if s.QueuedKWh(0) != 4 {
+		t.Fatalf("step 5 queue = %v, want 4", s.QueuedKWh(0))
+	}
+}
+
+func TestStateRoundTripAndCursorRederivation(t *testing.T) {
+	cfg := &Config{
+		MaxBatchKW: []float64{10, 10},
+		Thresholds: []float64{50, 50},
+		Jobs: []Job{
+			{Cluster: 0, Arrival: 0, Deadline: 20, EnergyKWh: 1},
+			{Cluster: 0, Arrival: 8, Deadline: 20, EnergyKWh: 3},
+		},
+	}
+	s, err := NewScheduler(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnqueueArrivals(0)
+	s.Push(1, QueuedJob{Deadline: 15, TotalKWh: 7, ServedKWh: 2, MinFraction: 0.5})
+	state := s.State()
+
+	r, err := NewScheduler(cfg, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RestoreState(state, 5); err != nil {
+		t.Fatal(err)
+	}
+	if r.QueuedKWh(0) != 1 || r.QueuedKWh(1) != 5 {
+		t.Fatalf("restored queues = %v/%v", r.QueuedKWh(0), r.QueuedKWh(1))
+	}
+	// The arrival cursor must resume at the first job with Arrival >= 5,
+	// so the Arrival-8 job still enqueues later.
+	r.EnqueueArrivals(8)
+	if r.QueuedKWh(0) != 4 {
+		t.Fatalf("post-restore arrival missing: queue = %v", r.QueuedKWh(0))
+	}
+	// State() must deep-copy: mutating the snapshot cannot touch live
+	// queues.
+	state2 := r.State()
+	state2[1].Jobs[0].ServedKWh = 6
+	if r.QueuedKWh(1) != 5 {
+		t.Fatal("State() aliases the live queue")
+	}
+}
+
+func TestRestoreStateRejectsCorruptQueues(t *testing.T) {
+	cfg := &Config{MaxBatchKW: []float64{10, 10}, Thresholds: []float64{50, 50}}
+	cases := []struct {
+		name  string
+		state []QueueState
+	}{
+		{"length mismatch", []QueueState{{}}},
+		{"stale deadline", []QueueState{{Jobs: []QueuedJob{{Deadline: 4, TotalKWh: 1}}}, {}}},
+		{"non-positive total", []QueueState{{Jobs: []QueuedJob{{Deadline: 9, TotalKWh: 0}}}, {}}},
+		{"served beyond total", []QueueState{{Jobs: []QueuedJob{{Deadline: 9, TotalKWh: 1, ServedKWh: 1}}}, {}}},
+		{"bad fraction", []QueueState{{Jobs: []QueuedJob{{Deadline: 9, TotalKWh: 1, MinFraction: 2}}}, {}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewScheduler(cfg, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RestoreState(tc.state, 5); err == nil {
+				t.Fatal("corrupt state accepted")
+			}
+		})
+	}
+}

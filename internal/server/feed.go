@@ -37,6 +37,13 @@ const (
 	// maxBatchRows bounds one batch body (a protective cap, not a
 	// throughput limit — replays just send more batches).
 	maxBatchRows = 1 << 20
+
+	// maxJobsPerRow bounds the deferrable-job block a jobs=1 demand row
+	// may carry (same protective role as maxBatchRows).
+	maxJobsPerRow = 1 << 16
+
+	// wireJobBytes is the fixed encoded size of one WireJob record.
+	wireJobBytes = 24
 )
 
 // BatchHeader is the parsed first line of a binary batch body. It is
@@ -49,6 +56,11 @@ type BatchHeader struct {
 	Rows  int
 	Cols  int
 	Hubs  []string // Kind == "prices" only
+	// Jobs marks a demand batch whose rows each carry a deferrable-job
+	// block before the rate columns (header field jobs=1). Builds that
+	// predate the batch class reject the unknown field loudly instead of
+	// misparsing the body.
+	Jobs bool
 }
 
 // ParseBatchHeader reads and validates one batch header line.
@@ -96,6 +108,11 @@ func ParseBatchHeader(r *bufio.Reader) (*BatchHeader, error) {
 			h.Cols = n
 		case "hubs":
 			h.Hubs = strings.Split(val, ",")
+		case "jobs":
+			if val != "1" {
+				return nil, fmt.Errorf("server: batch jobs flag %q (only jobs=1 is defined)", val)
+			}
+			h.Jobs = true
 		default:
 			return nil, fmt.Errorf("server: unknown batch header field %q", key)
 		}
@@ -116,6 +133,9 @@ func ParseBatchHeader(r *bufio.Reader) (*BatchHeader, error) {
 	}
 	if h.Kind == "demand" && h.Hubs != nil {
 		return nil, errors.New("server: demand batch must not name hubs")
+	}
+	if h.Jobs && h.Kind != "demand" {
+		return nil, fmt.Errorf("server: jobs flag on a %q batch (jobs ride demand batches)", h.Kind)
 	}
 	if h.Kind == "prices" {
 		if len(h.Hubs) != h.Cols {
@@ -208,4 +228,47 @@ func AppendRow(b []byte, row []float64) []byte {
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 	}
 	return b
+}
+
+// WriteJobsBatchHeader writes the header of a jobs=1 demand batch, whose
+// rows each carry a job block (AppendJobs) before the rate columns.
+func WriteJobsBatchHeader(w io.Writer, start time.Time, step time.Duration, rows, cols int) error {
+	_, err := fmt.Fprintf(w, "%s kind=demand start=%d step=%d rows=%d cols=%d jobs=1\n",
+		batchMagic, start.UnixNano(), int64(step), rows, cols)
+	return err
+}
+
+// WireJob is the fixed-size wire form of one deferrable batch job riding
+// a jobs=1 demand row: the home cluster's engine-local index, the
+// deadline as steps after the row's interval, the job's energy, and its
+// partial-execution floor.
+type WireJob struct {
+	Cluster       uint32
+	DeadlineSteps uint32
+	EnergyKWh     float64
+	MinFraction   float64
+}
+
+// AppendJobs appends a row's job block to b: a uint32 count followed by
+// the fixed-size records, all little-endian. Exported for the load
+// generator; rows with no jobs append just the zero count.
+func AppendJobs(b []byte, jobs []WireJob) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(jobs)))
+	for _, j := range jobs {
+		b = binary.LittleEndian.AppendUint32(b, j.Cluster)
+		b = binary.LittleEndian.AppendUint32(b, j.DeadlineSteps)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(j.EnergyKWh))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(j.MinFraction))
+	}
+	return b
+}
+
+// decodeWireJob decodes one fixed-size job record.
+func decodeWireJob(b []byte) WireJob {
+	return WireJob{
+		Cluster:       binary.LittleEndian.Uint32(b),
+		DeadlineSteps: binary.LittleEndian.Uint32(b[4:]),
+		EnergyKWh:     math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		MinFraction:   math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+	}
 }

@@ -96,6 +96,18 @@ func MetricsText(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int, requ
 		metric("powerrouted_carbon_kg_total", "counter", "Cumulative metered emissions.")
 		fmt.Fprintf(&b, "powerrouted_carbon_kg_total %g\n", snap.TotalCarbonKg)
 	}
+	if snap.BatchQueuedKWh != nil {
+		metric("powerrouted_batch_queued_kwh", "gauge", "Deferrable batch energy waiting in each cluster's queue.")
+		for c, cl := range fleet.Clusters {
+			fmt.Fprintf(&b, "powerrouted_batch_queued_kwh{cluster=%q} %g\n", cl.Code, snap.BatchQueuedKWh[c])
+		}
+		metric("powerrouted_batch_served_kwh_total", "counter", "Deferrable batch energy served fleet-wide.")
+		fmt.Fprintf(&b, "powerrouted_batch_served_kwh_total %g\n", snap.BatchServedKWh)
+		metric("powerrouted_batch_shed_kwh_total", "counter", "Deferrable batch energy shed at deadline expiry fleet-wide.")
+		fmt.Fprintf(&b, "powerrouted_batch_shed_kwh_total %g\n", snap.BatchShedKWh)
+		metric("powerrouted_batch_deferred_kwh_steps_total", "counter", "Queue-residence integral of deferred batch energy (kWh times steps).")
+		fmt.Fprintf(&b, "powerrouted_batch_deferred_kwh_steps_total %g\n", snap.BatchDeferredKWhSteps)
+	}
 
 	handlers := make([]string, 0, len(requests))
 	for name := range requests {

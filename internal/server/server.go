@@ -27,6 +27,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"powerroute/internal/cluster"
+	"powerroute/internal/sched"
 	"powerroute/internal/sim"
 )
 
@@ -83,8 +85,13 @@ type Server struct {
 	feed        *shardedFeed // locks itself: commitMu for writers, atomic view for readers
 
 	// scratch buffers for the demand path.
-	rowBuf  []float64 // guarded_by: mu
-	byteBuf []byte    // guarded_by: mu
+	rowBuf  []float64   // guarded_by: mu
+	byteBuf []byte      // guarded_by: mu
+	jobBuf  []sched.Job // guarded_by: mu — decoded deferrable jobs for one row
+
+	// clusterIdx maps cluster codes to engine-local indices for the JSON
+	// job ingest path (read-only after New).
+	clusterIdx map[string]int
 
 	reqMu    sync.Mutex
 	requests map[string]uint64 // guarded_by: reqMu
@@ -104,9 +111,11 @@ func New(cfg Config) (*Server, error) {
 		hubClusters: make(map[string][]int),
 		rowBuf:      make([]float64, len(fleet.States)),
 		requests:    make(map[string]uint64),
+		clusterIdx:  make(map[string]int, len(fleet.Clusters)),
 	}
 	for c, cl := range fleet.Clusters {
 		s.hubClusters[cl.HubID] = append(s.hubClusters[cl.HubID], c)
+		s.clusterIdx[cl.Code] = c
 	}
 	s.feed = newShardedFeed(fleet, s.hubClusters)
 	return s, nil
@@ -253,10 +262,61 @@ func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
 
 // demandPost is the JSON body of POST /v1/demand: one interval's per-state
 // demand (fleet state order; GET /v1/world lists the codes). A zero At
-// defaults to the engine's next expected interval.
+// defaults to the engine's next expected interval. Jobs optionally
+// attaches deferrable batch jobs arriving with the interval; they queue
+// before the interval routes, so a job may start executing immediately.
 type demandPost struct {
 	At    time.Time `json:"at"`
 	Rates []float64 `json:"rates"`
+	Jobs  []jobPost `json:"jobs,omitempty"`
+}
+
+// jobPost is one deferrable batch job in a JSON demand post.
+type jobPost struct {
+	// Cluster is the home cluster's code (GET /v1/world lists them).
+	Cluster string `json:"cluster"`
+	// DeadlineSteps is the deadline as intervals after this one; 1 means
+	// the job must run entirely in the posted interval.
+	DeadlineSteps int     `json:"deadline_steps"`
+	EnergyKWh     float64 `json:"energy_kwh"`
+	MinFraction   float64 `json:"min_fraction"`
+}
+
+// jobQueuer is the optional engine capability behind job ingest. The
+// single-world sim.Engine implements it; the in-process parallel-shard
+// engine does not (jobs would need cross-shard ownership routing), so
+// job posts against it fail with a clear 400.
+type jobQueuer interface {
+	QueueJobs([]sched.Job) error
+}
+
+// queueJobs converts and enqueues one row's jobs under the engine lock.
+//
+//lint:held mu callers lock s.mu for the posting interval
+func (s *Server) queueJobs(jobs []jobPost) error {
+	jq, ok := s.eng.(jobQueuer)
+	if !ok {
+		return fmt.Errorf("server: this engine cannot accept batch jobs")
+	}
+	s.jobBuf = s.jobBuf[:0]
+	base := s.eng.StepsRun()
+	for i, j := range jobs {
+		c, ok := s.clusterIdx[j.Cluster]
+		if !ok {
+			return fmt.Errorf("server: job %d names unknown cluster %q", i, j.Cluster)
+		}
+		if j.DeadlineSteps <= 0 {
+			return fmt.Errorf("server: job %d has non-positive deadline %d steps", i, j.DeadlineSteps)
+		}
+		s.jobBuf = append(s.jobBuf, sched.Job{
+			Cluster:     c,
+			Arrival:     base,
+			Deadline:    base + j.DeadlineSteps,
+			EnergyKWh:   j.EnergyKWh,
+			MinFraction: j.MinFraction,
+		})
+	}
+	return jq.QueueJobs(s.jobBuf)
 }
 
 func (s *Server) handleDemand(w http.ResponseWriter, r *http.Request) {
@@ -287,6 +347,12 @@ func (s *Server) routeJSON(w http.ResponseWriter, post demandPost) (oldest time.
 	} else if !at.Equal(s.eng.Next()) {
 		httpError(w, http.StatusConflict, "demand at %v, engine expects %v", at, s.eng.Next())
 		return time.Time{}, false
+	}
+	if len(post.Jobs) > 0 {
+		if err := s.queueJobs(post.Jobs); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return time.Time{}, false
+		}
 	}
 	if code, err := s.routeOne(at, post.Rates); err != nil {
 		httpError(w, code, "%v", err)
@@ -333,9 +399,115 @@ func (s *Server) handleDemandBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "batch kind %q on /v1/demand", h.Kind)
 		return
 	}
+	if h.Jobs {
+		if oldest, ok := s.routeBatchJobs(w, br, h); ok {
+			s.feed.prune(oldest)
+		}
+		return
+	}
 	if oldest, ok := s.routeBatch(w, br, h); ok {
 		s.feed.prune(oldest)
 	}
+}
+
+// routeBatchJobs routes a jobs=1 demand batch: each row is a uint32 job
+// count, that many fixed-size job records, then the rate columns. Rows
+// are variable-length, so this path reads per row instead of chunking;
+// the plain routeBatch fast path is untouched for job-free replays. Jobs
+// queue before their row routes (matching the JSON path), so a mid-batch
+// failure leaves rows < routed committed along with their jobs.
+func (s *Server) routeBatchJobs(w http.ResponseWriter, br *bufio.Reader, h *BatchHeader) (oldest time.Time, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, isQueuer := s.eng.(jobQueuer); !isQueuer {
+		httpError(w, http.StatusBadRequest, "server: this engine cannot accept batch jobs")
+		return time.Time{}, false
+	}
+	if h.Cols != len(s.fleet.States) {
+		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.Cols, len(s.fleet.States))
+		return time.Time{}, false
+	}
+	if h.Step != s.step {
+		httpError(w, http.StatusBadRequest, "batch step %v, engine step %v", h.Step, s.step)
+		return time.Time{}, false
+	}
+	if next := s.eng.Next(); !h.Start.Equal(next) {
+		httpError(w, http.StatusConflict, "batch starts %v, engine expects %v", h.Start, next)
+		return time.Time{}, false
+	}
+	rowBytes := h.Cols * 8
+	if cap(s.byteBuf) < rowBytes {
+		s.byteBuf = make([]byte, rowBytes)
+	}
+	var head [4]byte
+	nc := len(s.fleet.Clusters)
+	for routed := 0; routed < h.Rows; routed++ {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			s.batchError(w, http.StatusBadRequest, routed, "demand row %d: server: batch body truncated: %v", routed, err)
+			return time.Time{}, false
+		}
+		count := int(binary.LittleEndian.Uint32(head[:]))
+		if count > maxJobsPerRow {
+			s.batchError(w, http.StatusBadRequest, routed, "demand row %d: %d jobs exceed the per-row cap", routed, count)
+			return time.Time{}, false
+		}
+		s.jobBuf = s.jobBuf[:0]
+		if count > 0 {
+			if cap(s.byteBuf) < count*wireJobBytes {
+				s.byteBuf = make([]byte, count*wireJobBytes)
+			}
+			jb := s.byteBuf[:count*wireJobBytes]
+			if _, err := io.ReadFull(br, jb); err != nil {
+				s.batchError(w, http.StatusBadRequest, routed, "demand row %d: server: batch body truncated: %v", routed, err)
+				return time.Time{}, false
+			}
+			base := s.eng.StepsRun()
+			for i := 0; i < count; i++ {
+				wj := decodeWireJob(jb[i*wireJobBytes:])
+				if int(wj.Cluster) >= nc {
+					s.batchError(w, http.StatusBadRequest, routed, "demand row %d: job %d targets cluster %d of %d", routed, i, wj.Cluster, nc)
+					return time.Time{}, false
+				}
+				if wj.DeadlineSteps == 0 {
+					s.batchError(w, http.StatusBadRequest, routed, "demand row %d: job %d has zero deadline steps", routed, i)
+					return time.Time{}, false
+				}
+				s.jobBuf = append(s.jobBuf, sched.Job{
+					Cluster:     int(wj.Cluster),
+					Arrival:     base,
+					Deadline:    base + int(wj.DeadlineSteps),
+					EnergyKWh:   wj.EnergyKWh,
+					MinFraction: wj.MinFraction,
+				})
+			}
+			if err := s.eng.(jobQueuer).QueueJobs(s.jobBuf); err != nil {
+				s.batchError(w, http.StatusBadRequest, routed, "demand row %d: %v", routed, err)
+				return time.Time{}, false
+			}
+		}
+		b := s.byteBuf[:rowBytes]
+		if _, err := io.ReadFull(br, b); err != nil {
+			s.batchError(w, http.StatusBadRequest, routed, "demand row %d: server: batch body truncated: %v", routed, err)
+			return time.Time{}, false
+		}
+		if derr := DecodeRow(b, s.rowBuf); derr != nil {
+			s.batchError(w, http.StatusBadRequest, routed, "demand row %d: %v", routed, derr)
+			return time.Time{}, false
+		}
+		at := h.Start.Add(time.Duration(routed) * h.Step)
+		if code, rerr := s.routeOne(at, s.rowBuf); rerr != nil {
+			s.batchError(w, code, routed, "demand row %d: %v", routed, rerr)
+			return time.Time{}, false
+		}
+	}
+	snap := s.eng.SnapshotInto(s.snap)
+	s.snap = snap
+	writeJSON(w, map[string]any{
+		"routed":         h.Rows,
+		"steps":          snap.Steps,
+		"total_cost_usd": float64(snap.TotalCost),
+	})
+	return s.eng.Next().Add(-s.delay), true
 }
 
 // routeBatch decodes and routes one demand batch under the engine lock.
@@ -399,13 +571,14 @@ func (s *Server) routeBatch(w http.ResponseWriter, br *bufio.Reader, h *BatchHea
 // --- read endpoints --------------------------------------------------------
 
 type clusterStatus struct {
-	Code          string  `json:"code"`
-	Hub           string  `json:"hub"`
-	RateHits      float64 `json:"rate_hits_per_s"`
-	PeakRateHits  float64 `json:"peak_rate_hits_per_s"`
-	CostUSD       float64 `json:"cost_usd"`
-	PeakGridKW    float64 `json:"peak_grid_kw,omitempty"`
-	BatterySoCKWh float64 `json:"battery_soc_kwh,omitempty"`
+	Code           string  `json:"code"`
+	Hub            string  `json:"hub"`
+	RateHits       float64 `json:"rate_hits_per_s"`
+	PeakRateHits   float64 `json:"peak_rate_hits_per_s"`
+	CostUSD        float64 `json:"cost_usd"`
+	PeakGridKW     float64 `json:"peak_grid_kw,omitempty"`
+	BatterySoCKWh  float64 `json:"battery_soc_kwh,omitempty"`
+	BatchQueuedKWh float64 `json:"batch_queued_kwh,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -444,6 +617,9 @@ func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) ma
 		if snap.SoCKWh != nil {
 			cs.BatterySoCKWh = snap.SoCKWh[c]
 		}
+		if snap.BatchQueuedKWh != nil {
+			cs.BatchQueuedKWh = snap.BatchQueuedKWh[c]
+		}
 		clusters[c] = cs
 	}
 	resp := map[string]any{
@@ -468,6 +644,16 @@ func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) ma
 	}
 	if snap.TotalCarbonKg != 0 {
 		resp["carbon_kg"] = snap.TotalCarbonKg
+	}
+	if snap.BatchQueuedKWh != nil {
+		var queued float64
+		for _, kwh := range snap.BatchQueuedKWh {
+			queued += kwh
+		}
+		resp["batch_queued_kwh"] = queued
+		resp["batch_served_kwh"] = snap.BatchServedKWh
+		resp["batch_shed_kwh"] = snap.BatchShedKWh
+		resp["batch_deferred_kwh_steps"] = snap.BatchDeferredKWhSteps
 	}
 	return resp
 }

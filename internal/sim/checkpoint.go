@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"powerroute/internal/billing"
+	"powerroute/internal/sched"
 	"powerroute/internal/stats"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
@@ -91,6 +92,13 @@ type Totals struct {
 	// ClusterCarbonKg is the per-cluster emissions ledger, present when
 	// the scenario meters carbon (may be absent at step 0).
 	ClusterCarbonKg []float64 `json:"cluster_carbon_kg,omitempty"`
+
+	// Batch class ledgers (served / shed-at-deadline / queue residence
+	// integral per cluster), present exactly when the scenario configures
+	// the deferrable class.
+	BatchServedKWh   []float64 `json:"batch_served_kwh,omitempty"`
+	BatchShedKWh     []float64 `json:"batch_shed_kwh,omitempty"`
+	BatchDeferredKWh []float64 `json:"batch_deferred_kwh_steps,omitempty"`
 }
 
 // Checkpoint is a complete, self-contained snapshot of an Engine mid-run.
@@ -141,6 +149,11 @@ type Checkpoint struct {
 	Constraints  []billing.ConstraintState
 	Batteries    []storage.Snapshot
 	DemandMeters []billing.DemandMeterState
+	// BatchQueues holds each cluster's live deferrable-job queue, present
+	// exactly when the scenario configures the batch class (jobs stay in
+	// their home cluster's queue even when served elsewhere, so the
+	// section scatters disjointly across a shard merge).
+	BatchQueues []sched.QueueState
 
 	// MeterSamples holds each cluster's full per-interval rate record (the
 	// 95/5 bill needs every sample); DistHist the hit-weighted distance
@@ -186,6 +199,9 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 			StorageBoughtKWh:   append([]float64(nil), e.storageBought...),
 			StorageServedKWh:   append([]float64(nil), e.storageServed...),
 			ClusterCarbonKg:    append([]float64(nil), e.res.ClusterCarbonKg...),
+			BatchServedKWh:     append([]float64(nil), e.batchServed...),
+			BatchShedKWh:       append([]float64(nil), e.batchShed...),
+			BatchDeferredKWh:   append([]float64(nil), e.batchDeferred...),
 		},
 		MeterSamples: make([][]float64, e.nc),
 		DistHist:     e.distHist.Clone(),
@@ -221,6 +237,9 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 		for c, m := range e.demandMeters {
 			cp.DemandMeters[c] = m.State()
 		}
+	}
+	if e.sched != nil {
+		cp.BatchQueues = e.sched.State()
 	}
 	return cp, nil
 }
@@ -347,6 +366,20 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	if e.demandMeters != nil && len(cp.DemandMeters) != e.nc {
 		return fmt.Errorf("checkpoint has %d demand meters for %d clusters", len(cp.DemandMeters), e.nc)
 	}
+	if (e.sched != nil) != (len(cp.BatchQueues) > 0) {
+		return fmt.Errorf("scenario batch class %v, checkpoint carries %d batch queues",
+			e.sched != nil, len(cp.BatchQueues))
+	}
+	if e.sched != nil && len(cp.BatchQueues) != e.nc {
+		return fmt.Errorf("checkpoint has %d batch queues for %d clusters", len(cp.BatchQueues), e.nc)
+	}
+	if e.sched != nil && (len(cp.Totals.BatchServedKWh) != e.nc || len(cp.Totals.BatchShedKWh) != e.nc || len(cp.Totals.BatchDeferredKWh) != e.nc) {
+		return fmt.Errorf("checkpoint has %d/%d/%d batch ledgers for %d clusters",
+			len(cp.Totals.BatchServedKWh), len(cp.Totals.BatchShedKWh), len(cp.Totals.BatchDeferredKWh), e.nc)
+	}
+	if e.sched == nil && (len(cp.Totals.BatchServedKWh) > 0 || len(cp.Totals.BatchShedKWh) > 0 || len(cp.Totals.BatchDeferredKWh) > 0) {
+		return errors.New("checkpoint carries batch ledgers the scenario does not configure")
+	}
 	if (e.res.ClusterCarbonKg != nil) != (len(cp.Totals.ClusterCarbonKg) > 0) && cp.StepsRun > 0 {
 		// Carbon totals can be legitimately absent at step 0 (all zeros).
 		if e.res.ClusterCarbonKg != nil {
@@ -389,6 +422,11 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 			return fmt.Errorf("cluster %d: %w", c, err)
 		}
 	}
+	if e.sched != nil {
+		if err := e.sched.RestoreState(cp.BatchQueues, cp.StepsRun); err != nil {
+			return err
+		}
+	}
 	for c := range e.meters {
 		e.meters[c].RestoreSamples(cp.MeterSamples[c])
 		// RestoreSamples copies at exact capacity; re-reserve the horizon so
@@ -413,6 +451,11 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	}
 	if res.ClusterCarbonKg != nil && len(cp.Totals.ClusterCarbonKg) == e.nc {
 		copy(res.ClusterCarbonKg, cp.Totals.ClusterCarbonKg)
+	}
+	if e.sched != nil {
+		copy(e.batchServed, cp.Totals.BatchServedKWh)
+		copy(e.batchShed, cp.Totals.BatchShedKWh)
+		copy(e.batchDeferred, cp.Totals.BatchDeferredKWh)
 	}
 
 	e.stepsRun = cp.StepsRun
@@ -498,6 +541,22 @@ func worldHash(sc *Scenario, prices []*timeseries.Series) string {
 				math.Float64bits(b.InitialSoC))
 		}
 	}
+	if sc.Batch != nil {
+		fmt.Fprintf(h, "batch peak_guard=%v migrate=%v\nbatch_max_kw", sc.Batch.PeakGuard, sc.Batch.Migrate)
+		for _, v := range sc.Batch.MaxBatchKW {
+			fmt.Fprintf(h, " %x", math.Float64bits(v))
+		}
+		fmt.Fprint(h, "\nbatch_thresholds")
+		for _, v := range sc.Batch.Thresholds {
+			fmt.Fprintf(h, " %x", math.Float64bits(v))
+		}
+		fmt.Fprintln(h)
+		for _, j := range sc.Batch.Jobs {
+			fmt.Fprintf(h, "batch_job %d %d %d %x %x\n",
+				j.Cluster, j.Arrival, j.Deadline,
+				math.Float64bits(j.EnergyKWh), math.Float64bits(j.MinFraction))
+		}
+	}
 	hashSeries := func(label string, series []*timeseries.Series) {
 		for i, s := range series {
 			fmt.Fprintf(h, "%s %d start=%d step=%d n=%d\n", label, i, s.Start.UnixNano(), int64(s.Step), len(s.Values))
@@ -542,6 +601,7 @@ type checkpointEnvelope struct {
 	Constraints  []billing.ConstraintState  `json:"constraints,omitempty"`
 	Batteries    []storage.Snapshot         `json:"batteries,omitempty"`
 	DemandMeters []billing.DemandMeterState `json:"demand_meters,omitempty"`
+	BatchQueues  []sched.QueueState         `json:"batch_queues,omitempty"`
 
 	// Payload layout: HistBytes of histogram blob, then MeterSamples[c]
 	// float64s per cluster, then Clusters last-interval rates, then the
@@ -596,6 +656,7 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 		Constraints:   cp.Constraints,
 		Batteries:     cp.Batteries,
 		DemandMeters:  cp.DemandMeters,
+		BatchQueues:   cp.BatchQueues,
 		HistBytes:     len(histBlob),
 		MeterSamples:  counts,
 		PayloadBytes:  int64(len(payload)),
@@ -727,6 +788,23 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if len(env.DemandMeters) == 0 {
 		env.DemandMeters = nil
 	}
+	if len(env.BatchQueues) == 0 {
+		env.BatchQueues = nil
+	}
+	for i := range env.BatchQueues {
+		if len(env.BatchQueues[i].Jobs) == 0 {
+			env.BatchQueues[i].Jobs = nil
+		}
+	}
+	if len(env.Totals.BatchServedKWh) == 0 {
+		env.Totals.BatchServedKWh = nil
+	}
+	if len(env.Totals.BatchShedKWh) == 0 {
+		env.Totals.BatchShedKWh = nil
+	}
+	if len(env.Totals.BatchDeferredKWh) == 0 {
+		env.Totals.BatchDeferredKWh = nil
+	}
 	if len(env.Totals.ClusterCarbonKg) == 0 {
 		env.Totals.ClusterCarbonKg = nil
 	}
@@ -762,6 +840,7 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		Constraints:   env.Constraints,
 		Batteries:     env.Batteries,
 		DemandMeters:  env.DemandMeters,
+		BatchQueues:   env.BatchQueues,
 		DistHist:      new(stats.WeightedHistogram),
 	}
 	off := 0

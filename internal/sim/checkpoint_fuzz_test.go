@@ -11,18 +11,23 @@ import (
 // does accept must re-encode and re-decode to the same value (a decoded
 // checkpoint is always a well-formed one).
 func FuzzDecodeCheckpoint(f *testing.F) {
-	sc := engineScenarios(f)["storage"]
-	for _, k := range []int{0, 7} {
-		_, cp := checkpointAt(f, clonePolicy(f, sc), k)
-		var buf bytes.Buffer
-		if err := cp.Encode(&buf); err != nil {
-			f.Fatal(err)
+	// Seed from two scenario families: "storage" covers the battery and
+	// demand-meter sections, "batch" covers the scheduler queue sections
+	// (non-empty queues with partial progress at step 7).
+	for _, name := range []string{"storage", "batch"} {
+		sc := engineScenarios(f)[name]
+		for _, k := range []int{0, 7} {
+			_, cp := checkpointAt(f, clonePolicy(f, sc), k)
+			var buf bytes.Buffer
+			if err := cp.Encode(&buf); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+			f.Add(buf.Bytes()[:buf.Len()/2])
+			mutated := append([]byte(nil), buf.Bytes()...)
+			mutated[len(mutated)/3] ^= 0xff
+			f.Add(mutated)
 		}
-		f.Add(buf.Bytes())
-		f.Add(buf.Bytes()[:buf.Len()/2])
-		mutated := append([]byte(nil), buf.Bytes()...)
-		mutated[len(mutated)/3] ^= 0xff
-		f.Add(mutated)
 	}
 	f.Add([]byte("powerroute-checkpoint v1\n{}\n"))
 	f.Add([]byte("powerroute-checkpoint v2\n{}\n"))

@@ -16,6 +16,7 @@ import (
 	"powerroute/internal/cluster"
 	"powerroute/internal/energy"
 	"powerroute/internal/routing"
+	"powerroute/internal/sched"
 	"powerroute/internal/stats"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
@@ -91,6 +92,20 @@ type Engine struct {
 	overloadSec   []float64
 	storageBought []float64 // nil unless storage is configured
 	storageServed []float64 // nil unless storage is configured
+
+	// Deferrable (batch) class state; all nil unless sc.Batch is set.
+	sched         *sched.Scheduler
+	batchServed   []float64 // kWh of batch energy served at each cluster
+	batchShed     []float64 // kWh abandoned at expired deadlines, at the home cluster
+	batchDeferred []float64 // kWh left queued after each dispatch, summed over steps
+	batchKW       []float64 // ckpt:derived per-step scratch filled by Dispatch
+	batchShedKWh  []float64 // ckpt:derived per-step scratch filled by Dispatch
+	headroomKW    []float64 // ckpt:derived per-step scratch for the peak guard
+
+	// gridWh stages each cluster's grid energy (Wh) between the metering
+	// and billing halves of Step, so batch dispatch can see every
+	// cluster's interactive draw before any of it is billed.
+	gridWh []units.Energy // ckpt:derived per-step scratch
 
 	stepsRun  int
 	lastAt    time.Time
@@ -168,6 +183,43 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		}
 	}
 
+	// Deferrable (batch) class. Everything stays nil for batch-free
+	// scenarios so those runs keep their exact pre-batch code path.
+	if sc.Batch != nil {
+		var siblings [][]int
+		if sc.Batch.Migrate {
+			shr, ok := sc.Policy.(routing.Sharder)
+			if !ok {
+				return nil, fmt.Errorf("sim: batch migration needs a policy with routing candidates; %s has none", sc.Policy.Name())
+			}
+			part, err := PartitionByRouting(shr, sc.Fleet)
+			if err != nil {
+				return nil, err
+			}
+			siblings = make([][]int, nc)
+			for _, members := range part.Clusters {
+				for _, c := range members {
+					for _, t := range members {
+						if t != c {
+							siblings[c] = append(siblings[c], t)
+						}
+					}
+				}
+			}
+		}
+		s, err := sched.NewScheduler(sc.Batch, nc, siblings)
+		if err != nil {
+			return nil, err
+		}
+		e.sched = s
+		e.batchServed = make([]float64, nc)
+		e.batchShed = make([]float64, nc)
+		e.batchDeferred = make([]float64, nc)
+		e.batchKW = make([]float64, nc)
+		e.batchShedKWh = make([]float64, nc)
+		e.headroomKW = make([]float64, nc)
+	}
+
 	e.res = &Result{
 		Policy:          sc.Policy.Name(),
 		Steps:           sc.Steps,
@@ -208,6 +260,7 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		BurstRoom:      make([]float64, nc),
 	}
 	e.loads = make([]float64, nc)
+	e.gridWh = make([]units.Energy, nc)
 	e.overloadSec = make([]float64, nc)
 	e.capacities = make([]float64, nc)
 	e.powerEval = make([]energy.Evaluator, nc)
@@ -399,6 +452,44 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 				e.storageServed[c] += served
 			}
 		}
+		e.gridWh[c] = grid
+	}
+
+	// Deferrable (batch) class: dispatch sits between metering and
+	// billing so batch draw is billed and demand-metered at whichever
+	// cluster serves it, on top of that cluster's interactive draw.
+	if e.sched != nil {
+		e.sched.EnqueueArrivals(e.stepsRun)
+		var headroom []float64
+		if e.sched.PeakGuarded() && e.demandMeters != nil {
+			for c := range e.headroomKW {
+				h := e.demandMeters[c].MonthPeak(at) - e.gridWh[c].KilowattHours()/stepHours
+				if h < 0 {
+					h = 0
+				}
+				e.headroomKW[c] = h
+			}
+			headroom = e.headroomKW
+		}
+		// The gate reads the same lagged decision prices the router saw,
+		// before any storage price caps: batch deferral is its own lever.
+		e.sched.Dispatch(e.stepsRun, stepHours, prices.Decision, headroom, e.batchKW, e.batchShedKWh)
+		e.sched.Compact()
+		for c := range e.batchKW {
+			if kwh := e.batchKW[c] * stepHours; kwh > 0 {
+				e.gridWh[c] += units.Energy(kwh * 1000)
+				e.batchServed[c] += kwh
+			}
+			e.batchShed[c] += e.batchShedKWh[c]
+			e.batchDeferred[c] += e.sched.QueuedKWh(c)
+		}
+	}
+
+	// Bill. Split from the metering loop above only so batch dispatch can
+	// run in between; per-cluster arithmetic is untouched, so batch-free
+	// scenarios produce bit-identical results to the single-loop form.
+	for c := range sc.Fleet.Clusters {
+		grid := e.gridWh[c]
 		cost := grid.Cost(units.Price(prices.Bill[c]))
 		res.ClusterEnergy[c] += grid
 		res.ClusterCost[c] += cost
@@ -412,6 +503,53 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 	e.stepsRun++
 	e.lastAt = at
 	return nil
+}
+
+// QueueJobs enqueues externally arriving batch jobs — the daemon ingest
+// path. Deadlines are absolute step indices and must lie beyond the
+// current step cursor (a job must have at least one interval to run in).
+// All jobs are validated before any is enqueued; unlike Step, this path
+// may allocate as queues grow.
+func (e *Engine) QueueJobs(jobs []sched.Job) error {
+	if e.finalized {
+		return errors.New("sim: engine already finalized")
+	}
+	if e.sched == nil {
+		return errors.New("sim: scenario configures no batch class")
+	}
+	for i, j := range jobs {
+		if j.Cluster < 0 || j.Cluster >= e.nc {
+			return fmt.Errorf("sim: batch job %d targets cluster %d of %d", i, j.Cluster, e.nc)
+		}
+		if j.Deadline <= e.stepsRun {
+			return fmt.Errorf("sim: batch job %d has deadline %d at or behind step cursor %d", i, j.Deadline, e.stepsRun)
+		}
+		if math.IsNaN(j.EnergyKWh) || math.IsInf(j.EnergyKWh, 0) || j.EnergyKWh <= 0 {
+			return fmt.Errorf("sim: batch job %d has energy %v kWh", i, j.EnergyKWh)
+		}
+		if math.IsNaN(j.MinFraction) || j.MinFraction < 0 || j.MinFraction > 1 {
+			return fmt.Errorf("sim: batch job %d has min fraction %v", i, j.MinFraction)
+		}
+	}
+	for _, j := range jobs {
+		e.sched.Push(j.Cluster, sched.QueuedJob{
+			Deadline:    j.Deadline,
+			TotalKWh:    j.EnergyKWh,
+			MinFraction: j.MinFraction,
+		})
+	}
+	return nil
+}
+
+// batchTotals derives the fleet-wide batch ledgers from the per-cluster
+// accumulators, in fleet order (same merge-exactness argument as totals).
+func (e *Engine) batchTotals() (served, shed, deferred float64) {
+	for c := range e.batchServed {
+		served += e.batchServed[c]
+		shed += e.batchShed[c]
+		deferred += e.batchDeferred[c]
+	}
+	return served, shed, deferred
 }
 
 // totals derives the fleet-wide running sums from the per-cluster
@@ -487,6 +625,12 @@ func (e *Engine) Finalize() (*Result, error) {
 			res.FinalSoCKWh[c] = b.SoCKWh()
 		}
 	}
+	if e.sched != nil {
+		res.BatchServedKWh, res.BatchShedKWh, res.BatchDeferredKWhSteps = e.batchTotals()
+		for c := 0; c < e.nc; c++ {
+			res.BatchQueuedKWh += e.sched.QueuedKWh(c)
+		}
+	}
 	res.MeanDistanceKm = e.distHist.Mean()
 	res.P99DistanceKm = e.distHist.Quantile(0.99)
 	e.finalized = true
@@ -525,6 +669,13 @@ type Snapshot struct {
 	StorageServedKWh   float64   // load energy served from batteries so far
 	TotalCarbonKg      float64   // emissions so far (zero unless carbon is metered)
 	OverloadHitSeconds float64   // demand-beyond-capacity seconds so far
+
+	// Batch (deferrable) class ledgers; BatchQueuedKWh is nil unless the
+	// scenario configures the class.
+	BatchQueuedKWh        []float64 // per-cluster unserved queued energy right now
+	BatchServedKWh        float64   // batch energy served so far, fleet-wide
+	BatchShedKWh          float64   // batch energy abandoned at deadlines so far
+	BatchDeferredKWhSteps float64   // queue residence integral (kWh·steps) so far
 }
 
 // Snapshot captures the running state into a fresh Snapshot. It never
@@ -591,6 +742,16 @@ func (e *Engine) SnapshotInto(dst *Snapshot) *Snapshot {
 		}
 	} else {
 		dst.SoCKWh = nil
+	}
+	if e.sched != nil {
+		dst.BatchQueuedKWh = dst.BatchQueuedKWh[:0]
+		for c := 0; c < e.nc; c++ {
+			dst.BatchQueuedKWh = append(dst.BatchQueuedKWh, e.sched.QueuedKWh(c))
+		}
+		dst.BatchServedKWh, dst.BatchShedKWh, dst.BatchDeferredKWhSteps = e.batchTotals()
+	} else {
+		dst.BatchQueuedKWh = nil
+		dst.BatchServedKWh, dst.BatchShedKWh, dst.BatchDeferredKWhSteps = 0, 0, 0
 	}
 	return dst
 }

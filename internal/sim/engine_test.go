@@ -8,6 +8,8 @@ import (
 	"powerroute/internal/carbon"
 	"powerroute/internal/energy"
 	"powerroute/internal/routing"
+	"powerroute/internal/sched"
+	"powerroute/internal/stats"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/traffic"
@@ -175,13 +177,64 @@ func engineScenarios(t testing.TB) map[string]Scenario {
 		RoutingAware: true,
 	}
 
+	// The batch scenario threads the deferrable scheduler through every
+	// harness built on this map: zero allocs per Step, checkpoint
+	// round-trip bit-exactness, and restore-equals-uninterrupted. Tight
+	// capacity, a peak guard, migration, and mixed floors keep all four
+	// dispatch phases (expiry, urgent, gated, migrated) busy.
+	batched := shortScenario()
+	batched.Policy = opt
+	batched.DemandChargePerKW = 3
+	batched.Batch = batchTestConfig(t, batched)
+
 	return map[string]Scenario{
 		"optimizer":    base,
 		"softcaps":     capped,
 		"carbon-aware": carbonAware,
 		"storage":      stored,
 		"lyapunov":     lyStored,
+		"batch":        batched,
 	}
+}
+
+// batchTestConfig builds a deferrable-batch config sized to a short
+// scenario: per-cluster price gates at the hub's p40 real-time quantile,
+// a modest serving capacity, and a job stream with staggered arrivals,
+// deadlines, and execution floors.
+func batchTestConfig(t testing.TB, sc Scenario) *sched.Config {
+	t.Helper()
+	fx := fixtures()
+	nc := len(sc.Fleet.Clusters)
+	cfg := &sched.Config{
+		MaxBatchKW: make([]float64, nc),
+		Thresholds: make([]float64, nc),
+		PeakGuard:  true,
+		Migrate:    true,
+	}
+	for c, cl := range sc.Fleet.Clusters {
+		cfg.MaxBatchKW[c] = 40
+		rt, err := fx.Market.RT(cl.HubID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := stats.Quantile(rt.Values, 0.40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Thresholds[c] = q
+	}
+	for arrival := 0; arrival+12 < sc.Steps; arrival += 6 {
+		for c := 0; c < nc; c++ {
+			cfg.Jobs = append(cfg.Jobs, sched.Job{
+				Cluster:     c,
+				Arrival:     arrival,
+				Deadline:    arrival + 4 + 3*(c%4),
+				EnergyKWh:   120 + 15*float64(c),
+				MinFraction: []float64{0, 0.5, 1}[(arrival/6+c)%3],
+			})
+		}
+	}
+	return cfg
 }
 
 func uniformBatteries(n int) []storage.Battery {

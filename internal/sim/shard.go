@@ -24,6 +24,7 @@ import (
 
 	"powerroute/internal/billing"
 	"powerroute/internal/routing"
+	"powerroute/internal/sched"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/units"
@@ -207,6 +208,26 @@ func (sc Scenario) Shard(p ShardPartition) ([]Scenario, error) {
 			}
 			cfg.Policy = wrapStoragePolicy(sc.Storage.Policy, clusters)
 			sub.Storage = &cfg
+		}
+		if sc.Batch != nil {
+			cfg := *sc.Batch
+			cfg.MaxBatchKW = pickFloats(sc.Batch.MaxBatchKW, clusters)
+			cfg.Thresholds = pickFloats(sc.Batch.Thresholds, clusters)
+			// Keep each job with its home cluster, remapped to the shard's
+			// local index; arrival order is preserved. Routing closure
+			// guarantees the job's whole migration component came along.
+			local := make(map[int]int, len(clusters))
+			for j, c := range clusters {
+				local[c] = j
+			}
+			cfg.Jobs = nil
+			for _, job := range sc.Batch.Jobs {
+				if j, ok := local[job.Cluster]; ok {
+					job.Cluster = j
+					cfg.Jobs = append(cfg.Jobs, job)
+				}
+			}
+			sub.Batch = &cfg
 		}
 		sub.shardOf = parentHash
 		sub.shardClusters = append([]int(nil), clusters...)
@@ -430,6 +451,12 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 	if len(first.Totals.ClusterCarbonKg) > 0 {
 		m.Totals.ClusterCarbonKg = make([]float64, nc)
 	}
+	if len(first.BatchQueues) > 0 {
+		m.BatchQueues = make([]sched.QueueState, nc)
+		m.Totals.BatchServedKWh = make([]float64, nc)
+		m.Totals.BatchShedKWh = make([]float64, nc)
+		m.Totals.BatchDeferredKWh = make([]float64, nc)
+	}
 
 	seenCluster := make([]bool, nc)
 	seenState := make([]bool, ns)
@@ -460,6 +487,12 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 			}
 			if m.Totals.ClusterCarbonKg != nil {
 				m.Totals.ClusterCarbonKg[c] = cp.Totals.ClusterCarbonKg[j]
+			}
+			if m.BatchQueues != nil {
+				m.BatchQueues[c] = sched.QueueState{Jobs: append([]sched.QueuedJob(nil), cp.BatchQueues[j].Jobs...)}
+				m.Totals.BatchServedKWh[c] = cp.Totals.BatchServedKWh[j]
+				m.Totals.BatchShedKWh[c] = cp.Totals.BatchShedKWh[j]
+				m.Totals.BatchDeferredKWh[c] = cp.Totals.BatchDeferredKWh[j]
 			}
 		}
 		for sj, s := range cp.StateIndex {
@@ -498,6 +531,10 @@ func optionalSections(cp *Checkpoint) []section {
 		{"carbon ledgers", len(cp.Totals.ClusterCarbonKg)},
 		{"storage total ledgers", len(cp.Totals.StorageBoughtKWh)},
 		{"storage served ledgers", len(cp.Totals.StorageServedKWh)},
+		{"batch queues", len(cp.BatchQueues)},
+		{"batch served ledgers", len(cp.Totals.BatchServedKWh)},
+		{"batch shed ledgers", len(cp.Totals.BatchShedKWh)},
+		{"batch deferral ledgers", len(cp.Totals.BatchDeferredKWh)},
 	}
 }
 
@@ -520,7 +557,8 @@ func checkShardVectors(cp *Checkpoint) error {
 		}
 	}
 	for _, n := range []int{len(cp.Constraints), len(cp.Batteries), len(cp.DemandMeters),
-		len(cp.Totals.ClusterCarbonKg), len(cp.Totals.StorageBoughtKWh), len(cp.Totals.StorageServedKWh)} {
+		len(cp.Totals.ClusterCarbonKg), len(cp.Totals.StorageBoughtKWh), len(cp.Totals.StorageServedKWh),
+		len(cp.BatchQueues), len(cp.Totals.BatchServedKWh), len(cp.Totals.BatchShedKWh), len(cp.Totals.BatchDeferredKWh)} {
 		if n != 0 && n != nc {
 			return fmt.Errorf("optional per-cluster section sized %d for %d clusters", n, nc)
 		}

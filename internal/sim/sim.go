@@ -19,6 +19,7 @@ import (
 	"powerroute/internal/energy"
 	"powerroute/internal/market"
 	"powerroute/internal/routing"
+	"powerroute/internal/sched"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/traffic"
@@ -87,6 +88,13 @@ type Scenario struct {
 	// times this rate ($/kW-month). Zero keeps pure energy billing.
 	DemandChargePerKW float64
 
+	// Batch, when non-nil, adds the deferrable traffic class: batch jobs
+	// with deadlines and partial-execution floors held in per-cluster
+	// scheduler queues, deferred past price spikes and demand-charge
+	// peaks, and (optionally) migrated across the routing candidates.
+	// Nil keeps the exact interactive-only code path.
+	Batch *sched.Config
+
 	// Shard identity, set by Scenario.Shard: the parent world's hash and
 	// this shard's cluster/state positions in the parent fleet. Zero for
 	// ordinary (whole-world) scenarios. Checkpoints echo these so
@@ -141,6 +149,11 @@ func (sc *Scenario) validate() error {
 	// tariff at the > 0 metering gate; +Inf would bill infinite charges.
 	if !(sc.DemandChargePerKW >= 0) || math.IsInf(sc.DemandChargePerKW, 1) {
 		return errors.New("sim: demand charge rate must be non-negative and finite")
+	}
+	if sc.Batch != nil {
+		if err := sc.Batch.Validate(len(sc.Fleet.Clusters)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -205,6 +218,15 @@ type Result struct {
 	StorageBoughtKWh float64
 	StorageServedKWh float64
 	FinalSoCKWh      []float64
+
+	// Batch class ledgers, all zero unless the scenario configures it:
+	// energy served, energy shed at expired deadlines, energy still queued
+	// at finalize, and the queue residence integral (kWh·steps) — the
+	// SLA-side axis of the deferral-vs-bill trade.
+	BatchServedKWh        float64
+	BatchShedKWh          float64
+	BatchQueuedKWh        float64
+	BatchDeferredKWhSteps float64
 }
 
 // SavingsVersus returns 1 − cost/base, the percentage-style savings of this
