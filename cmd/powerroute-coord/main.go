@@ -19,6 +19,17 @@
 //   - serves GET /v1/checkpoint as the merged joint-world checkpoint
 //     (restorable by a single powerrouted via PUT /v1/checkpoint).
 //
+// With -burst-hubs (matching every shard's) the joint world is the
+// burst-exact clique world and the coordinator doubles as the burst-token
+// lease broker: before each demand fan-out it resolves the fleet-wide
+// 95/5 gate bit from the full demand row and posts the lease window to
+// every shard's POST /v1/leases, so the sharded fleet's burst ledgers —
+// and its books — match an unsplit powerrouted byte for byte.
+//
+// With -spill the demand splitter reroutes a saturated region's overflow
+// to the cheapest reachable sibling region with open capacity, metered at
+// the clusters that serve it (deliberately not byte-comparable).
+//
 // Usage:
 //
 //	powerrouted -addr 127.0.0.1:7950 -threshold-km 1000 -shard-count 2 -shard-index 0 &
@@ -70,6 +81,9 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	priceThreshold := fs.Float64("price-threshold", routing.DefaultPriceThreshold, "price differential dead-band ($/MWh)")
 	delay := fs.Duration("reaction-delay", sim.DefaultReactionDelay, "lag between a price taking effect and the router seeing it")
 	batchSpec := fs.String("batch-spec", "", "deferrable batch class, matching every shard's -batch-spec (empty = no batch class)")
+	burstHubs := fs.String("burst-hubs", "", "coordinate the burst-exact clique world, matching every shard's -burst-hubs; the coordinator then brokers burst-token leases to the shards")
+	spill := fs.Bool("spill", false, "reroute a saturated region's demand overflow to the cheapest reachable sibling region (breaks byte-parity with an unsplit daemon)")
+	spillRadius := fs.Float64("spill-radius-km", 0, "bound on which sibling regions overflow may reach (0 = any sibling)")
 	mergeEvery := fs.Duration("merge-every", 10*time.Second, "how often to pull and merge shard checkpoints (0 = on demand only)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -88,43 +102,75 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *burstHubs != "" && *batchSpec != "" {
+		fmt.Fprintln(stderr, "powerroute-coord: -burst-hubs and -batch-spec are not supported together")
+		return 2
+	}
+	if *burstHubs != "" && *horizon != "longrun" {
+		fmt.Fprintln(stderr, "powerroute-coord: -burst-hubs serves the hourly long-run horizon only")
+		return 2
+	}
+
 	sys, err := core.NewSystem(core.Options{Seed: *seed, MarketMonths: *months, TraceDays: *days})
 	if err != nil {
 		fmt.Fprintln(stderr, "powerroute-coord:", err)
 		return 1
 	}
-	sc := sim.Scenario{
-		Fleet:         sys.Fleet,
-		Energy:        energy.OptimisticFuture,
-		Market:        sys.Market,
-		ReactionDelay: *delay,
-	}
-	switch *horizon {
-	case "longrun":
-		sc.Demand = sys.LongRun
-		sc.Start = sys.Market.Start
-		sc.Steps = sys.Market.Hours
-		sc.Step = time.Hour
-	case "trace":
-		demand, err := sim.FromTrace(sys.Trace)
+	var sc sim.Scenario
+	if *burstHubs != "" {
+		// The burst-exact clique world. SelfGate on the joint scenario does
+		// double duty: it marks the world as burst-coordinated (arming the
+		// coordinator's lease broker) and lets merged lease-bearing shard
+		// checkpoints restore into the joint engine for /v1/status.
+		pairs, err := core.ParseBurstHubs(*burstHubs)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerroute-coord:", err)
+			return 2
+		}
+		bw, err := sys.BurstWorld(pairs, *thresholdKm, *priceThreshold)
 		if err != nil {
 			fmt.Fprintln(stderr, "powerroute-coord:", err)
 			return 1
 		}
-		sc.Demand = demand
-		sc.Start = sys.Trace.Start
-		sc.Steps = sys.Trace.Samples
-		sc.Step = 5 * time.Minute
-	default:
-		fmt.Fprintf(stderr, "powerroute-coord: unknown horizon %q (longrun or trace)\n", *horizon)
-		return 2
+		if sc, err = sys.BurstScenario(bw, *thresholdKm, *priceThreshold, *delay); err != nil {
+			fmt.Fprintln(stderr, "powerroute-coord:", err)
+			return 1
+		}
+		sc.BurstGate = sim.SelfGate{}
+	} else {
+		sc = sim.Scenario{
+			Fleet:         sys.Fleet,
+			Energy:        energy.OptimisticFuture,
+			Market:        sys.Market,
+			ReactionDelay: *delay,
+		}
+		switch *horizon {
+		case "longrun":
+			sc.Demand = sys.LongRun
+			sc.Start = sys.Market.Start
+			sc.Steps = sys.Market.Hours
+			sc.Step = time.Hour
+		case "trace":
+			demand, err := sim.FromTrace(sys.Trace)
+			if err != nil {
+				fmt.Fprintln(stderr, "powerroute-coord:", err)
+				return 1
+			}
+			sc.Demand = demand
+			sc.Start = sys.Trace.Start
+			sc.Steps = sys.Trace.Samples
+			sc.Step = 5 * time.Minute
+		default:
+			fmt.Fprintf(stderr, "powerroute-coord: unknown horizon %q (longrun or trace)\n", *horizon)
+			return 2
+		}
+		opt, err := routing.NewPriceOptimizer(sys.Fleet, *thresholdKm, *priceThreshold)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerroute-coord:", err)
+			return 1
+		}
+		sc.Policy = opt
 	}
-	opt, err := routing.NewPriceOptimizer(sys.Fleet, *thresholdKm, *priceThreshold)
-	if err != nil {
-		fmt.Fprintln(stderr, "powerroute-coord:", err)
-		return 1
-	}
-	sc.Policy = opt
 
 	// The batch class must be configured against the same joint world the
 	// shards split: restoring merged shard checkpoints that carry batch
@@ -140,7 +186,12 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		sc.Batch = cfg
 	}
 
-	co, err := coord.New(ctx, coord.Config{Scenario: sc, ShardURLs: urls})
+	co, err := coord.New(ctx, coord.Config{
+		Scenario:      sc,
+		ShardURLs:     urls,
+		Spill:         *spill,
+		SpillRadiusKm: *spillRadius,
+	})
 	if err != nil {
 		fmt.Fprintln(stderr, "powerroute-coord:", err)
 		return 1
@@ -153,7 +204,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	}
 	httpSrv := &http.Server{Handler: co.Handler()}
 	fmt.Fprintf(stdout, "powerroute-coord: listening on %s, coordinating %d shards (policy %s, step %v)\n",
-		ln.Addr(), len(urls), opt.Name(), sc.Step)
+		ln.Addr(), len(urls), sc.Policy.Name(), sc.Step)
 	for i, url := range urls {
 		fmt.Fprintf(stdout, "powerroute-coord:   shard %d: %s\n", i, url)
 	}

@@ -14,6 +14,16 @@
 //	            [-batch-spec w=W,pct=Q[,guard=0|1][,migrate=0|1]]
 //	            [-state-dir DIR] [-checkpoint-every DUR] [-restore]
 //	            [-shard-count N -shard-index I | -parallel-shards N]
+//	            [-burst-hubs PAIR,PAIR,...]
+//
+// -burst-hubs replaces the derived world with the burst-exact clique
+// world (core.BurstWorld): each comma-separated hub pair becomes one
+// routing-closed region, soft caps are armed so the 95/5 burst gate
+// genuinely fires, and sharded runs stay bit-identical to the joint
+// engine. A whole-world daemon self-resolves the gate; a -shard-count
+// daemon instead replays burst-token lease windows posted to its
+// POST /v1/leases by the broker feeding it (powerroute-coord, or
+// tracegen -replay -shards -burst-hubs).
 //
 // -batch-spec turns on the deferrable traffic class: each cluster gets a
 // batch serving capacity of W watts per server and a price gate at the
@@ -89,6 +99,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	priceThreshold := fs.Float64("price-threshold", routing.DefaultPriceThreshold, "price differential dead-band ($/MWh)")
 	delay := fs.Duration("reaction-delay", sim.DefaultReactionDelay, "lag between a price taking effect and the router seeing it")
 	batchSpec := fs.String("batch-spec", "", "deferrable batch class: w=<watts/server>,pct=<price quantile>[,guard=0|1][,migrate=0|1] (empty = no batch class)")
+	burstHubs := fs.String("burst-hubs", "", "serve the burst-exact clique world instead of the derived one: comma-separated hub pairs, e.g. NP15+SP15,NYC+DOM (soft caps armed, burst gate fleet-coordinated)")
 	stateDir := fs.String("state-dir", "", "directory for durable engine checkpoints (empty = no persistence)")
 	ckptEvery := fs.Duration("checkpoint-every", time.Minute, "periodic checkpoint interval when -state-dir is set (0 = shutdown-only)")
 	restore := fs.Bool("restore", false, "resume from -state-dir's checkpoint instead of starting fresh")
@@ -126,44 +137,73 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "powerrouted: -batch-spec needs the single-engine job ingest path; it cannot be combined with -parallel-shards (use -shard-count for a sharded batch world)")
 		return 2
 	}
+	if *burstHubs != "" && *batchSpec != "" {
+		fmt.Fprintln(stderr, "powerrouted: -burst-hubs and -batch-spec are not supported together")
+		return 2
+	}
+	if *burstHubs != "" && *horizon != "longrun" {
+		fmt.Fprintln(stderr, "powerrouted: -burst-hubs serves the hourly long-run horizon only")
+		return 2
+	}
 
 	sys, err := core.NewSystem(core.Options{Seed: *seed, MarketMonths: *months, TraceDays: *days})
 	if err != nil {
 		fmt.Fprintln(stderr, "powerrouted:", err)
 		return 1
 	}
-	sc := sim.Scenario{
-		Fleet:         sys.Fleet,
-		Energy:        energy.OptimisticFuture,
-		Market:        sys.Market,
-		ReactionDelay: *delay,
-	}
-	switch *horizon {
-	case "longrun":
-		sc.Demand = sys.LongRun
-		sc.Start = sys.Market.Start
-		sc.Steps = sys.Market.Hours
-		sc.Step = time.Hour
-	case "trace":
-		demand, err := sim.FromTrace(sys.Trace)
+	var sc sim.Scenario
+	if *burstHubs != "" {
+		// The burst-exact clique world: soft caps armed tight enough that
+		// 95/5 bursts genuinely fire, constructed so sharded and joint
+		// runs stay bit-identical (see core.BurstWorld).
+		pairs, err := core.ParseBurstHubs(*burstHubs)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 2
+		}
+		bw, err := sys.BurstWorld(pairs, *thresholdKm, *priceThreshold)
 		if err != nil {
 			fmt.Fprintln(stderr, "powerrouted:", err)
 			return 1
 		}
-		sc.Demand = demand
-		sc.Start = sys.Trace.Start
-		sc.Steps = sys.Trace.Samples
-		sc.Step = 5 * time.Minute
-	default:
-		fmt.Fprintf(stderr, "powerrouted: unknown horizon %q (longrun or trace)\n", *horizon)
-		return 2
+		if sc, err = sys.BurstScenario(bw, *thresholdKm, *priceThreshold, *delay); err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+	} else {
+		sc = sim.Scenario{
+			Fleet:         sys.Fleet,
+			Energy:        energy.OptimisticFuture,
+			Market:        sys.Market,
+			ReactionDelay: *delay,
+		}
+		switch *horizon {
+		case "longrun":
+			sc.Demand = sys.LongRun
+			sc.Start = sys.Market.Start
+			sc.Steps = sys.Market.Hours
+			sc.Step = time.Hour
+		case "trace":
+			demand, err := sim.FromTrace(sys.Trace)
+			if err != nil {
+				fmt.Fprintln(stderr, "powerrouted:", err)
+				return 1
+			}
+			sc.Demand = demand
+			sc.Start = sys.Trace.Start
+			sc.Steps = sys.Trace.Samples
+			sc.Step = 5 * time.Minute
+		default:
+			fmt.Fprintf(stderr, "powerrouted: unknown horizon %q (longrun or trace)\n", *horizon)
+			return 2
+		}
+		opt, err := routing.NewPriceOptimizer(sys.Fleet, *thresholdKm, *priceThreshold)
+		if err != nil {
+			fmt.Fprintln(stderr, "powerrouted:", err)
+			return 1
+		}
+		sc.Policy = opt
 	}
-	opt, err := routing.NewPriceOptimizer(sys.Fleet, *thresholdKm, *priceThreshold)
-	if err != nil {
-		fmt.Fprintln(stderr, "powerrouted:", err)
-		return 1
-	}
-	sc.Policy = opt
 
 	// The deferrable batch class is configured against the joint world —
 	// before any shard split, so every shard (and the coordinator's merge)
@@ -186,7 +226,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *shardCount > 1 {
-		partition, err := sim.PartitionByRouting(opt, sys.Fleet)
+		partition, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
 		if err != nil {
 			fmt.Fprintln(stderr, "powerrouted:", err)
 			return 1
@@ -208,6 +248,20 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "powerrouted: serving shard %d/%d: clusters %v, %d states\n",
 			*shardIndex, *shardCount, codes, len(sc.Fleet.States))
+	}
+
+	// Burst gate wiring: a whole-world engine (single, parallel, or
+	// restored) resolves the fleet-wide gate itself; a shard daemon cannot
+	// see the fleet's demand, so it replays gate bits a broker (the
+	// coordinator or tracegen's sharded replay) posts to /v1/leases.
+	var leases *sim.LeaseStore
+	if *burstHubs != "" {
+		if *shardCount > 1 {
+			leases = &sim.LeaseStore{}
+			sc.BurstGate = leases
+		} else {
+			sc.BurstGate = sim.SelfGate{}
+		}
 	}
 
 	var ckptPath string
@@ -237,7 +291,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	case *parallelShards > 0:
 		// In-process parallel shards: one engine per routing-closed market
 		// region, stepped concurrently, serving the joint world's books.
-		partition, err := sim.PartitionByRouting(opt, sys.Fleet)
+		partition, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
 		if err != nil {
 			fmt.Fprintln(stderr, "powerrouted:", err)
 			return 1
@@ -262,7 +316,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		}
 		eng = single
 	}
-	srv, err := server.New(server.Config{Engine: eng})
+	srv, err := server.New(server.Config{Engine: eng, Leases: leases})
 	if err != nil {
 		fmt.Fprintln(stderr, "powerrouted:", err)
 		return 1

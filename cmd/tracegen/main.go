@@ -16,6 +16,16 @@
 //	tracegen [-seed N] [-months M] [-days D] -replay URL
 //	         [-speedup X] [-batch N] [-loop N] [-kill-after N] [-resume]
 //	         [-batch-spec every=N,kwh=E,slack=S,floor=F]
+//	         [-burst-hubs SPEC -threshold-km KM] [-shards URL,URL]
+//
+// -burst-hubs switches the replay to the burst-exact clique world (see
+// core.BurstWorld) — start the daemons with the same -burst-hubs and
+// -threshold-km. In sharded mode the replay then doubles as the
+// burst-token lease broker: it computes the fleet-wide 95/5 burst gate
+// bit for every step from the full demand row and posts the lease window
+// to each shard (POST /v1/leases) before the demand that consumes it, so
+// a sharded replay's books match the unsplit daemon's byte for byte even
+// while soft-cap bursts fire.
 //
 // -batch-spec folds a deterministic deferrable-job load into the demand
 // replay (against a daemon started with its own -batch-spec): every N
@@ -63,17 +73,21 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from the daemon's next expected step (after powerrouted -restore)")
 	shards := flag.String("shards", "", "comma-separated powerrouted shard URLs: ingest goes to the shards directly and concurrently, -replay names the coordinator (status only)")
 	batchSpec := flag.String("batch-spec", "", "deferrable-job load riding the demand replay: every=<steps>,kwh=<energy>,slack=<deadline steps>,floor=<min fraction> (empty = no jobs)")
+	burstHubs := flag.String("burst-hubs", "", "replay the burst-exact clique world instead of the derived one (match the daemons' -burst-hubs); with -shards the replay also brokers burst-token leases")
+	burstThreshold := flag.Float64("threshold-km", 1500, "routing distance threshold the daemons run with (burst-hubs mode only; the burst world's soft caps depend on it)")
 	flag.Parse()
 	if *replayURL != "" {
 		opt := replayOptions{
-			Seed:      *seed,
-			Months:    *months,
-			Days:      *days,
-			Batch:     *batch,
-			Loops:     *loops,
-			Speedup:   *speedup,
-			KillAfter: *killAfter,
-			Resume:    *resume,
+			Seed:        *seed,
+			Months:      *months,
+			Days:        *days,
+			Batch:       *batch,
+			Loops:       *loops,
+			Speedup:     *speedup,
+			KillAfter:   *killAfter,
+			Resume:      *resume,
+			BurstHubs:   *burstHubs,
+			ThresholdKm: *burstThreshold,
 		}
 		if *batchSpec != "" {
 			spec, err := parseJobSpec(*batchSpec)
@@ -97,6 +111,10 @@ func main() {
 	}
 	if *batchSpec != "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -batch-spec only applies to -replay mode")
+		os.Exit(2)
+	}
+	if *burstHubs != "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -burst-hubs only applies to -replay mode")
 		os.Exit(2)
 	}
 	if *out == "" {

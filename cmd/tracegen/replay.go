@@ -13,8 +13,11 @@ import (
 	"sync"
 	"time"
 
+	"powerroute/internal/core"
 	"powerroute/internal/market"
+	"powerroute/internal/routing"
 	"powerroute/internal/server"
+	"powerroute/internal/sim"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/traffic"
 )
@@ -45,6 +48,18 @@ type replayOptions struct {
 	// the shards' /v1/world. The -replay URL is then the coordinator,
 	// queried only for the merged fleet-wide status.
 	Shards []string
+
+	// BurstHubs switches the replay from the paper's derived world to the
+	// burst-exact clique world (core.BurstWorld) the daemons were started
+	// with via the matching -burst-hubs flag: comonotone demand rows
+	// instead of the long-run trace. In sharded mode the replay is also
+	// the lease broker — it computes the fleet-wide burst gate bit for
+	// every step from the full demand row and posts the lease window to
+	// each shard before the demand chunk that consumes it.
+	BurstHubs string
+	// ThresholdKm is the routing proximity threshold the daemons run with;
+	// the burst world's geometry (and so its soft caps) depends on it.
+	ThresholdKm float64
 
 	// Jobs, when set, folds a deterministic deferrable-job load into the
 	// demand replay (the -batch-spec flag): at every absolute step that is
@@ -138,7 +153,35 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 	if err != nil {
 		return err
 	}
-	lr := tr.LongRun()
+	var demand sim.DemandSource = tr.LongRun()
+
+	// Burst mode: regenerate the burst-exact world the daemons serve (same
+	// seed, same flags → bit-identical fleet, caps, and demand) and, when
+	// sharded, precompute the broker state for lease posts.
+	var leaseRoom float64
+	brokering := false
+	if opt.BurstHubs != "" {
+		if opt.Jobs != nil {
+			return fmt.Errorf("replay: -burst-hubs and -batch-spec are not supported together")
+		}
+		pairs, err := core.ParseBurstHubs(opt.BurstHubs)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		sys, err := core.NewSystem(core.Options{Seed: opt.Seed, MarketMonths: opt.Months, TraceDays: opt.Days})
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		bw, err := sys.BurstWorld(pairs, opt.ThresholdKm, routing.DefaultPriceThreshold)
+		if err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		demand = bw.Demand
+		if leaseRoom, err = sim.BurstRoomTotal(bw.Fleet, bw.SoftCaps); err != nil {
+			return fmt.Errorf("replay: %w", err)
+		}
+		brokering = len(opt.Shards) > 0
+	}
 
 	hubs := mkt.Hubs()
 	hubIDs := make([]string, len(hubs))
@@ -172,6 +215,14 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 	if len(opt.Shards) > 0 {
 		if opt.Resume || opt.KillAfter > 0 {
 			return fmt.Errorf("replay: -resume/-kill-after are not supported with -shards (drive shards individually instead)")
+		}
+		// When the replay target is a coordinator, its shard list must
+		// cover the same partition as the -shards flag — a count mismatch
+		// means the merged status would silently describe a different
+		// fleet split than the one being driven.
+		if world, err := getWorld(client, baseURL); err == nil && len(world.Shards) > 0 && len(world.Shards) != len(opt.Shards) {
+			return fmt.Errorf("replay: -shards lists %d URLs but the coordinator at %s partitions the world into %d shards (%s)",
+				len(opt.Shards), baseURL, len(world.Shards), strings.Join(world.Shards, ", "))
 		}
 		stateIdx := make(map[string]int, ns)
 		for i, sd := range tr.States {
@@ -252,6 +303,10 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 		prices := pb.Bytes()
 
 		demands := make([][]byte, len(targets))
+		var gates []bool
+		if brokering && withDemand {
+			gates = make([]bool, n)
+		}
 		if withDemand {
 			bufs := make([]*bytes.Buffer, len(targets))
 			for ti, tg := range targets {
@@ -271,7 +326,10 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 				}
 			}
 			for i := 0; i < n; i++ {
-				demandRow = lr.Rates(chunkStart.Add(time.Duration(i)*step), demandRow)
+				demandRow = demand.Rates(chunkStart.Add(time.Duration(i)*step), demandRow)
+				if gates != nil {
+					gates[i] = sim.BurstGateOpen(sim.SumDemand(demandRow), leaseRoom)
+				}
 				for ti, tg := range targets {
 					if opt.Jobs != nil {
 						// The job load is a pure function of the absolute
@@ -305,6 +363,21 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 			}
 		}
 
+		// The lease window every shard must hold before its demand chunk
+		// arrives: the fleet-wide burst gate bit per step, computed from
+		// the full demand row no single shard sees.
+		var leaseBody []byte
+		if gates != nil {
+			body, err := json.Marshal(struct {
+				From  int    `json:"from"`
+				Gates []bool `json:"gates"`
+			}{From: off, Gates: gates})
+			if err != nil {
+				return err
+			}
+			leaseBody = body
+		}
+
 		errs := make([]error, len(targets))
 		var wg sync.WaitGroup
 		for ti, tg := range targets {
@@ -314,6 +387,12 @@ func replay(stdout io.Writer, baseURL string, opt replayOptions) error {
 				if err := post(client, tg.url+"/v1/prices", server.ContentTypePricesBatch, bytes.NewReader(prices)); err != nil {
 					errs[ti] = fmt.Errorf("replay: price chunk at %v to %s: %w", chunkStart, tg.url, err)
 					return
+				}
+				if leaseBody != nil {
+					if err := post(client, tg.url+"/v1/leases", "application/json", bytes.NewReader(leaseBody)); err != nil {
+						errs[ti] = fmt.Errorf("replay: lease window at step %d to %s: %w", off, tg.url, err)
+						return
+					}
 				}
 				if withDemand {
 					if err := post(client, tg.url+"/v1/demand", server.ContentTypeDemandBatch, bytes.NewReader(demands[ti])); err != nil {
@@ -448,6 +527,7 @@ type daemonWorld struct {
 	StepSeconds          float64  `json:"step_seconds"`
 	ReactionDelaySeconds float64  `json:"reaction_delay_seconds"`
 	States               []string `json:"states"`
+	Shards               []string `json:"shards"`
 	Clusters             []struct {
 		Code string `json:"code"`
 	} `json:"clusters"`

@@ -83,24 +83,41 @@ func (m *Meter) Peak() float64 {
 	return peak
 }
 
-// Constraint enforces a per-cluster 95/5 cap over a known number of
-// intervals: the cluster may exceed Cap during at most 5% of intervals
-// (its burst budget); once the budget is spent the cap is hard.
-//
-// ckpt:state State,RestoreState
-type Constraint struct {
-	Cap          float64 // baseline billable rate (p95)
-	budget       int     // ckpt:derived remaining over-cap intervals, rebuilt as totalBudget-burstsUsed by RestoreState
-	totalBudget  int
-	burstsUsed   int
-	intervalsRun int
+// BurstAccount is the budget half of a 95/5 constraint: it answers
+// whether the next over-cap interval is still within the 5% grace and
+// records the ones that happen. Splitting it from the cap meter lets the
+// same Constraint run against different budget backings — LocalAccount
+// reproduces the classic engine-local arithmetic bit for bit, while a
+// coordinated fleet can meter the same budget under brokered leases (the
+// gate decision arrives via sim.BurstGate; the per-cluster budget itself
+// is intrinsically local, so the account stays exact either way).
+type BurstAccount interface {
+	// CanBurst reports whether an over-cap interval is still permitted.
+	CanBurst() bool
+	// Consume records one over-cap interval, failing when the budget is
+	// exhausted. rate and cap are for the error message only.
+	Consume(rate, cap float64) error
+	// BurstsUsed returns the number of over-cap intervals consumed.
+	BurstsUsed() int
+	// TotalBudget returns the account's full allowance.
+	TotalBudget() int
+	// RestoreBurstsUsed rewinds the account to a checkpointed consumption
+	// count, failing when the count is outside the budget.
+	RestoreBurstsUsed(used int) error
 }
 
-// NewConstraint builds a constraint for a run of totalIntervals intervals.
-func NewConstraint(cap float64, totalIntervals int) (*Constraint, error) {
-	if cap < 0 {
-		return nil, errors.New("billing: negative cap")
-	}
+// LocalAccount is the engine-local BurstAccount: a fixed allowance of
+// totalIntervals/20 − 1 over-cap intervals, decremented as they happen.
+// This is byte-identical to the pre-lease Constraint behavior.
+type LocalAccount struct {
+	budget      int // remaining over-cap intervals
+	totalBudget int
+	burstsUsed  int
+}
+
+// NewLocalAccount builds the classic local burst budget for a run of
+// totalIntervals intervals.
+func NewLocalAccount(totalIntervals int) (*LocalAccount, error) {
 	if totalIntervals <= 0 {
 		return nil, errors.New("billing: non-positive interval count")
 	}
@@ -110,11 +127,71 @@ func NewConstraint(cap float64, totalIntervals int) (*Constraint, error) {
 	if budget < 0 {
 		budget = 0
 	}
-	return &Constraint{Cap: cap, budget: budget, totalBudget: budget}, nil
+	return &LocalAccount{budget: budget, totalBudget: budget}, nil
 }
 
 // CanBurst reports whether an over-cap interval is still permitted.
-func (c *Constraint) CanBurst() bool { return c.budget > 0 }
+func (a *LocalAccount) CanBurst() bool { return a.budget > 0 }
+
+// Consume spends one burst from the local budget.
+func (a *LocalAccount) Consume(rate, cap float64) error {
+	if a.budget <= 0 {
+		return fmt.Errorf("billing: over-cap interval (%.1f > %.1f) with no burst budget", rate, cap)
+	}
+	a.budget--
+	a.burstsUsed++
+	return nil
+}
+
+// BurstsUsed returns the number of over-cap intervals consumed.
+func (a *LocalAccount) BurstsUsed() int { return a.burstsUsed }
+
+// TotalBudget returns the account's full allowance.
+func (a *LocalAccount) TotalBudget() int { return a.totalBudget }
+
+// RestoreBurstsUsed rewinds the account to a checkpointed count.
+func (a *LocalAccount) RestoreBurstsUsed(used int) error {
+	if used < 0 || used > a.totalBudget {
+		return fmt.Errorf("billing: restored bursts used %d outside budget %d", used, a.totalBudget)
+	}
+	a.budget = a.totalBudget - used
+	a.burstsUsed = used
+	return nil
+}
+
+// Constraint enforces a per-cluster 95/5 cap over a known number of
+// intervals: the cluster may exceed Cap during at most 5% of intervals
+// (its burst budget); once the budget is spent the cap is hard. The cap
+// comparison (the pure meter) lives here; the budget arithmetic is
+// delegated to a BurstAccount.
+//
+// ckpt:state State,RestoreState
+type Constraint struct {
+	Cap          float64      // baseline billable rate (p95)
+	account      BurstAccount // the budget backing; LocalAccount by default
+	intervalsRun int
+}
+
+// NewConstraint builds a constraint for a run of totalIntervals intervals,
+// backed by the classic engine-local budget.
+func NewConstraint(cap float64, totalIntervals int) (*Constraint, error) {
+	if cap < 0 {
+		return nil, errors.New("billing: negative cap")
+	}
+	account, err := NewLocalAccount(totalIntervals)
+	if err != nil {
+		return nil, err
+	}
+	return &Constraint{Cap: cap, account: account}, nil
+}
+
+// Over reports whether rate exceeds the cap beyond the billing epsilon —
+// the single definition of "this interval is a burst" that Commit and the
+// engine's lease ledger both use.
+func (c *Constraint) Over(rate float64) bool { return rate > c.Cap+1e-9 }
+
+// CanBurst reports whether an over-cap interval is still permitted.
+func (c *Constraint) CanBurst() bool { return c.account.CanBurst() }
 
 // Limit returns the enforceable rate limit for the next interval given a
 // physical capacity: capacity when a burst is available, min(cap, capacity)
@@ -134,19 +211,14 @@ func (c *Constraint) Limit(capacity float64) float64 {
 // cap with no budget left (a router bug).
 func (c *Constraint) Commit(rate float64) error {
 	c.intervalsRun++
-	if rate <= c.Cap+1e-9 {
+	if !c.Over(rate) {
 		return nil
 	}
-	if c.budget <= 0 {
-		return fmt.Errorf("billing: over-cap interval (%.1f > %.1f) with no burst budget", rate, c.Cap)
-	}
-	c.budget--
-	c.burstsUsed++
-	return nil
+	return c.account.Consume(rate, c.Cap)
 }
 
 // BurstsUsed returns the number of over-cap intervals consumed.
-func (c *Constraint) BurstsUsed() int { return c.burstsUsed }
+func (c *Constraint) BurstsUsed() int { return c.account.BurstsUsed() }
 
 // IntervalsRun returns the number of committed intervals.
 func (c *Constraint) IntervalsRun() int { return c.intervalsRun }
@@ -154,8 +226,8 @@ func (c *Constraint) IntervalsRun() int { return c.intervalsRun }
 // Verify checks the 95/5 invariant after a run: over-cap intervals must not
 // exceed the 5% budget, i.e. the realized p95 did not rise above the cap.
 func (c *Constraint) Verify() error {
-	if c.burstsUsed > c.totalBudget {
-		return fmt.Errorf("billing: %d bursts used, budget %d", c.burstsUsed, c.totalBudget)
+	if used, budget := c.account.BurstsUsed(), c.account.TotalBudget(); used > budget {
+		return fmt.Errorf("billing: %d bursts used, budget %d", used, budget)
 	}
 	return nil
 }
@@ -177,8 +249,8 @@ type ConstraintState struct {
 func (c *Constraint) State() ConstraintState {
 	return ConstraintState{
 		Cap:          c.Cap,
-		TotalBudget:  c.totalBudget,
-		BurstsUsed:   c.burstsUsed,
+		TotalBudget:  c.account.TotalBudget(),
+		BurstsUsed:   c.account.BurstsUsed(),
 		IntervalsRun: c.intervalsRun,
 	}
 }
@@ -191,8 +263,8 @@ func (c *Constraint) RestoreState(s ConstraintState) error {
 	if s.Cap != c.Cap {
 		return fmt.Errorf("billing: restored cap %v, constraint built with %v", s.Cap, c.Cap)
 	}
-	if s.TotalBudget != c.totalBudget {
-		return fmt.Errorf("billing: restored burst budget %d, constraint built with %d", s.TotalBudget, c.totalBudget)
+	if s.TotalBudget != c.account.TotalBudget() {
+		return fmt.Errorf("billing: restored burst budget %d, constraint built with %d", s.TotalBudget, c.account.TotalBudget())
 	}
 	if s.BurstsUsed < 0 || s.BurstsUsed > s.TotalBudget {
 		return fmt.Errorf("billing: restored bursts used %d outside budget %d", s.BurstsUsed, s.TotalBudget)
@@ -200,9 +272,64 @@ func (c *Constraint) RestoreState(s ConstraintState) error {
 	if s.IntervalsRun < s.BurstsUsed {
 		return fmt.Errorf("billing: restored %d intervals with %d bursts used", s.IntervalsRun, s.BurstsUsed)
 	}
-	c.budget = c.totalBudget - s.BurstsUsed
-	c.burstsUsed = s.BurstsUsed
+	if err := c.account.RestoreBurstsUsed(s.BurstsUsed); err != nil {
+		return err
+	}
 	c.intervalsRun = s.IntervalsRun
+	return nil
+}
+
+// LeaseLedger books one cluster's burst-token traffic under coordinated
+// (fleet-gated) burst accounting. A token is granted when the fleet-wide
+// gate opens for a cluster that still has budget; it is used when the
+// cluster actually commits an over-cap interval that step, and expired —
+// reclaimed by the broker at the step boundary — when it does not. The
+// ledger is pure bookkeeping: it never blocks a burst (the BurstAccount
+// does that), it only records how the brokered budget moved, so
+// granted == used + expired holds at every step boundary.
+//
+// ckpt:state State,RestoreState
+type LeaseLedger struct {
+	granted int
+	used    int
+	expired int
+}
+
+// Grant books one token leased to the cluster for the current step.
+func (l *LeaseLedger) Grant() { l.granted++ }
+
+// Use books the current step's token as consumed by an over-cap interval.
+func (l *LeaseLedger) Use() { l.used++ }
+
+// Expire books the current step's token as unused — reclaimed at the step
+// boundary.
+func (l *LeaseLedger) Expire() { l.expired++ }
+
+// LeaseLedgerState is the serializable state of a LeaseLedger.
+//
+// ckpt:state State,RestoreState
+type LeaseLedgerState struct {
+	TokensGranted int `json:"tokens_granted"`
+	TokensUsed    int `json:"tokens_used"`
+	TokensExpired int `json:"tokens_expired"`
+}
+
+// State exports the ledger's counters.
+func (l *LeaseLedger) State() LeaseLedgerState {
+	return LeaseLedgerState{TokensGranted: l.granted, TokensUsed: l.used, TokensExpired: l.expired}
+}
+
+// RestoreState loads a previously exported ledger, enforcing the
+// step-boundary invariant granted == used + expired.
+func (l *LeaseLedger) RestoreState(s LeaseLedgerState) error {
+	if s.TokensGranted < 0 || s.TokensUsed < 0 || s.TokensExpired < 0 {
+		return fmt.Errorf("billing: negative lease ledger counters %+v", s)
+	}
+	if s.TokensGranted != s.TokensUsed+s.TokensExpired {
+		return fmt.Errorf("billing: lease ledger granted %d != used %d + expired %d",
+			s.TokensGranted, s.TokensUsed, s.TokensExpired)
+	}
+	l.granted, l.used, l.expired = s.TokensGranted, s.TokensUsed, s.TokensExpired
 	return nil
 }
 

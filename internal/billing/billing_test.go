@@ -361,3 +361,97 @@ func TestDemandMeterStateRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestLocalAccountBudget pins the classic 5% budget arithmetic behind the
+// BurstAccount interface: totalIntervals/20 − 1 bursts, hard floor at 0.
+func TestLocalAccountBudget(t *testing.T) {
+	if _, err := NewLocalAccount(0); err == nil {
+		t.Fatal("zero-interval account accepted")
+	}
+	tiny, err := NewLocalAccount(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.TotalBudget() != 0 || tiny.CanBurst() {
+		t.Fatalf("10-interval account: budget %d, CanBurst %v", tiny.TotalBudget(), tiny.CanBurst())
+	}
+	if err := tiny.Consume(5, 1); err == nil {
+		t.Fatal("empty budget consumed")
+	}
+
+	a, err := NewLocalAccount(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBudget() != 9 {
+		t.Fatalf("200-interval budget %d, want 9", a.TotalBudget())
+	}
+	for i := 0; i < 9; i++ {
+		if !a.CanBurst() {
+			t.Fatalf("CanBurst false with %d bursts used", i)
+		}
+		if err := a.Consume(5, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.CanBurst() {
+		t.Fatal("CanBurst true with budget spent")
+	}
+	if err := a.Consume(5, 1); err == nil {
+		t.Fatal("over-budget consume accepted")
+	}
+	if a.BurstsUsed() != 9 {
+		t.Fatalf("bursts used %d, want 9", a.BurstsUsed())
+	}
+
+	if err := a.RestoreBurstsUsed(10); err == nil {
+		t.Fatal("restore beyond budget accepted")
+	}
+	if err := a.RestoreBurstsUsed(-1); err == nil {
+		t.Fatal("negative restore accepted")
+	}
+	if err := a.RestoreBurstsUsed(3); err != nil {
+		t.Fatal(err)
+	}
+	if a.BurstsUsed() != 3 || !a.CanBurst() {
+		t.Fatalf("restored account: used %d, CanBurst %v", a.BurstsUsed(), a.CanBurst())
+	}
+}
+
+// TestLeaseLedgerStateRoundTrip: counters survive State/RestoreState and
+// the step-boundary invariant granted == used + expired is enforced.
+func TestLeaseLedgerStateRoundTrip(t *testing.T) {
+	var l LeaseLedger
+	l.Grant()
+	l.Use()
+	l.Grant()
+	l.Expire()
+	l.Grant()
+	l.Use()
+	st := l.State()
+	want := LeaseLedgerState{TokensGranted: 3, TokensUsed: 2, TokensExpired: 1}
+	if st != want {
+		t.Fatalf("ledger state %+v, want %+v", st, want)
+	}
+
+	var restored LeaseLedger
+	if err := restored.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if restored.State() != want {
+		t.Fatalf("restored state %+v, want %+v", restored.State(), want)
+	}
+
+	bad := []LeaseLedgerState{
+		{TokensGranted: -1, TokensUsed: 0, TokensExpired: 0},
+		{TokensGranted: 2, TokensUsed: -1, TokensExpired: 3},
+		{TokensGranted: 2, TokensUsed: 0, TokensExpired: -2},
+		{TokensGranted: 3, TokensUsed: 1, TokensExpired: 1},
+	}
+	for i, s := range bad {
+		var target LeaseLedger
+		if err := target.RestoreState(s); err == nil {
+			t.Errorf("case %d: invalid ledger state %+v accepted", i, s)
+		}
+	}
+}

@@ -12,6 +12,20 @@
 // and /metrics from that snapshot — the same payloads a single
 // powerrouted serving the whole world would produce, bit for bit.
 //
+// When the joint world runs a coordinated 95/5 burst gate (a soft-capped
+// scenario with a BurstGate), the coordinator is also the burst-token
+// lease broker: before each demand fan-out it resolves the fleet-wide
+// gate bit from the full demand row — the one comparison no single shard
+// can make — and posts the lease window to every shard's POST /v1/leases,
+// so the shards' burst ledgers replay exactly the joint engine's.
+//
+// Cross-shard spill (Config.Spill) is the opposite trade: when a region's
+// demand exceeds its serving capacity, the coordinator's demand splitter
+// reroutes the overflow to the cheapest reachable sibling region with
+// open capacity before splitting the row, metered at the clusters that
+// actually serve it. Spill changes assignments, so a spilling coordinator
+// is deliberately not byte-comparable with a joint engine run.
+//
 //	POST /v1/prices      forward a price vector or batch to every shard
 //	POST /v1/demand      split demand by state ownership and fan out
 //	GET  /v1/status      fleet-wide status from the last merged snapshot (?refresh=1 re-pulls)
@@ -29,14 +43,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"powerroute/internal/cluster"
+	"powerroute/internal/geo"
+	"powerroute/internal/routing"
 	"powerroute/internal/server"
 	"powerroute/internal/sim"
 )
+
+// ErrShardUnreachable tags fan-out and pull failures caused by a shard
+// that cannot be reached at all (daemon down, connection refused), as
+// opposed to a shard that answered with an application error.
+var ErrShardUnreachable = errors.New("coord: shard unreachable")
 
 // Config assembles a Coordinator.
 type Config struct {
@@ -48,6 +71,16 @@ type Config struct {
 	ShardURLs []string
 	// Client overrides the HTTP client used to reach shards.
 	Client *http.Client
+
+	// Spill enables cross-shard demand spill: a region whose demand row
+	// exceeds its serving capacity has the overflow rerouted to the
+	// cheapest reachable sibling region with open capacity before the
+	// row is split, so it is metered at the clusters that serve it.
+	// Opt-in because spilled assignments diverge from a joint engine's.
+	Spill bool
+	// SpillRadiusKm bounds which sibling regions overflow may reach
+	// (minimum pairwise cluster distance). 0 means any sibling.
+	SpillRadiusKm float64
 }
 
 // shardInfo is one shard's discovered ownership.
@@ -65,6 +98,23 @@ type Coordinator struct {
 	worldHash string
 	client    *http.Client
 	shards    []shardInfo
+
+	// Burst-token broker state, armed when the joint world runs a
+	// coordinated burst gate: room is the fleet's soft-capped total (a
+	// run constant summed in fleet cluster order, exactly like the joint
+	// engine's), the input to every fleet-wide gate decision.
+	broker bool
+	room   float64
+
+	// Cross-shard spill state (Config.Spill): per-region serving
+	// capacity, the reachability mask, and the latest decision price per
+	// hub (tracked from the price feed to rank candidate receivers).
+	spill    bool
+	shardCap []float64
+	spillOK  [][]bool
+	spillMu  sync.Mutex
+	hubPrice map[string]float64 // guarded_by: spillMu
+	spilled  float64            // guarded_by: spillMu
 
 	// Cached merged snapshot, refreshed periodically (Run) or on demand.
 	mu   sync.Mutex
@@ -86,6 +136,15 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("coord: joint world: %w", err)
 	}
+	// Fail fast on a shard-count/partition mismatch: the routing partition
+	// is a pure function of the joint world, so a wrong URL count can be
+	// rejected before any shard is contacted.
+	if sharder, ok := cfg.Scenario.Policy.(routing.Sharder); ok {
+		if p, err := sim.PartitionByRouting(sharder, cfg.Scenario.Fleet); err == nil && p.Shards() != len(cfg.ShardURLs) {
+			return nil, fmt.Errorf("coord: %d shard URLs for a world that splits into %d market regions at this policy's reach",
+				len(cfg.ShardURLs), p.Shards())
+		}
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Minute}
@@ -95,18 +154,69 @@ func New(ctx context.Context, cfg Config) (*Coordinator, error) {
 		fleet:     cfg.Scenario.Fleet,
 		worldHash: hash,
 		client:    client,
+		spill:     cfg.Spill,
 		requests:  make(map[string]uint64),
+	}
+	if cfg.Scenario.BurstGate != nil {
+		room, err := sim.BurstRoomTotal(cfg.Scenario.Fleet, cfg.Scenario.SoftCaps)
+		if err != nil {
+			return nil, fmt.Errorf("coord: burst broker: %w", err)
+		}
+		co.broker = true
+		co.room = room
 	}
 	if err := co.discover(ctx, cfg.ShardURLs); err != nil {
 		return nil, err
 	}
+	if co.spill {
+		co.initSpill(cfg.SpillRadiusKm)
+	}
 	return co, nil
+}
+
+// initSpill precomputes each region's serving capacity and which
+// siblings its overflow may reach (minimum pairwise cluster distance
+// within radiusKm; 0 = any sibling).
+//
+//lint:held spillMu construction-time init, before the Coordinator is shared
+func (co *Coordinator) initSpill(radiusKm float64) {
+	n := len(co.shards)
+	co.shardCap = make([]float64, n)
+	for i, sh := range co.shards {
+		for _, c := range sh.clusters {
+			co.shardCap[i] += float64(co.fleet.Clusters[c].Capacity)
+		}
+	}
+	co.spillOK = make([][]bool, n)
+	co.hubPrice = make(map[string]float64)
+	for i := range co.spillOK {
+		co.spillOK[i] = make([]bool, n)
+		for j := range co.spillOK[i] {
+			if i == j {
+				continue
+			}
+			if radiusKm <= 0 {
+				co.spillOK[i][j] = true
+				continue
+			}
+			best := math.Inf(1)
+			for _, a := range co.shards[i].clusters {
+				for _, b := range co.shards[j].clusters {
+					if d := geo.Distance(co.fleet.Clusters[a].Location, co.fleet.Clusters[b].Location).Km(); d < best {
+						best = d
+					}
+				}
+			}
+			co.spillOK[i][j] = best <= radiusKm
+		}
+	}
 }
 
 // shardWorld is the slice of a shard's /v1/world the coordinator needs.
 type shardWorld struct {
 	Policy      string  `json:"policy"`
 	StepSeconds float64 `json:"step_seconds"`
+	LeaseBroker bool    `json:"lease_broker"`
 	Clusters    []struct {
 		Code string `json:"code"`
 	} `json:"clusters"`
@@ -157,6 +267,9 @@ func (co *Coordinator) discover(ctx context.Context, urls []string) error {
 		}
 		if got := time.Duration(world.StepSeconds * float64(time.Second)); got != co.sc.Step {
 			return fmt.Errorf("coord: shard %s steps %v, joint world steps %v", url, got, co.sc.Step)
+		}
+		if co.broker && !world.LeaseBroker {
+			return fmt.Errorf("coord: the joint world runs a coordinated burst gate but shard %s accepts no burst-token leases (start it with matching -burst-hubs and -shard-count flags)", url)
 		}
 		info := shardInfo{url: url}
 		for _, cl := range world.Clusters {
@@ -293,7 +406,7 @@ func (co *Coordinator) fanOut(ctx context.Context, path, contentType string, bod
 			req.Header.Set("Content-Type", contentType)
 			resp, err := co.client.Do(req)
 			if err != nil {
-				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				errs[i] = fmt.Errorf("%w %s: %v", ErrShardUnreachable, url, err)
 				return
 			}
 			defer resp.Body.Close()
@@ -318,6 +431,9 @@ func (co *Coordinator) handlePrices(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading price post: %v", err)
 		return
 	}
+	if co.spill {
+		co.trackPrices(r.Header.Get("Content-Type"), body)
+	}
 	bodies := make([][]byte, len(co.shards))
 	for i := range bodies {
 		bodies[i] = body
@@ -327,6 +443,38 @@ func (co *Coordinator) handlePrices(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"shards": len(co.shards)})
+}
+
+// postLeases replays the fleet-wide burst gate bits for steps
+// [from, from+len(gates)) to every shard's lease store. It must land
+// before the demand that consumes the window — a shard engine refuses to
+// route a soft-capped step it holds no lease bit for.
+func (co *Coordinator) postLeases(ctx context.Context, from int, gates []bool) error {
+	body, err := json.Marshal(struct {
+		From  int    `json:"from"`
+		Gates []bool `json:"gates"`
+	}{From: from, Gates: gates})
+	if err != nil {
+		return err
+	}
+	bodies := make([][]byte, len(co.shards))
+	for i := range bodies {
+		bodies[i] = body
+	}
+	return co.fanOut(ctx, "/v1/leases", "application/json", bodies)
+}
+
+// leaseStep maps a demand timestamp onto the joint step grid; the broker
+// needs the absolute step number to address the lease window.
+func (co *Coordinator) leaseStep(at time.Time) (int, error) {
+	if at.IsZero() {
+		return 0, errors.New("a burst-brokered fleet needs an explicit demand timestamp to address the lease window")
+	}
+	off := at.Sub(co.sc.Start)
+	if off < 0 || off%co.sc.Step != 0 {
+		return 0, fmt.Errorf("demand at %v is not on the joint world's %v grid from %v", at, co.sc.Step, co.sc.Start)
+	}
+	return int(off / co.sc.Step), nil
 }
 
 // demandPost mirrors the shard daemon's JSON demand body.
@@ -348,6 +496,21 @@ func (co *Coordinator) handleDemand(w http.ResponseWriter, r *http.Request) {
 	if len(post.Rates) != len(co.fleet.States) {
 		httpError(w, http.StatusBadRequest, "%d rates for %d states", len(post.Rates), len(co.fleet.States))
 		return
+	}
+	if co.broker {
+		step, err := co.leaseStep(post.At)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		gate := sim.BurstGateOpen(sim.SumDemand(post.Rates), co.room)
+		if err := co.postLeases(r.Context(), step, []bool{gate}); err != nil {
+			httpError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+	}
+	if co.spill {
+		co.spillRow(post.Rates)
 	}
 	bodies := make([][]byte, len(co.shards))
 	for i, sh := range co.shards {
@@ -388,6 +551,20 @@ func (co *Coordinator) handleDemandBatch(w http.ResponseWriter, r *http.Request)
 		httpError(w, http.StatusBadRequest, "batch has %d state columns, fleet has %d", h.Cols, ns)
 		return
 	}
+	var gates []bool
+	baseStep := 0
+	if co.broker {
+		if h.Step != co.sc.Step {
+			httpError(w, http.StatusBadRequest, "batch steps %v, joint world steps %v", h.Step, co.sc.Step)
+			return
+		}
+		var err error
+		if baseStep, err = co.leaseStep(h.Start); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		gates = make([]bool, h.Rows)
+	}
 	bufs := make([]*bytes.Buffer, len(co.shards))
 	subRows := make([][]float64, len(co.shards))
 	for i, sh := range co.shards {
@@ -410,12 +587,24 @@ func (co *Coordinator) handleDemandBatch(w http.ResponseWriter, r *http.Request)
 			httpError(w, http.StatusBadRequest, "demand row %d: %v", i, err)
 			return
 		}
+		if gates != nil {
+			gates[i] = sim.BurstGateOpen(sim.SumDemand(row), co.room)
+		}
+		if co.spill {
+			co.spillRow(row)
+		}
 		for j, sh := range co.shards {
 			sub := subRows[j]
 			for k, s := range sh.states {
 				sub[k] = row[s]
 			}
 			bufs[j].Write(server.AppendRow(scratch[:0], sub))
+		}
+	}
+	if gates != nil {
+		if err := co.postLeases(r.Context(), baseStep, gates); err != nil {
+			httpError(w, http.StatusBadGateway, "%v", err)
+			return
 		}
 	}
 	bodies := make([][]byte, len(co.shards))
@@ -427,6 +616,157 @@ func (co *Coordinator) handleDemandBatch(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	writeJSON(w, map[string]any{"routed": h.Rows, "shards": len(co.shards)})
+}
+
+// --- cross-shard spill ------------------------------------------------------
+
+// spillRow reroutes overflow between regions in place: any region whose
+// share of the row exceeds its serving capacity sheds the excess to the
+// cheapest reachable sibling with open capacity (then the next cheapest,
+// and so on). The fleet-wide total is preserved — only the split moves —
+// and the receiving regions meter the spilled demand on their own
+// clusters. Returns the rerouted volume in hits/s.
+func (co *Coordinator) spillRow(row []float64) float64 {
+	totals := make([]float64, len(co.shards))
+	for i, sh := range co.shards {
+		for _, s := range sh.states {
+			totals[i] += row[s]
+		}
+	}
+	prices := co.regionPrices()
+	order := make([]int, len(co.shards))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return prices[order[a]] < prices[order[b]] })
+
+	var moved float64
+	for i := range co.shards {
+		over := totals[i] - co.shardCap[i]
+		if over <= 0 {
+			continue
+		}
+		var out float64
+		for _, j := range order {
+			if j == i || !co.spillOK[i][j] {
+				continue
+			}
+			open := co.shardCap[j] - totals[j]
+			if open <= 0 {
+				continue
+			}
+			take := math.Min(over-out, open)
+			if take <= 0 {
+				break
+			}
+			addProportional(row, co.shards[j].states, take)
+			totals[j] += take
+			out += take
+		}
+		if out > 0 {
+			// Shed the rerouted volume from the sender uniformly across
+			// its states, keeping its internal mix intact.
+			scale := (totals[i] - out) / totals[i]
+			for _, s := range co.shards[i].states {
+				row[s] *= scale
+			}
+			totals[i] -= out
+			moved += out
+		}
+	}
+	if moved > 0 {
+		co.spillMu.Lock()
+		co.spilled += moved
+		co.spillMu.Unlock()
+	}
+	return moved
+}
+
+// addProportional distributes amount over the given state columns in
+// proportion to their current values (evenly when all are zero), so the
+// receiving region's internal mix is preserved.
+func addProportional(row []float64, states []int, amount float64) {
+	var sum float64
+	for _, s := range states {
+		sum += row[s]
+	}
+	if sum <= 0 {
+		per := amount / float64(len(states))
+		for _, s := range states {
+			row[s] += per
+		}
+		return
+	}
+	for _, s := range states {
+		row[s] += amount * row[s] / sum
+	}
+}
+
+// regionPrices ranks regions by the mean of their clusters' latest hub
+// prices; a region with no price seen yet ranks last (+Inf), so overflow
+// never lands on a region whose cost is unknown while a priced one is
+// open.
+func (co *Coordinator) regionPrices() []float64 {
+	co.spillMu.Lock()
+	defer co.spillMu.Unlock()
+	prices := make([]float64, len(co.shards))
+	for i, sh := range co.shards {
+		var sum float64
+		n := 0
+		for _, c := range sh.clusters {
+			if v, ok := co.hubPrice[co.fleet.Clusters[c].HubID]; ok {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			prices[i] = math.Inf(1)
+		} else {
+			prices[i] = sum / float64(n)
+		}
+	}
+	return prices
+}
+
+// trackPrices keeps the latest per-hub price from a forwarded price post
+// (the last row of a batch, or the vector of a JSON post) for spill
+// ranking. Malformed posts are ignored here — the shards reject them.
+func (co *Coordinator) trackPrices(contentType string, body []byte) {
+	latest := make(map[string]float64)
+	switch contentType {
+	case server.ContentTypePricesBatch:
+		br := bufio.NewReader(bytes.NewReader(body))
+		h, err := server.ParseBatchHeader(br)
+		if err != nil || h.Kind != "prices" || h.Rows == 0 || len(h.Hubs) != h.Cols {
+			return
+		}
+		rowBytes := make([]byte, 8*h.Cols)
+		row := make([]float64, h.Cols)
+		for i := 0; i < h.Rows; i++ {
+			if _, err := io.ReadFull(br, rowBytes); err != nil {
+				return
+			}
+		}
+		if err := server.DecodeRow(rowBytes, row); err != nil {
+			return
+		}
+		for j, hub := range h.Hubs {
+			latest[hub] = row[j]
+		}
+	default:
+		var post struct {
+			Prices map[string]float64 `json:"prices"`
+		}
+		if err := json.Unmarshal(body, &post); err != nil {
+			return
+		}
+		latest = post.Prices
+	}
+	co.spillMu.Lock()
+	for hub, v := range latest {
+		co.hubPrice[hub] = v
+	}
+	co.spillMu.Unlock()
 }
 
 // pullMerge fetches every shard's checkpoint and merges them into the
@@ -446,7 +786,7 @@ func (co *Coordinator) pullMerge(ctx context.Context) (*sim.Checkpoint, error) {
 			}
 			resp, err := co.client.Do(req)
 			if err != nil {
-				errs[i] = fmt.Errorf("shard %s: %w", url, err)
+				errs[i] = fmt.Errorf("%w %s: %v", ErrShardUnreachable, url, err)
 				return
 			}
 			defer resp.Body.Close()
@@ -533,11 +873,28 @@ func (co *Coordinator) cachedSnapshot(ctx context.Context, force bool) (*sim.Sna
 	return co.refresh(ctx)
 }
 
+// degradedSnapshot falls back to the last merged snapshot when a fresh
+// pull fails (a shard down mid-replay, say): reads stay up, marked with
+// an X-Coord-Degraded header naming the failure. Only when no merge ever
+// succeeded is there nothing to serve.
+func (co *Coordinator) degradedSnapshot(w http.ResponseWriter, err error) *sim.Snapshot {
+	co.mu.Lock()
+	snap := co.snap
+	co.mu.Unlock()
+	if snap == nil {
+		httpError(w, http.StatusBadGateway, "%v", err)
+		return nil
+	}
+	w.Header().Set("X-Coord-Degraded", err.Error())
+	return snap
+}
+
 func (co *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	snap, err := co.cachedSnapshot(r.Context(), r.URL.Query().Get("refresh") == "1")
 	if err != nil {
-		httpError(w, http.StatusBadGateway, "%v", err)
-		return
+		if snap = co.degradedSnapshot(w, err); snap == nil {
+			return
+		}
 	}
 	writeJSON(w, server.StatusPayload(co.fleet, snap, 0))
 }
@@ -587,6 +944,8 @@ func (co *Coordinator) handleWorld(w http.ResponseWriter, r *http.Request) {
 		"reaction_delay_seconds": co.sc.ReactionDelay.Seconds(),
 		"world_hash":             co.worldHash,
 		"shards":                 co.Shards(),
+		"lease_broker":           co.broker,
+		"spill":                  co.spill,
 		"clusters":               clusters,
 		"states":                 states,
 	})
@@ -595,8 +954,9 @@ func (co *Coordinator) handleWorld(w http.ResponseWriter, r *http.Request) {
 func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap, err := co.cachedSnapshot(r.Context(), false)
 	if err != nil {
-		httpError(w, http.StatusBadGateway, "%v", err)
-		return
+		if snap = co.degradedSnapshot(w, err); snap == nil {
+			return
+		}
 	}
 	co.reqMu.Lock()
 	requests := make(map[string]uint64, len(co.requests))
@@ -605,5 +965,12 @@ func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	co.reqMu.Unlock()
 	w.Header().Set("Content-Type", server.MetricsContentType)
-	_, _ = w.Write([]byte(server.MetricsText(co.fleet, snap, 0, requests)))
+	text := server.MetricsText(co.fleet, snap, 0, requests)
+	if co.spill {
+		co.spillMu.Lock()
+		spilled := co.spilled
+		co.spillMu.Unlock()
+		text += fmt.Sprintf("# HELP powerroute_coord_spilled_hits_total Demand rerouted across regions by the spill splitter.\n# TYPE powerroute_coord_spilled_hits_total counter\npowerroute_coord_spilled_hits_total %g\n", spilled)
+	}
+	_, _ = w.Write([]byte(text))
 }

@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -230,6 +233,283 @@ func TestCoordinatorMatchesSingleInstance(t *testing.T) {
 	post := map[string]any{"at": at, "rates": demand}
 	body, _ := json.Marshal(post)
 	postBody(t, coordTS.URL+"/v1/demand", "application/json", body, http.StatusOK)
+}
+
+// burstWorld assembles the burst-exact clique world (2 regions at
+// 1000 km) and its joint scenario, the configuration under which sharded
+// replays stay byte-identical even while soft-cap bursts fire.
+func burstWorld(t testing.TB) (*core.System, *core.BurstWorld, sim.Scenario) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{Seed: 42, MarketMonths: 1, TraceDays: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := core.ParseBurstHubs("NP15+SP15,NYC+DOM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw, err := sys.BurstWorld(pairs, 1000, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sys.BurstScenario(bw, 1000, routing.DefaultPriceThreshold, sim.DefaultReactionDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, bw, sc
+}
+
+// newBurstShards carves the burst scenario into lease-replaying shard
+// daemons: each sub-engine reads its gate bits from a LeaseStore the
+// daemon exposes on POST /v1/leases.
+func newBurstShards(t testing.TB, sc sim.Scenario) []string {
+	t.Helper()
+	p, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := sc.Shard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urls := make([]string, len(subs))
+	for i, sub := range subs {
+		store := &sim.LeaseStore{}
+		sub.BurstGate = store
+		eng, err := sim.NewEngine(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Engine: eng, Leases: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// TestCoordinatorBurstLeaseBroker is the fleet-exact burst guarantee at
+// the coordinator layer: an active-burst horizon fanned out through the
+// coordinator (which brokers the lease windows) must produce the same
+// fleet-wide status, byte for byte, as one daemon serving the unsplit
+// world under SelfGate — with burst tokens genuinely granted and spent.
+func TestCoordinatorBurstLeaseBroker(t *testing.T) {
+	sys, _, jointSc := burstWorld(t)
+	hours := jointSc.Steps - 1
+
+	jointSc.BurstGate = sim.SelfGate{}
+	singleEng, err := sim.NewEngine(jointSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleSrv, err := server.New(server.Config{Engine: singleEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(singleSrv.Handler())
+	defer single.Close()
+	feedWorld(t, sys, jointSc, single.URL, hours)
+
+	_, _, shardSc := burstWorld(t)
+	urls := newBurstShards(t, shardSc)
+	if len(urls) != 2 {
+		t.Fatalf("expected 2 shards, got %d", len(urls))
+	}
+	_, _, coordSc := burstWorld(t)
+	coordSc.BurstGate = sim.SelfGate{}
+	_, coordTS := newCoordinator(t, coordSc, urls)
+	feedWorld(t, sys, coordSc, coordTS.URL, hours)
+
+	// The JSON single-step path brokers too: one more interval, posted as
+	// a JSON demand vector, must carry its lease bit ahead of the demand.
+	at := jointSc.Start.Add(time.Duration(hours) * jointSc.Step)
+	var row []float64
+	row = jointSc.Demand.Rates(at, row)
+	body, _ := json.Marshal(map[string]any{"at": at, "rates": row})
+	postBody(t, single.URL+"/v1/demand", "application/json", body, http.StatusOK)
+	postBody(t, coordTS.URL+"/v1/demand", "application/json", body, http.StatusOK)
+
+	normalize := func(raw []byte) ([]byte, map[string]any) {
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "price_feed_entries")
+		out, _ := json.Marshal(m)
+		return out, m
+	}
+	wantJSON, want := normalize(get(t, single.URL+"/v1/status", http.StatusOK))
+	gotJSON, _ := normalize(get(t, coordTS.URL+"/v1/status?refresh=1", http.StatusOK))
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("brokered coordinator status differs from the unsplit daemon:\ncoord  %s\nsingle %s", gotJSON, wantJSON)
+	}
+	leases, ok := want["burst_leases"].(map[string]any)
+	if !ok {
+		t.Fatalf("status carries no burst_leases section: %s", wantJSON)
+	}
+	if used, _ := leases["tokens_used"].(float64); used <= 0 {
+		t.Fatalf("burst gate never spent a token over the horizon: %v", leases)
+	}
+}
+
+// TestCoordinatorRejectsShardCountMismatch: a URL list that cannot match
+// the joint world's routing partition fails New before any shard is
+// contacted (the URLs here are dead on purpose).
+func TestCoordinatorRejectsShardCountMismatch(t *testing.T) {
+	_, sc := testWorld(t)
+	_, err := New(context.Background(), Config{Scenario: sc, ShardURLs: []string{
+		"http://127.0.0.1:1", "http://127.0.0.1:2", "http://127.0.0.1:3",
+	}})
+	if err == nil || !strings.Contains(err.Error(), "market regions") {
+		t.Fatalf("3 URLs for a 2-region world: got %v, want a partition-count error", err)
+	}
+}
+
+// TestCoordinatorDegradedReads: a shard dying mid-replay turns fan-outs
+// into tagged ErrShardUnreachable failures, while status reads fall back
+// to the last merged snapshot and say so via X-Coord-Degraded.
+func TestCoordinatorDegradedReads(t *testing.T) {
+	sys, sc := testWorld(t)
+	p, err := sim.PartitionByRouting(sc.Policy.(routing.Sharder), sc.Fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := sc.Shard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*httptest.Server, len(subs))
+	urls := make([]string, len(subs))
+	for i, sub := range subs {
+		eng, err := sim.NewEngine(sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = httptest.NewServer(srv.Handler())
+		t.Cleanup(servers[i].Close)
+		urls[i] = servers[i].URL
+	}
+	co, coordTS := newCoordinator(t, sc, urls)
+
+	const hours = 24
+	feedWorld(t, sys, sc, coordTS.URL, hours)
+	get(t, coordTS.URL+"/v1/status?refresh=1", http.StatusOK) // cache a merged snapshot
+
+	servers[0].Close() // shard 0 dies mid-replay
+
+	// Ingest fan-out reports the unreachable shard as such.
+	if _, err := co.refresh(context.Background()); !errors.Is(err, ErrShardUnreachable) {
+		t.Fatalf("refresh with a dead shard: got %v, want ErrShardUnreachable", err)
+	}
+
+	// A forced refresh degrades to the cached snapshot instead of failing.
+	resp, err := http.Get(coordTS.URL + "/v1/status?refresh=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded status: got %d: %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-Coord-Degraded"); !strings.Contains(h, "unreachable") {
+		t.Fatalf("degraded status header %q does not name the unreachable shard", h)
+	}
+	var status struct {
+		Steps int `json:"steps"`
+	}
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Steps != hours {
+		t.Fatalf("degraded status serves step %d, want the last merged %d", status.Steps, hours)
+	}
+
+	// The cached (unforced) read stays clean — no degradation marker.
+	resp, err = http.Get(coordTS.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Coord-Degraded") != "" {
+		t.Fatalf("cached status: code %d, degraded %q", resp.StatusCode, resp.Header.Get("X-Coord-Degraded"))
+	}
+
+	// Demand fan-out fails loudly, naming the shard.
+	at := sc.Start.Add(hours * sc.Step)
+	var row []float64
+	row = sc.Demand.Rates(at, row)
+	body, _ = json.Marshal(map[string]any{"at": at, "rates": row})
+	out := postBody(t, coordTS.URL+"/v1/demand", "application/json", body, http.StatusBadGateway)
+	if !strings.Contains(string(out), "unreachable") {
+		t.Fatalf("demand fan-out error does not tag the unreachable shard: %s", out)
+	}
+}
+
+// TestCoordinatorSpill: a demand row that saturates one region has its
+// overflow rerouted to the open sibling — totals preserved, sender capped
+// at capacity — and a tight spill radius keeps the overflow at home.
+func TestCoordinatorSpill(t *testing.T) {
+	_, sc := testWorld(t)
+	urls := newShards(t, sc)
+	co, err := New(context.Background(), Config{Scenario: sc, ShardURLs: urls, Spill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	makeRow := func() ([]float64, float64) {
+		row := make([]float64, len(sc.Fleet.States))
+		want := 1.5 * co.shardCap[0]
+		per := want / float64(len(co.shards[0].states))
+		for _, s := range co.shards[0].states {
+			row[s] = per
+		}
+		return row, want
+	}
+	sum := func(row []float64, states []int) float64 {
+		var v float64
+		for _, s := range states {
+			v += row[s]
+		}
+		return v
+	}
+
+	row, total := makeRow()
+	moved := co.spillRow(row)
+	// The rerouted volume is the sender's overflow, clipped to the
+	// receiver's open capacity.
+	if want := math.Min(0.5*co.shardCap[0], co.shardCap[1]); math.Abs(moved-want) > 1e-6*want {
+		t.Fatalf("moved %g, want %g", moved, want)
+	}
+	if got, want := sum(row, co.shards[0].states), total-moved; math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("sender kept %g, want %g", got, want)
+	}
+	if got := sum(row, co.shards[1].states); math.Abs(got-moved) > 1e-6*moved {
+		t.Fatalf("receiver got %g, want the moved %g", got, moved)
+	}
+	fleetSum := sum(row, co.shards[0].states) + sum(row, co.shards[1].states)
+	if math.Abs(fleetSum-total) > 1e-6*total {
+		t.Fatalf("spill changed the fleet total: %g vs %g", fleetSum, total)
+	}
+
+	// The regions sit ~4000 km apart; a 100 km radius makes the sibling
+	// unreachable, so the overflow stays (and overloads) at home.
+	near, err := New(context.Background(), Config{Scenario: sc, ShardURLs: urls, Spill: true, SpillRadiusKm: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ = makeRow()
+	if moved := near.spillRow(row); moved != 0 {
+		t.Fatalf("100 km spill radius still moved %g across ~4000 km", moved)
+	}
 }
 
 // TestCoordinatorDiscoveryRejectsBadTopologies: shards that overlap, miss

@@ -69,6 +69,15 @@ type Config struct {
 	// Engine is the incremental simulation engine to serve. The server
 	// owns it after New; all further access must go through handlers.
 	Engine Engine
+
+	// Leases, when non-nil, is the burst-token lease window the engine
+	// reads its fleet gate bits from: the daemon accepts POST /v1/leases
+	// into it (the coordinator posts each window before the demand that
+	// consumes it) and prunes consumed bits as intervals route. A shard
+	// of a soft-capped fleet is started with the same store wired into
+	// its engine's BurstGate; a daemon with no coordinated bursts leaves
+	// it nil and rejects lease posts.
+	Leases *sim.LeaseStore
 }
 
 // Server is the powerrouted HTTP daemon state. The guarded_by
@@ -82,7 +91,8 @@ type Server struct {
 	delay time.Duration
 
 	hubClusters map[string][]int
-	feed        *shardedFeed // locks itself: commitMu for writers, atomic view for readers
+	feed        *shardedFeed    // locks itself: commitMu for writers, atomic view for readers
+	leases      *sim.LeaseStore // locks itself; nil unless this daemon brokers burst-token leases
 
 	// scratch buffers for the demand path.
 	rowBuf  []float64   // guarded_by: mu
@@ -105,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 	fleet := cfg.Engine.Fleet()
 	s := &Server{
 		eng:         cfg.Engine,
+		leases:      cfg.Leases,
 		fleet:       fleet,
 		step:        cfg.Engine.StepSize(),
 		delay:       cfg.Engine.ReactionDelay(),
@@ -126,6 +137,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/prices", s.counted("prices", s.handlePrices))
 	mux.HandleFunc("POST /v1/demand", s.counted("demand", s.handleDemand))
+	mux.HandleFunc("POST /v1/leases", s.counted("leases", s.handleLeases))
 	mux.HandleFunc("GET /v1/assignments", s.counted("assignments", s.handleAssignments))
 	mux.HandleFunc("GET /v1/status", s.counted("status", s.handleStatus))
 	mux.HandleFunc("GET /v1/world", s.counted("world", s.handleWorld))
@@ -258,6 +270,50 @@ func (s *Server) handlePricesBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// --- burst-token leases ----------------------------------------------------
+
+// leasePost is the JSON body of POST /v1/leases: a contiguous window of
+// fleet burst-gate bits, one per interval, starting at absolute step
+// From. The coordinator derives each bit from the full fleet demand row
+// and posts the window before the demand chunk that consumes it.
+type leasePost struct {
+	From  int    `json:"from"`
+	Gates []bool `json:"gates"`
+}
+
+func (s *Server) handleLeases(w http.ResponseWriter, r *http.Request) {
+	if s.leases == nil {
+		httpError(w, http.StatusBadRequest, "server: this daemon brokers no burst-token leases")
+		return
+	}
+	var post leasePost
+	if err := json.NewDecoder(r.Body).Decode(&post); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding lease post: %v", err)
+		return
+	}
+	// Window-shape violations (gaps, rewinds) are ordering conflicts with
+	// the stored window, like a misaligned demand batch.
+	if err := s.leases.Post(post.From, post.Gates); err != nil {
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"from":   post.From,
+		"posted": len(post.Gates),
+	})
+}
+
+// pruneLeases reclaims lease bits the engine has consumed. Expired
+// windows can never be read again (the engine only asks for its current
+// step), so dropping them bounds the store across long replays.
+//
+//lint:held mu callers read the engine cursor under s.mu
+func (s *Server) pruneLeases() {
+	if s.leases != nil {
+		s.leases.Prune(s.eng.StepsRun())
+	}
+}
+
 // --- demand ingestion / routing --------------------------------------------
 
 // demandPost is the JSON body of POST /v1/demand: one interval's per-state
@@ -358,6 +414,7 @@ func (s *Server) routeJSON(w http.ResponseWriter, post demandPost) (oldest time.
 		httpError(w, code, "%v", err)
 		return time.Time{}, false
 	}
+	s.pruneLeases()
 	snap := s.eng.SnapshotInto(s.snap)
 	s.snap = snap
 	writeJSON(w, map[string]any{
@@ -500,6 +557,7 @@ func (s *Server) routeBatchJobs(w http.ResponseWriter, br *bufio.Reader, h *Batc
 			return time.Time{}, false
 		}
 	}
+	s.pruneLeases()
 	snap := s.eng.SnapshotInto(s.snap)
 	s.snap = snap
 	writeJSON(w, map[string]any{
@@ -558,6 +616,7 @@ func (s *Server) routeBatch(w http.ResponseWriter, br *bufio.Reader, h *BatchHea
 			return time.Time{}, false
 		}
 	}
+	s.pruneLeases()
 	snap := s.eng.SnapshotInto(s.snap)
 	s.snap = snap
 	writeJSON(w, map[string]any{
@@ -579,6 +638,9 @@ type clusterStatus struct {
 	PeakGridKW     float64 `json:"peak_grid_kw,omitempty"`
 	BatterySoCKWh  float64 `json:"battery_soc_kwh,omitempty"`
 	BatchQueuedKWh float64 `json:"batch_queued_kwh,omitempty"`
+	// Burst-token lease traffic, present only on burst-coordinated fleets.
+	BurstTokensUsed    int `json:"burst_tokens_used,omitempty"`
+	BurstTokensExpired int `json:"burst_tokens_expired,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -620,6 +682,10 @@ func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) ma
 		if snap.BatchQueuedKWh != nil {
 			cs.BatchQueuedKWh = snap.BatchQueuedKWh[c]
 		}
+		if snap.BurstLeases != nil {
+			cs.BurstTokensUsed = snap.BurstLeases[c].TokensUsed
+			cs.BurstTokensExpired = snap.BurstLeases[c].TokensExpired
+		}
 		clusters[c] = cs
 	}
 	resp := map[string]any{
@@ -654,6 +720,19 @@ func StatusPayload(fleet *cluster.Fleet, snap *sim.Snapshot, feedEntries int) ma
 		resp["batch_served_kwh"] = snap.BatchServedKWh
 		resp["batch_shed_kwh"] = snap.BatchShedKWh
 		resp["batch_deferred_kwh_steps"] = snap.BatchDeferredKWhSteps
+	}
+	if snap.BurstLeases != nil {
+		var granted, used, expired int
+		for _, l := range snap.BurstLeases {
+			granted += l.TokensGranted
+			used += l.TokensUsed
+			expired += l.TokensExpired
+		}
+		resp["burst_leases"] = map[string]int{
+			"tokens_granted": granted,
+			"tokens_used":    used,
+			"tokens_expired": expired,
+		}
 	}
 	return resp
 }
@@ -726,7 +805,7 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 	for i, st := range s.fleet.States {
 		states[i] = st.Code
 	}
-	policy, storagePolicy, start, worldHash := s.worldInfo()
+	policy, storagePolicy, start, worldHash, bursts := s.worldInfo()
 	resp := map[string]any{
 		"policy":                 policy,
 		"start":                  start,
@@ -739,15 +818,21 @@ func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
 	if storagePolicy != "" {
 		resp["storage_policy"] = storagePolicy
 	}
+	if bursts {
+		// The engine meters coordinated softcap bursts; a shard daemon
+		// additionally accepts the gate-bit windows via POST /v1/leases.
+		resp["fleet_bursts"] = true
+		resp["lease_broker"] = s.leases != nil
+	}
 	writeJSON(w, resp)
 }
 
-// worldInfo reads the routing and storage policy names, start instant, and
-// world hash under the engine lock.
-func (s *Server) worldInfo() (policy, storagePolicy string, start time.Time, worldHash string) {
+// worldInfo reads the routing and storage policy names, start instant,
+// world hash, and burst-coordination flag under the engine lock.
+func (s *Server) worldInfo() (policy, storagePolicy string, start time.Time, worldHash string, bursts bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := s.eng.SnapshotInto(s.snap)
 	s.snap = snap
-	return snap.Policy, snap.StoragePolicy, s.eng.Start(), s.eng.WorldHash()
+	return snap.Policy, snap.StoragePolicy, s.eng.Start(), s.eng.WorldHash(), snap.BurstLeases != nil
 }

@@ -516,6 +516,127 @@ func TestBatchHeaderRequiresStart(t *testing.T) {
 	}
 }
 
+// leaseServer builds a burst-coordinated daemon: the unsplit test world
+// under fractional soft caps, its engine's gate fed from the same
+// LeaseStore the server accepts POST /v1/leases into.
+func leaseServer(t *testing.T) (*httptest.Server, *core.System) {
+	t.Helper()
+	sys := testWorld(t)
+	opt, err := routing.NewPriceOptimizer(sys.Fleet, 1500, routing.DefaultPriceThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps, err := sim.FractionalCaps(sys.Fleet, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &sim.LeaseStore{}
+	eng, err := sim.NewEngine(sim.Scenario{
+		Fleet:         sys.Fleet,
+		Policy:        opt,
+		Energy:        energy.OptimisticFuture,
+		Market:        sys.Market,
+		Demand:        sys.LongRun,
+		Start:         sys.Market.Start,
+		Steps:         sys.Market.Hours,
+		Step:          time.Hour,
+		ReactionDelay: sim.DefaultReactionDelay,
+		SoftCaps:      caps,
+		BurstGate:     store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Engine: eng, Leases: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, sys
+}
+
+// TestLeaseBrokeredDaemon drives the shard-side half of the lease
+// protocol over HTTP: demand cannot route past the posted gate window,
+// windows extend contiguously (gaps conflict), and the lease state shows
+// up in /v1/status and /v1/world.
+func TestLeaseBrokeredDaemon(t *testing.T) {
+	ts, sys := leaseServer(t)
+	start := sys.Market.Start
+	ns := len(sys.Fleet.States)
+	postJSON(t, ts.URL+"/v1/prices", pricePost{At: start, Prices: hubPrices(sys, 30)}, http.StatusOK)
+
+	// No lease window posted yet: the engine refuses to guess the bit.
+	body := postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 900)}, http.StatusBadRequest)
+	if !strings.Contains(string(body), "no burst-token lease") {
+		t.Fatalf("demand before leases: %s", body)
+	}
+
+	// A two-step window covers exactly two intervals; a post that leaves a
+	// gap after it is an ordering conflict.
+	postJSON(t, ts.URL+"/v1/leases", leasePost{From: 0, Gates: []bool{false, false}}, http.StatusOK)
+	postJSON(t, ts.URL+"/v1/leases", leasePost{From: 5, Gates: []bool{false}}, http.StatusConflict)
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 900)}, http.StatusOK)
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 900)}, http.StatusOK)
+	body = postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 900)}, http.StatusBadRequest)
+	if !strings.Contains(string(body), "no burst-token lease") {
+		t.Fatalf("demand beyond the window: %s", body)
+	}
+
+	// The consumed window was pruned as the rows routed; the next post
+	// re-bases at the engine's cursor.
+	postJSON(t, ts.URL+"/v1/leases", leasePost{From: 2, Gates: []bool{false}}, http.StatusOK)
+	postJSON(t, ts.URL+"/v1/demand", demandPost{Rates: flatDemand(ns, 900)}, http.StatusOK)
+
+	var status struct {
+		Steps       int `json:"steps"`
+		BurstLeases *struct {
+			Granted int `json:"tokens_granted"`
+			Used    int `json:"tokens_used"`
+			Expired int `json:"tokens_expired"`
+		} `json:"burst_leases"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/status", http.StatusOK), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Steps != 3 || status.BurstLeases == nil {
+		t.Fatalf("status = %+v, want 3 steps with a burst_leases section", status)
+	}
+	var world struct {
+		FleetBursts bool `json:"fleet_bursts"`
+		LeaseBroker bool `json:"lease_broker"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/world", http.StatusOK), &world); err != nil {
+		t.Fatal(err)
+	}
+	if !world.FleetBursts || !world.LeaseBroker {
+		t.Fatalf("world = %+v, want fleet_bursts and lease_broker", world)
+	}
+	metrics := string(get(t, ts.URL+"/metrics", http.StatusOK))
+	if !strings.Contains(metrics, "powerrouted_burst_tokens_granted_total") {
+		t.Fatalf("metrics missing burst token counters:\n%s", metrics)
+	}
+}
+
+// TestLeasePostRejectedWithoutBroker: a daemon with no coordinated
+// bursts refuses lease windows instead of silently dropping them.
+func TestLeasePostRejectedWithoutBroker(t *testing.T) {
+	_, ts, _ := testServer(t)
+	body := postJSON(t, ts.URL+"/v1/leases", leasePost{From: 0, Gates: []bool{true}}, http.StatusBadRequest)
+	if !strings.Contains(string(body), "brokers no burst-token leases") {
+		t.Fatalf("lease post on a broker-less daemon: %s", body)
+	}
+	var world struct {
+		FleetBursts *bool `json:"fleet_bursts"`
+	}
+	if err := json.Unmarshal(get(t, ts.URL+"/v1/world", http.StatusOK), &world); err != nil {
+		t.Fatal(err)
+	}
+	if world.FleetBursts != nil {
+		t.Fatal("burst-free world advertises fleet_bursts")
+	}
+}
+
 // TestMidBatchErrorReportsResume: when a demand batch dies mid-way, the
 // error body must carry the committed row count and the engine's next
 // interval so the client can resume.

@@ -52,11 +52,20 @@ import (
 // plus the shard identity (parent world hash and fleet positions). A v1
 // file cannot express per-cluster overload or storage totals, so it
 // refuses to load instead of restoring zeros silently.
-const CheckpointVersion = 2
+//
+// v3 finished the per-cluster program for the distance distribution: the
+// single fleet histogram became one histogram per cluster (hist_bytes is
+// now a per-cluster length vector framing per-cluster payload blobs), so
+// MergeCheckpoints scatters them disjointly and the merged mean/p99 are
+// bit-exact instead of float-associativity-close. v3 also added the
+// optional burst_leases section for coordinated (fleet-gated) burst
+// accounting. A v2 file's joint histogram cannot be split back into
+// per-cluster parts, so it refuses to load.
+const CheckpointVersion = 3
 
 const (
 	checkpointMagicPrefix = "powerroute-checkpoint v"
-	checkpointMagic       = "powerroute-checkpoint v2"
+	checkpointMagic       = "powerroute-checkpoint v3"
 
 	// maxCheckpointPayload bounds the declared payload size a decoder will
 	// read: a 39-month hourly world checkpoints in single-digit megabytes,
@@ -154,15 +163,20 @@ type Checkpoint struct {
 	// their home cluster's queue even when served elsewhere, so the
 	// section scatters disjointly across a shard merge).
 	BatchQueues []sched.QueueState
+	// BurstLeases books each cluster's coordinated burst-token traffic
+	// (granted/used/expired), present exactly when the scenario configures
+	// a BurstGate. Tokens are booked at the cluster they were leased to,
+	// so the section scatters disjointly across a shard merge.
+	BurstLeases []billing.LeaseLedgerState
 
 	// MeterSamples holds each cluster's full per-interval rate record (the
-	// 95/5 bill needs every sample); DistHist the hit-weighted distance
-	// histogram; Loads and Assign the last interval's rates and full
-	// state×cluster assignment matrix (status/assignments endpoints).
-	// These travel as raw little-endian float64 bits in the binary
-	// payload, so they round-trip bit-exactly.
+	// 95/5 bill needs every sample); DistHists the per-cluster hit-weighted
+	// distance histograms (fleet order); Loads and Assign the last
+	// interval's rates and full state×cluster assignment matrix
+	// (status/assignments endpoints). These travel as raw little-endian
+	// float64 bits in the binary payload, so they round-trip bit-exactly.
 	MeterSamples [][]float64
-	DistHist     *stats.WeightedHistogram
+	DistHists    []*stats.WeightedHistogram
 	Loads        []float64
 	Assign       [][]float64
 }
@@ -204,9 +218,12 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 			BatchDeferredKWh:   append([]float64(nil), e.batchDeferred...),
 		},
 		MeterSamples: make([][]float64, e.nc),
-		DistHist:     e.distHist.Clone(),
+		DistHists:    make([]*stats.WeightedHistogram, e.nc),
 		Loads:        append([]float64(nil), e.loads...),
 		Assign:       make([][]float64, e.ns),
+	}
+	for c, h := range e.distHists {
+		cp.DistHists[c] = h.Clone()
 	}
 	for c, cl := range e.sc.Fleet.Clusters {
 		cp.ClusterCodes[c] = cl.Code
@@ -240,6 +257,12 @@ func (e *Engine) Checkpoint() (*Checkpoint, error) {
 	}
 	if e.sched != nil {
 		cp.BatchQueues = e.sched.State()
+	}
+	if e.leases != nil {
+		cp.BurstLeases = make([]billing.LeaseLedgerState, e.nc)
+		for c, l := range e.leases {
+			cp.BurstLeases[c] = l.State()
+		}
 	}
 	return cp, nil
 }
@@ -380,6 +403,13 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 	if e.sched == nil && (len(cp.Totals.BatchServedKWh) > 0 || len(cp.Totals.BatchShedKWh) > 0 || len(cp.Totals.BatchDeferredKWh) > 0) {
 		return errors.New("checkpoint carries batch ledgers the scenario does not configure")
 	}
+	if (e.leases != nil) != (len(cp.BurstLeases) > 0) {
+		return fmt.Errorf("scenario burst gate %v, checkpoint carries %d burst lease ledgers",
+			e.leases != nil, len(cp.BurstLeases))
+	}
+	if e.leases != nil && len(cp.BurstLeases) != e.nc {
+		return fmt.Errorf("checkpoint has %d burst lease ledgers for %d clusters", len(cp.BurstLeases), e.nc)
+	}
 	if (e.res.ClusterCarbonKg != nil) != (len(cp.Totals.ClusterCarbonKg) > 0) && cp.StepsRun > 0 {
 		// Carbon totals can be legitimately absent at step 0 (all zeros).
 		if e.res.ClusterCarbonKg != nil {
@@ -391,15 +421,19 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 		return fmt.Errorf("checkpoint has %d carbon ledgers for %d clusters", len(cp.Totals.ClusterCarbonKg), e.nc)
 	}
 
-	// Distance histogram geometry must match the engine's fixed layout.
-	if cp.DistHist == nil {
-		return errors.New("checkpoint missing distance histogram")
-	}
-	gotMin, gotMax := cp.DistHist.Bounds()
-	wantMin, wantMax := e.distHist.Bounds()
-	if gotMin != wantMin || gotMax != wantMax || cp.DistHist.NumBins() != e.distHist.NumBins() {
-		return fmt.Errorf("distance histogram geometry [%v, %v]×%d differs from engine's [%v, %v]×%d",
-			gotMin, gotMax, cp.DistHist.NumBins(), wantMin, wantMax, e.distHist.NumBins())
+	// Distance histogram geometry must match the engine's fixed layout,
+	// cluster by cluster (the count itself is a mandatory per-cluster
+	// section checked above).
+	for c, h := range cp.DistHists {
+		if h == nil {
+			return fmt.Errorf("checkpoint missing cluster %d distance histogram", c)
+		}
+		gotMin, gotMax := h.Bounds()
+		wantMin, wantMax := e.distHists[c].Bounds()
+		if gotMin != wantMin || gotMax != wantMax || h.NumBins() != e.distHists[c].NumBins() {
+			return fmt.Errorf("cluster %d distance histogram geometry [%v, %v]×%d differs from engine's [%v, %v]×%d",
+				c, gotMin, gotMax, h.NumBins(), wantMin, wantMax, e.distHists[c].NumBins())
+		}
 	}
 
 	// Validation done — apply. Order mirrors NewEngine's construction.
@@ -427,13 +461,20 @@ func (e *Engine) loadCheckpoint(cp *Checkpoint) error {
 			return err
 		}
 	}
+	for c, l := range e.leases {
+		if err := l.RestoreState(cp.BurstLeases[c]); err != nil {
+			return fmt.Errorf("cluster %d: %w", c, err)
+		}
+	}
 	for c := range e.meters {
 		e.meters[c].RestoreSamples(cp.MeterSamples[c])
 		// RestoreSamples copies at exact capacity; re-reserve the horizon so
 		// the remaining steps record without reallocating.
 		e.meters[c].Reserve(e.sc.Steps)
 	}
-	e.distHist = cp.DistHist.Clone()
+	for c, h := range cp.DistHists {
+		e.distHists[c] = h.Clone()
+	}
 	copy(e.loads, cp.Loads)
 	for s := range e.assign {
 		copy(e.assign[s], cp.Assign[s])
@@ -485,6 +526,7 @@ func perClusterSections(cp *Checkpoint) []section {
 		{"overload ledgers", len(cp.Totals.OverloadSec)},
 		{"meter sample lists", len(cp.MeterSamples)},
 		{"last-interval rates", len(cp.Loads)},
+		{"distance histograms", len(cp.DistHists)},
 	}
 }
 
@@ -602,11 +644,13 @@ type checkpointEnvelope struct {
 	Batteries    []storage.Snapshot         `json:"batteries,omitempty"`
 	DemandMeters []billing.DemandMeterState `json:"demand_meters,omitempty"`
 	BatchQueues  []sched.QueueState         `json:"batch_queues,omitempty"`
+	BurstLeases  []billing.LeaseLedgerState `json:"burst_leases,omitempty"`
 
-	// Payload layout: HistBytes of histogram blob, then MeterSamples[c]
-	// float64s per cluster, then Clusters last-interval rates, then the
-	// States×Clusters assignment matrix row-major — all little-endian.
-	HistBytes     int    `json:"hist_bytes"`
+	// Payload layout: HistBytes[c] bytes of histogram blob per cluster in
+	// fleet order, then MeterSamples[c] float64s per cluster, then
+	// Clusters last-interval rates, then the States×Clusters assignment
+	// matrix row-major — all little-endian.
+	HistBytes     []int  `json:"hist_bytes"`
 	MeterSamples  []int  `json:"meter_samples"`
 	PayloadBytes  int64  `json:"payload_bytes"`
 	PayloadSHA256 string `json:"payload_sha256"`
@@ -615,9 +659,17 @@ type checkpointEnvelope struct {
 // Encode writes the checkpoint: the magic line, the JSON envelope line,
 // then the binary payload.
 func (cp *Checkpoint) Encode(w io.Writer) error {
-	histBlob, err := cp.DistHist.MarshalBinary()
-	if err != nil {
-		return fmt.Errorf("sim: encoding distance histogram: %w", err)
+	histBlobs := make([][]byte, len(cp.DistHists))
+	histBytes := make([]int, len(cp.DistHists))
+	var histTotal int
+	for c, h := range cp.DistHists {
+		blob, err := h.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("sim: encoding cluster %d distance histogram: %w", c, err)
+		}
+		histBlobs[c] = blob
+		histBytes[c] = len(blob)
+		histTotal += len(blob)
 	}
 	var sampleTotal int
 	counts := make([]int, len(cp.MeterSamples))
@@ -625,8 +677,10 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 		counts[c] = len(samples)
 		sampleTotal += len(samples)
 	}
-	payload := make([]byte, 0, len(histBlob)+8*(sampleTotal+len(cp.Loads)+cp.States*cp.Clusters))
-	payload = append(payload, histBlob...)
+	payload := make([]byte, 0, histTotal+8*(sampleTotal+len(cp.Loads)+cp.States*cp.Clusters))
+	for _, blob := range histBlobs {
+		payload = append(payload, blob...)
+	}
 	for _, samples := range cp.MeterSamples {
 		payload = appendFloats(payload, samples)
 	}
@@ -657,7 +711,8 @@ func (cp *Checkpoint) Encode(w io.Writer) error {
 		Batteries:     cp.Batteries,
 		DemandMeters:  cp.DemandMeters,
 		BatchQueues:   cp.BatchQueues,
-		HistBytes:     len(histBlob),
+		BurstLeases:   cp.BurstLeases,
+		HistBytes:     histBytes,
 		MeterSamples:  counts,
 		PayloadBytes:  int64(len(payload)),
 		PayloadSHA256: hex.EncodeToString(digest[:]),
@@ -732,8 +787,20 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if len(env.MeterSamples) != env.Clusters {
 		return nil, fmt.Errorf("sim: %d meter sample counts for %d clusters", len(env.MeterSamples), env.Clusters)
 	}
-	if env.HistBytes < 0 || env.HistBytes > maxCheckpointPayload {
-		return nil, fmt.Errorf("sim: histogram length %d out of range", env.HistBytes)
+	if len(env.HistBytes) != env.Clusters {
+		return nil, fmt.Errorf("sim: %d histogram lengths for %d clusters", len(env.HistBytes), env.Clusters)
+	}
+	var histTotal int64
+	for c, n := range env.HistBytes {
+		// Per-length bound before summing, same overflow guard as the
+		// meter sample counts below.
+		if n < 0 || n > maxCheckpointPayload {
+			return nil, fmt.Errorf("sim: cluster %d histogram length %d out of range", c, n)
+		}
+		histTotal += int64(n)
+	}
+	if histTotal > maxCheckpointPayload {
+		return nil, fmt.Errorf("sim: %d total histogram bytes exceed the payload cap", histTotal)
 	}
 	var sampleTotal int64
 	for c, n := range env.MeterSamples {
@@ -749,7 +816,7 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if sampleTotal > maxCheckpointPayload/8 {
 		return nil, fmt.Errorf("sim: %d total meter samples exceed the payload cap", sampleTotal)
 	}
-	want := int64(env.HistBytes) + 8*(sampleTotal+int64(env.Clusters)+int64(env.States)*int64(env.Clusters))
+	want := histTotal + 8*(sampleTotal+int64(env.Clusters)+int64(env.States)*int64(env.Clusters))
 	if env.PayloadBytes != want {
 		return nil, fmt.Errorf("sim: declared payload %d bytes, sections sum to %d", env.PayloadBytes, want)
 	}
@@ -820,6 +887,9 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if len(env.StateIndex) == 0 {
 		env.StateIndex = nil
 	}
+	if len(env.BurstLeases) == 0 {
+		env.BurstLeases = nil
+	}
 	cp := &Checkpoint{
 		Version:       env.Version,
 		WorldHash:     env.WorldHash,
@@ -841,7 +911,7 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		Batteries:     env.Batteries,
 		DemandMeters:  env.DemandMeters,
 		BatchQueues:   env.BatchQueues,
-		DistHist:      new(stats.WeightedHistogram),
+		BurstLeases:   env.BurstLeases,
 	}
 	off := 0
 	take := func(n int) []byte {
@@ -849,8 +919,12 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		off += n
 		return b
 	}
-	if err := cp.DistHist.UnmarshalBinary(take(env.HistBytes)); err != nil {
-		return nil, fmt.Errorf("sim: decoding distance histogram: %w", err)
+	cp.DistHists = make([]*stats.WeightedHistogram, env.Clusters)
+	for c := range cp.DistHists {
+		cp.DistHists[c] = new(stats.WeightedHistogram)
+		if err := cp.DistHists[c].UnmarshalBinary(take(env.HistBytes[c])); err != nil {
+			return nil, fmt.Errorf("sim: decoding cluster %d distance histogram: %w", c, err)
+		}
 	}
 	cp.MeterSamples = make([][]float64, env.Clusters)
 	for c, cnt := range env.MeterSamples {

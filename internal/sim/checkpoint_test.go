@@ -208,7 +208,7 @@ func TestDecodeRejectsOverflowingSampleCounts(t *testing.T) {
 		StateCodes:    []string{"XX"},
 		StepsRun:      1,
 		MeterSamples:  []int{1 << 62, 1 << 62},
-		HistBytes:     len(blob),
+		HistBytes:     []int{len(blob), 0},
 		PayloadBytes:  int64(len(payload)),
 		PayloadSHA256: hex.EncodeToString(digest[:]),
 	}

@@ -55,7 +55,14 @@ type Engine struct {
 
 	prices []*timeseries.Series // resolved per-cluster RT series
 
-	constraints  []*billing.Constraint
+	constraints []*billing.Constraint
+	// Coordinated burst gating (Scenario.BurstGate); nil otherwise.
+	gate   BurstGate // ckpt:immutable scenario configuration, rebuilt by NewEngine
+	leases []*billing.LeaseLedger
+	// leaseGranted marks the clusters granted a burst token this step, so
+	// the commit loop can book each token as used or expired.
+	leaseGranted []bool // ckpt:derived per-step scratch cleared by the gate block
+
 	batteries    []*storage.State
 	dispatch     storage.Policy      // ckpt:immutable scenario configuration, rebuilt by NewEngine
 	dispatchName string              // ckpt:immutable cached Policy.Name(), so status paths never format on the hot path
@@ -63,10 +70,17 @@ type Engine struct {
 	priceCaps    []float64           // ckpt:derived scratch recomputed from priceCapper every Step
 	demandMeters []*billing.DemandMeter
 
-	res      *Result
-	meters   []billing.Meter
-	distHist *stats.WeightedHistogram
-	assign   [][]float64
+	res    *Result
+	meters []billing.Meter
+	// distHists holds one hit-weighted distance histogram per cluster.
+	// Routing closure means cluster c sees the same adds in the same order
+	// whether it runs in the joint engine or its own shard, so each
+	// per-cluster histogram is bit-identical across a split; the fleet
+	// distribution is re-derived by a fixed fleet-order fold (distTotal),
+	// which is what makes the merged mean/p99 exact rather than
+	// float-associativity-close.
+	distHists []*stats.WeightedHistogram
+	assign    [][]float64
 	// assignBuf is the flat backing array of assign's rows, so Step clears
 	// the whole matrix with one range loop (compiled to a memclr) instead of
 	// ns short loops.
@@ -156,6 +170,17 @@ func NewEngine(sc Scenario) (*Engine, error) {
 			e.constraints[c] = con
 		}
 	}
+	// Coordinated burst gating: the gate decision is externalized and
+	// every token is booked per cluster. validate() guarantees SoftCaps
+	// (hence constraints) whenever a gate is configured.
+	if sc.BurstGate != nil {
+		e.gate = sc.BurstGate
+		e.leases = make([]*billing.LeaseLedger, nc)
+		for c := range e.leases {
+			e.leases[c] = new(billing.LeaseLedger)
+		}
+		e.leaseGranted = make([]bool, nc)
+	}
 
 	// Battery and demand-charge state. Both stay nil for storage-free,
 	// energy-only scenarios so those runs take the exact code path (and
@@ -236,7 +261,10 @@ func NewEngine(sc Scenario) (*Engine, error) {
 	for c := range e.meters {
 		e.meters[c].Reserve(sc.Steps)
 	}
-	e.distHist = stats.NewWeightedHistogram(0, 5500, 1100) // 5 km resolution
+	e.distHists = make([]*stats.WeightedHistogram, nc)
+	for c := range e.distHists {
+		e.distHists[c] = newDistHist()
+	}
 	e.assignBuf = make([]float64, ns*nc)
 	e.assign = make([][]float64, ns)
 	e.distBin = make([][]int, ns)
@@ -250,7 +278,7 @@ func NewEngine(sc Scenario) (*Engine, error) {
 				e.distBin[s][c] = -1
 				continue
 			}
-			e.distBin[s][c] = e.distHist.BinIndex(d)
+			e.distBin[s][c] = e.distHists[c].BinIndex(d)
 		}
 	}
 	e.ctx = &routing.Context{
@@ -269,6 +297,33 @@ func NewEngine(sc Scenario) (*Engine, error) {
 		e.powerEval[c] = sc.Energy.Evaluator(cl.Servers)
 	}
 	return e, nil
+}
+
+// Distance histogram geometry: 0–5500 km at 5 km resolution. One shared
+// definition so the per-cluster histograms, the fleet-order fold, and the
+// checkpoint restore path can never drift apart.
+const (
+	distHistMaxKm = 5500
+	distHistBins  = 1100
+)
+
+// newDistHist builds one distance histogram with the engine geometry.
+func newDistHist() *stats.WeightedHistogram {
+	return stats.NewWeightedHistogram(0, distHistMaxKm, distHistBins)
+}
+
+// distTotal folds the per-cluster distance histograms into the fleet
+// distribution, always in fleet order. The fold is a fixed-order pairwise
+// merge over bit-identical per-cluster parts, so a merged shard fleet
+// derives the same mean/p99 bits as the joint engine.
+func (e *Engine) distTotal() (*stats.WeightedHistogram, error) {
+	m := newDistHist()
+	for c, h := range e.distHists {
+		if err := m.Merge(h); err != nil {
+			return nil, fmt.Errorf("sim: cluster %s distance histogram: %w", e.sc.Fleet.Clusters[c].Code, err)
+		}
+	}
+	return m, nil
 }
 
 // PriceSeries returns the per-cluster real-time price series resolved from
@@ -344,10 +399,8 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 	// cluster's 5% burst budget for the true peak intervals rather than
 	// letting the router spend it chasing cheap prices.
 	if e.constraints != nil {
-		var totalDemand, totalRoom float64
-		for _, dem := range ctx.Demand {
-			totalDemand += dem
-		}
+		totalDemand := SumDemand(ctx.Demand)
+		var totalRoom float64
 		for c := range sc.Fleet.Clusters {
 			capacity := e.capacities[c]
 			cap95 := e.constraints[c].Cap
@@ -358,10 +411,25 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 			ctx.BurstRoom[c] = 0
 			totalRoom += cap95
 		}
-		if totalDemand > totalRoom*0.999 {
+		open := BurstGateOpen(totalDemand, totalRoom)
+		if e.gate != nil {
+			for c := range e.leaseGranted {
+				e.leaseGranted[c] = false
+			}
+			var err error
+			open, err = e.gate.GateOpen(e.stepsRun, totalDemand, totalRoom)
+			if err != nil {
+				return fmt.Errorf("sim: burst gate at %v: %w", at, err)
+			}
+		}
+		if open {
 			for c := range sc.Fleet.Clusters {
 				if e.constraints[c].CanBurst() {
 					ctx.BurstRoom[c] = e.capacities[c] - ctx.Room[c]
+					if e.leases != nil {
+						e.leases[c].Grant()
+						e.leaseGranted[c] = true
+					}
 				}
 			}
 		}
@@ -395,9 +463,9 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 			}
 			e.loads[c] += rate
 			if b := bins[c]; b >= 0 {
-				e.distHist.AddToBin(b, dist[c], rate*stepHours)
+				e.distHists[c].AddToBin(b, dist[c], rate*stepHours)
 			} else {
-				e.distHist.Add(dist[c], rate*stepHours)
+				e.distHists[c].Add(dist[c], rate*stepHours)
 			}
 		}
 	}
@@ -416,6 +484,15 @@ func (e *Engine) Step(at time.Time, prices StepPrices, demand []float64) error {
 		if e.constraints != nil {
 			if err := e.constraints[c].Commit(load); err != nil {
 				return fmt.Errorf("sim: cluster %s at %v: %w", sc.Fleet.Clusters[c].Code, at, err)
+			}
+			// Book the step's burst token: used by an over-cap interval,
+			// expired (reclaimed at the step boundary) otherwise.
+			if e.leases != nil && e.leaseGranted[c] {
+				if e.constraints[c].Over(load) {
+					e.leases[c].Use()
+				} else {
+					e.leases[c].Expire()
+				}
 			}
 		}
 		// Cluster.Utilization over the cached float capacity: the same
@@ -631,8 +708,12 @@ func (e *Engine) Finalize() (*Result, error) {
 			res.BatchQueuedKWh += e.sched.QueuedKWh(c)
 		}
 	}
-	res.MeanDistanceKm = e.distHist.Mean()
-	res.P99DistanceKm = e.distHist.Quantile(0.99)
+	dist, err := e.distTotal()
+	if err != nil {
+		return nil, err
+	}
+	res.MeanDistanceKm = dist.Mean()
+	res.P99DistanceKm = dist.Quantile(0.99)
 	e.finalized = true
 	return res, nil
 }
@@ -676,6 +757,10 @@ type Snapshot struct {
 	BatchServedKWh        float64   // batch energy served so far, fleet-wide
 	BatchShedKWh          float64   // batch energy abandoned at deadlines so far
 	BatchDeferredKWhSteps float64   // queue residence integral (kWh·steps) so far
+
+	// BurstLeases books the coordinated burst-token traffic per cluster,
+	// fleet order; nil unless the scenario configures a BurstGate.
+	BurstLeases []billing.LeaseLedgerState
 }
 
 // Snapshot captures the running state into a fresh Snapshot. It never
@@ -752,6 +837,14 @@ func (e *Engine) SnapshotInto(dst *Snapshot) *Snapshot {
 	} else {
 		dst.BatchQueuedKWh = nil
 		dst.BatchServedKWh, dst.BatchShedKWh, dst.BatchDeferredKWhSteps = 0, 0, 0
+	}
+	if e.leases != nil {
+		dst.BurstLeases = dst.BurstLeases[:0]
+		for _, l := range e.leases {
+			dst.BurstLeases = append(dst.BurstLeases, l.State())
+		}
+	} else {
+		dst.BurstLeases = nil
 	}
 	return dst
 }

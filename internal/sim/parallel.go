@@ -56,9 +56,13 @@ func (w *shardWorker) loop() {
 // error. Reads (Snapshot, Assignments, Checkpoint, Finalize) see the
 // world at the joint cursor by merging the shard checkpoints and
 // restoring them into a joint engine, memoized per cursor — bit for bit
-// the state a single engine fed the same vectors would hold, except the
-// distance histogram, whose bins absorb the same weights in a different
-// order across the merge.
+// the state a single engine fed the same vectors would hold.
+//
+// A soft-capped scenario with a BurstGate runs the burst-token broker
+// in-process: Step derives the joint gate bit from the full demand row
+// (resolving it through the scenario's own gate) and hands it to every
+// shard engine through a shared stepGate, so the regions burst exactly
+// when the joint engine would — still bit for bit.
 //
 // Like Engine, a ParallelEngine is not safe for concurrent use; wrap it
 // in a lock to serve concurrent feeds (internal/server does).
@@ -66,6 +70,14 @@ type ParallelEngine struct {
 	sc      Scenario
 	hash    string
 	workers []*shardWorker
+
+	// Burst-token broker state, set only when sc.BurstGate is non-nil:
+	// gate resolves the joint bit, broker replays it to the shard
+	// engines, room caches the fleet's soft-capped total (a run
+	// constant, summed in fleet cluster order like the joint engine's).
+	gate   BurstGate
+	broker *stepGate
+	room   float64
 
 	stepsRun int
 	lastAt   time.Time
@@ -101,7 +113,19 @@ func NewParallelEngine(sc Scenario, p ShardPartition) (*ParallelEngine, error) {
 		workers: make([]*shardWorker, len(subs)),
 		joint:   joint,
 	}
+	if sc.BurstGate != nil {
+		room, err := BurstRoomTotal(sc.Fleet, sc.SoftCaps)
+		if err != nil {
+			return nil, err
+		}
+		e.gate = sc.BurstGate
+		e.broker = &stepGate{}
+		e.room = room
+	}
 	for i, sub := range subs {
+		if e.broker != nil {
+			sub.BurstGate = e.broker
+		}
 		eng, err := NewEngine(sub)
 		if err != nil {
 			return nil, fmt.Errorf("sim: shard %d: %w", i, err)
@@ -181,6 +205,15 @@ func (e *ParallelEngine) Step(at time.Time, prices StepPrices, demand []float64)
 	}
 	if e.sc.Carbon != nil && len(prices.Carbon) != nc {
 		return fmt.Errorf("sim: %d carbon intensities for %d clusters", len(prices.Carbon), nc)
+	}
+	if e.broker != nil {
+		// Resolve the joint gate bit before fan-out; the cmd sends below
+		// publish the broker update to every worker goroutine.
+		open, err := e.gate.GateOpen(e.stepsRun, SumDemand(demand), e.room)
+		if err != nil {
+			return fmt.Errorf("sim: burst gate at %v: %w", at, err)
+		}
+		e.broker.step, e.broker.open = e.stepsRun, open
 	}
 	for _, w := range e.workers {
 		for i, c := range w.clusters {

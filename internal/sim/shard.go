@@ -25,6 +25,7 @@ import (
 	"powerroute/internal/billing"
 	"powerroute/internal/routing"
 	"powerroute/internal/sched"
+	"powerroute/internal/stats"
 	"powerroute/internal/storage"
 	"powerroute/internal/timeseries"
 	"powerroute/internal/units"
@@ -129,14 +130,18 @@ func (sc Scenario) WorldHash() (string, error) {
 // clusters in the state's own shard — which is what makes the union of the
 // shard runs reproduce the joint run exactly (see MergeCheckpoints).
 //
-// Two caveats ride on the engine's cross-cluster couplings. The 95/5
-// burst gate compares each engine's total demand against its own total
-// room, so a soft-capped scenario unlocks bursts per shard rather than
-// fleet-wide; splits of soft-capped worlds are exact only while the gate
-// never fires (generous caps). And when a whole region saturates, the
-// optimizer's outward spill walks beyond the shard's clusters in the
-// joint run but cannot in the shard run — saturation shows up as overload
-// in both, but the placements then differ.
+// The engine's one fleet-wide coupling — the 95/5 burst gate's
+// demand-vs-room comparison — no longer limits the split: a shard run
+// whose BurstGate replays the joint gate bits (a LeaseStore fed by the
+// coordinator's burst-token broker, or ParallelEngine's in-process
+// broker) reproduces the joint soft-capped run exactly even while
+// bursts fire, because burst *budgets* are per-cluster and therefore
+// shard-local. Set each sub-scenario's BurstGate after Shard returns;
+// Shard itself leaves the field as inherited. One caveat remains: when
+// a whole region saturates, the optimizer's outward spill walks beyond
+// the shard's clusters in the joint run but cannot in the shard run —
+// saturation shows up as overload in both, but the placements then
+// differ (the coordinator's -spill rerouting mitigates, approximately).
 func (sc Scenario) Shard(p ShardPartition) ([]Scenario, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
@@ -353,12 +358,16 @@ var ErrShardCursorMismatch = errors.New("shards must pause at the same cursor")
 // parent world (identical ShardOf hash — the shard-compatibility guard),
 // at the same step cursor, with disjoint cluster and state positions that
 // together cover the parent fleet exactly. Per-structure combine rules:
-// per-cluster state (meter samples, burst budgets, monthly demand peaks,
-// battery snapshots, running cost/energy/overload/storage/carbon sums,
-// last-interval rates) scatters into its fleet position — disjoint across
-// shards, so no arithmetic happens at all — distance histograms add
-// (stats.WeightedHistogram.Merge), and the assignment matrix scatters by
-// state row and cluster column. The merged checkpoint carries the parent
+// per-cluster state (meter samples, burst budgets, burst lease ledgers,
+// monthly demand peaks, battery snapshots, running
+// cost/energy/overload/storage/carbon sums, last-interval rates,
+// distance histograms) scatters into its fleet position — disjoint
+// across shards, so no arithmetic happens at all — and the assignment
+// matrix scatters by state row and cluster column. Distance histograms
+// being per-cluster (routing closure sends a cluster the same hits in
+// the same order either way) is what makes the merged histograms, and
+// the fleet mean/p99 folded from them, bit-exact rather than merely
+// close. The merged checkpoint carries the parent
 // world hash and restores only into the joint world, where Snapshot and
 // Finalize re-derive every fleet-wide figure in fleet order — bit for bit
 // what the single-engine run reports.
@@ -435,10 +444,14 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 		},
 		MeterSamples: make([][]float64, nc),
 		Loads:        make([]float64, nc),
+		DistHists:    make([]*stats.WeightedHistogram, nc),
 		Assign:       make([][]float64, ns),
 	}
 	if len(first.Constraints) > 0 {
 		m.Constraints = make([]billing.ConstraintState, nc)
+	}
+	if len(first.BurstLeases) > 0 {
+		m.BurstLeases = make([]billing.LeaseLedgerState, nc)
 	}
 	if len(first.Batteries) > 0 {
 		m.Batteries = make([]storage.Snapshot, nc)
@@ -477,6 +490,13 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 			if m.Constraints != nil {
 				m.Constraints[c] = cp.Constraints[j]
 			}
+			if m.BurstLeases != nil {
+				m.BurstLeases[c] = cp.BurstLeases[j]
+			}
+			if cp.DistHists[j] == nil {
+				return nil, fmt.Errorf("sim: checkpoint %d missing cluster %d distance histogram", i, j)
+			}
+			m.DistHists[c] = cp.DistHists[j].Clone()
 			if m.Batteries != nil {
 				m.Batteries[c] = cp.Batteries[j]
 				m.Totals.StorageBoughtKWh[c] = cp.Totals.StorageBoughtKWh[j]
@@ -507,14 +527,6 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 			}
 			m.Assign[s] = row
 		}
-		if cp.DistHist == nil {
-			return nil, fmt.Errorf("sim: checkpoint %d missing distance histogram", i)
-		}
-		if m.DistHist == nil {
-			m.DistHist = cp.DistHist.Clone()
-		} else if err := m.DistHist.Merge(cp.DistHist); err != nil {
-			return nil, fmt.Errorf("sim: checkpoint %d: %w", i, err)
-		}
 	}
 	return m, nil
 }
@@ -526,6 +538,7 @@ func MergeCheckpoints(parts []*Checkpoint) (*Checkpoint, error) {
 func optionalSections(cp *Checkpoint) []section {
 	return []section{
 		{"95/5 constraint state", len(cp.Constraints)},
+		{"burst lease ledgers", len(cp.BurstLeases)},
 		{"battery snapshots", len(cp.Batteries)},
 		{"demand meters", len(cp.DemandMeters)},
 		{"carbon ledgers", len(cp.Totals.ClusterCarbonKg)},
@@ -556,7 +569,7 @@ func checkShardVectors(cp *Checkpoint) error {
 			return fmt.Errorf("assignment row %d has %d clusters, want %d", s, len(row), nc)
 		}
 	}
-	for _, n := range []int{len(cp.Constraints), len(cp.Batteries), len(cp.DemandMeters),
+	for _, n := range []int{len(cp.Constraints), len(cp.BurstLeases), len(cp.Batteries), len(cp.DemandMeters),
 		len(cp.Totals.ClusterCarbonKg), len(cp.Totals.StorageBoughtKWh), len(cp.Totals.StorageServedKWh),
 		len(cp.BatchQueues), len(cp.Totals.BatchServedKWh), len(cp.Totals.BatchShedKWh), len(cp.Totals.BatchDeferredKWh)} {
 		if n != 0 && n != nc {

@@ -64,6 +64,18 @@ type Scenario struct {
 	// Derive the caps from a baseline run (DeriveCaps).
 	SoftCaps []float64
 
+	// BurstGate, when non-nil, puts the 95/5 burst gate under coordinated
+	// (fleet-wide) control: instead of comparing its own total demand
+	// against its own total room, the engine asks the gate whether this
+	// step's fleet-wide demand unlocks burst headroom, and books every
+	// granted/used/expired burst token in per-cluster lease ledgers that
+	// ride in checkpoints. SelfGate reproduces the local decision (for
+	// whole-world engines that must stay byte-comparable with a merged
+	// shard fleet); a LeaseStore replays gate bits brokered by a
+	// coordinator. Requires SoftCaps. Nil keeps the exact engine-local
+	// code path with no ledgers.
+	BurstGate BurstGate
+
 	// DecisionSeries, when non-nil, overrides the per-cluster signal the
 	// router optimizes (still subject to ReactionDelay). The bill is
 	// always computed from real-time dollar prices; this hook lets a
@@ -134,6 +146,9 @@ func (sc *Scenario) validate() error {
 	if sc.SoftCaps != nil && len(sc.SoftCaps) != len(sc.Fleet.Clusters) {
 		return fmt.Errorf("sim: %d soft caps for %d clusters", len(sc.SoftCaps), len(sc.Fleet.Clusters))
 	}
+	if sc.BurstGate != nil && sc.SoftCaps == nil {
+		return errors.New("sim: burst gate configured without soft caps")
+	}
 	if sc.DecisionSeries != nil && len(sc.DecisionSeries) != len(sc.Fleet.Clusters) {
 		return fmt.Errorf("sim: %d decision series for %d clusters", len(sc.DecisionSeries), len(sc.Fleet.Clusters))
 	}
@@ -180,9 +195,9 @@ type Result struct {
 	MeanUtilization []float64
 
 	// MeanDistanceKm and P99DistanceKm describe the hit-weighted
-	// client-server distance distribution (Fig 17). These two figures
-	// alone carry float-associativity noise (~1e-12 relative) across a
-	// shard merge; everything else in the Result is bit-exact.
+	// client-server distance distribution (Fig 17). The histogram is kept
+	// per cluster and folded in fleet order at Finalize time, so like
+	// every other figure they reproduce bit for bit across a shard merge.
 	MeanDistanceKm float64
 	P99DistanceKm  float64
 
